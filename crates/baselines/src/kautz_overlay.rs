@@ -1,0 +1,526 @@
+//! Kautz-overlay \[20\]: the application-layer Kautz baseline.
+//!
+//! The same cell structure and routing protocol as REFER — "We used REFER's
+//! routing protocol in Kautz-overlay to have a fair comparison" (Section
+//! IV) — but KIDs are assigned to *random* sensors with no regard for
+//! physical position, as an application-layer overlay would. Every overlay
+//! arc therefore needs a flooding-discovered multi-hop physical path
+//! (Figure 10's dominant construction cost), every overlay hop costs
+//! several physical transmissions (Figures 6 and 8's delay), and every
+//! physical break triggers a re-flood (Figures 5 and 9's energy).
+
+use crate::flood::{discover, ControlPayload};
+use kautz::KautzId;
+use refer::cells::plan_cells;
+use refer::embedding::EmbeddingPlan;
+use refer::routing::{route_choices, RouteHeader};
+use rand::seq::SliceRandom;
+use std::collections::BTreeMap;
+use wsan_sim::{
+    Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Point, Protocol,
+};
+
+/// Kautz-overlay parameters.
+#[derive(Debug, Clone)]
+pub struct KautzOverlayConfig {
+    /// Kautz graph degree per cell.
+    pub degree: u8,
+    /// Control frame size, bits.
+    pub ctrl_bits: u32,
+    /// Flood scope (hops) for physical path discovery.
+    pub route_scope: usize,
+    /// Minimum spacing between re-discovery floods for the same
+    /// (node, target) pair; packets arriving inside the window reuse the
+    /// freshly discovered route instead of flooding again.
+    pub flood_cooldown: wsan_sim::SimDuration,
+    /// Maximum physical-path repairs per frame before giving up.
+    pub max_repairs: u8,
+}
+
+impl Default for KautzOverlayConfig {
+    fn default() -> Self {
+        KautzOverlayConfig {
+            degree: 2,
+            ctrl_bits: 256,
+            route_scope: 16,
+            flood_cooldown: wsan_sim::SimDuration::from_secs(1),
+            max_repairs: 6,
+        }
+    }
+}
+
+/// A data frame riding the overlay.
+#[derive(Debug, Clone)]
+pub struct OvFrame {
+    /// The tracked packet.
+    pub data: DataId,
+    /// Destination cell index.
+    pub cell: usize,
+    /// Destination KID (a corner actuator).
+    pub dest_kid: KautzId,
+    /// Conflict forced digit for the next overlay relay.
+    pub forced: Option<u8>,
+    /// Physical route of the current overlay hop.
+    pub path: Vec<NodeId>,
+    /// Position within `path`.
+    pub pos: usize,
+    /// Overlay hops taken (loop guard).
+    pub hops: u8,
+    /// Physical-path repairs performed for this frame.
+    pub repairs: u8,
+}
+
+/// Kautz-overlay wire messages.
+#[derive(Debug, Clone)]
+pub enum OvMsg {
+    /// Inert control frame.
+    Ctrl,
+    /// A data frame.
+    Data(OvFrame),
+}
+
+impl ControlPayload for OvMsg {
+    fn inert() -> Self {
+        OvMsg::Ctrl
+    }
+}
+
+/// Observable counters.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayStats {
+    /// Overlay arcs whose physical path was built at construction.
+    pub arcs_built: usize,
+    /// Physical path re-discoveries during data forwarding.
+    pub path_repairs: usize,
+    /// Relays that diverted to a non-shortest overlay path.
+    pub overlay_alt_switches: usize,
+    /// Packets dropped.
+    pub drops: usize,
+}
+
+const MAX_OVERLAY_HOPS: u8 = 16;
+
+/// The Kautz-overlay protocol.
+#[derive(Debug)]
+pub struct KautzOverlayProtocol {
+    cfg: KautzOverlayConfig,
+    plan: EmbeddingPlan,
+    /// Per cell: corner actuators and KID -> node roster.
+    cells: Vec<(Vec<NodeId>, BTreeMap<KautzId, NodeId>)>,
+    /// node -> memberships.
+    member_cells: BTreeMap<NodeId, Vec<(usize, KautzId)>>,
+    /// Physical route per overlay arc (from-node, to-node).
+    paths: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// Pending resumptions after a repair: tag -> (node, frame).
+    pending: BTreeMap<u64, (NodeId, OvFrame)>,
+    next_pending: u64,
+    /// Last flood time per (node, target), for the cooldown.
+    last_flood: BTreeMap<(NodeId, NodeId), wsan_sim::SimTime>,
+    /// Observable counters.
+    pub stats: OverlayStats,
+}
+
+impl KautzOverlayProtocol {
+    /// Creates a Kautz-overlay instance.
+    pub fn new(cfg: KautzOverlayConfig) -> Self {
+        let plan = EmbeddingPlan::for_degree(cfg.degree);
+        KautzOverlayProtocol {
+            cfg,
+            plan,
+            cells: Vec::new(),
+            member_cells: BTreeMap::new(),
+            paths: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_pending: 0,
+            last_flood: BTreeMap::new(),
+            stats: OverlayStats::default(),
+        }
+    }
+
+    fn is_member(&self, node: NodeId) -> bool {
+        self.member_cells.contains_key(&node)
+    }
+
+    fn kid_in_cell(&self, node: NodeId, cell: usize) -> Option<KautzId> {
+        self.member_cells
+            .get(&node)?
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map(|(_, k)| k.clone())
+    }
+
+    fn build_overlay(&mut self, ctx: &mut Ctx<OvMsg>) {
+        let actuators: Vec<NodeId> = ctx.actuator_ids().to_vec();
+        let positions: Vec<Point> = actuators.iter().map(|&a| ctx.position(a)).collect();
+        let ids: Vec<u64> = actuators.iter().map(|a| u64::from(a.0)).collect();
+        let Some(layout) = plan_cells(&ids, &positions, ctx.config().actuator_range) else {
+            return;
+        };
+        // Random sensor selection per cell: the application layer ignores
+        // physical position entirely.
+        let mut free: Vec<NodeId> = ctx.sensor_ids().to_vec();
+        free.shuffle(ctx.rng());
+        let sensor_kids: Vec<KautzId> = self
+            .plan
+            .assignment_order()
+            .into_iter()
+            .filter(|k| !self.plan.actuator_kids.contains(k))
+            .collect();
+        for cell in &layout.cells {
+            let corners: Vec<NodeId> =
+                cell.corners.iter().map(|&i| actuators[i]).collect();
+            let mut roster = BTreeMap::new();
+            for (kid, &node) in self.plan.actuator_kids.iter().zip(corners.iter()) {
+                roster.insert(kid.clone(), node);
+            }
+            for kid in &sensor_kids {
+                if let Some(node) = free.pop() {
+                    roster.insert(kid.clone(), node);
+                }
+            }
+            let idx = self.cells.len();
+            for (kid, &node) in &roster {
+                self.member_cells.entry(node).or_default().push((idx, kid.clone()));
+            }
+            self.cells.push((corners, roster));
+        }
+        // Every overlay arc needs a flooding-built physical route.
+        for cell_idx in 0..self.cells.len() {
+            let roster = self.cells[cell_idx].1.clone();
+            for (kid, &from) in &roster {
+                for succ in kid.successors() {
+                    let Some(&to) = roster.get(&succ) else { continue };
+                    if from == to || self.paths.contains_key(&(from, to)) {
+                        continue;
+                    }
+                    let outcome = discover(
+                        ctx,
+                        from,
+                        to,
+                        self.cfg.route_scope,
+                        self.cfg.ctrl_bits,
+                        EnergyAccount::Construction,
+                    );
+                    if let Some(route) = outcome.route {
+                        self.paths.insert((from, to), route);
+                        self.stats.arcs_built += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overlay-level step at member `node`: pick the next overlay hop with
+    /// REFER's routing protocol and start walking its physical path.
+    fn overlay_step(&mut self, ctx: &mut Ctx<OvMsg>, node: NodeId, mut frame: OvFrame) {
+        if frame.hops >= MAX_OVERLAY_HOPS {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        }
+        frame.hops += 1;
+        let Some(kid) = self.kid_in_cell(node, frame.cell) else {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        };
+        if kid == frame.dest_kid {
+            if matches!(ctx.kind(node), NodeKind::Actuator) {
+                ctx.deliver_data(frame.data, node);
+            } else {
+                ctx.drop_data(frame.data);
+            }
+            return;
+        }
+        let header = RouteHeader { dest_kid: frame.dest_kid.clone(), forced_digit: frame.forced };
+        let choices = match route_choices(&kid, &header, ctx.rng()) {
+            Ok(c) => c,
+            Err(_) => {
+                ctx.drop_data(frame.data);
+                self.stats.drops += 1;
+                return;
+            }
+        };
+        let roster = self.cells[frame.cell].1.clone();
+        let pick = choices.iter().enumerate().find_map(|(i, c)| {
+            let n = roster.get(&c.successor).copied()?;
+            if n == node || ctx.is_faulty(n) {
+                return None;
+            }
+            Some((i, n, c.forced_digit))
+        });
+        let Some((idx, target, forced)) = pick else {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        };
+        if idx > 0 {
+            self.stats.overlay_alt_switches += 1;
+        }
+        frame.forced = forced;
+        match self.paths.get(&(node, target)).cloned() {
+            Some(path) if path.first() == Some(&node) => {
+                frame.path = path;
+                frame.pos = 0;
+                self.walk(ctx, node, frame);
+            }
+            _ => {
+                // No stored route (or we are not its head): discover one now.
+                self.repair_and_resume(ctx, node, target, frame);
+            }
+        }
+    }
+
+    /// Walks one physical hop of the current overlay path.
+    fn walk(&mut self, ctx: &mut Ctx<OvMsg>, node: NodeId, mut frame: OvFrame) {
+        if frame.path.get(frame.pos).copied() != Some(node) {
+            // The path was replaced while this frame was in flight; find
+            // ourselves in it, or rebuild toward the overlay target.
+            match frame.path.iter().position(|&n| n == node) {
+                Some(pos) => frame.pos = pos,
+                None => {
+                    let Some(&target) = frame.path.last() else {
+                        ctx.drop_data(frame.data);
+                        self.stats.drops += 1;
+                        return;
+                    };
+                    self.repair_and_resume(ctx, node, target, frame);
+                    return;
+                }
+            }
+        }
+        if frame.pos + 1 >= frame.path.len() {
+            // Arrived at the overlay successor.
+            self.overlay_step(ctx, node, frame);
+            return;
+        }
+        let next = frame.path[frame.pos + 1];
+        let size = ctx
+            .data_size_bits(frame.data)
+            .unwrap_or(ctx.config().traffic.packet_bits);
+        if ctx.link_ok(node, next) {
+            frame.pos += 1;
+            ctx.send(node, next, size, EnergyAccount::Communication, OvMsg::Data(frame));
+            return;
+        }
+        // Physical hop broken: re-flood toward the overlay target and
+        // resume after the discovery latency (no source retransmission —
+        // the overlay is fault-tolerant at the overlay level).
+        let target = *frame.path.last().expect("non-empty path");
+        self.repair_and_resume(ctx, node, target, frame);
+    }
+
+    fn repair_and_resume(
+        &mut self,
+        ctx: &mut Ctx<OvMsg>,
+        node: NodeId,
+        target: NodeId,
+        mut frame: OvFrame,
+    ) {
+        if node == target {
+            self.overlay_step(ctx, node, frame);
+            return;
+        }
+        if frame.repairs >= self.cfg.max_repairs {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        }
+        frame.repairs += 1;
+        // A previously repaired route for this pair may still be usable.
+        if let Some(cached) = self.paths.get(&(node, target)) {
+            if cached.len() >= 2 && ctx.link_ok(node, cached[1]) {
+                frame.path = cached.clone();
+                frame.pos = 0;
+                self.walk(ctx, node, frame);
+                return;
+            }
+        }
+        // Cooldown: within the window, packets wait for the in-flight
+        // repair instead of launching another flood.
+        let now = ctx.now();
+        if let Some(&last) = self.last_flood.get(&(node, target)) {
+            if now.saturating_since(last) < self.cfg.flood_cooldown {
+                // A discovery for this pair just ran; retry shortly against
+                // its (cached) result instead of flooding again.
+                let id = self.next_pending;
+                self.next_pending += 1;
+                self.pending.insert(id, (node, frame));
+                ctx.set_timer(node, wsan_sim::SimDuration::from_millis(20), id);
+                return;
+            }
+        }
+        self.last_flood.insert((node, target), now);
+        self.stats.path_repairs += 1;
+        let outcome = discover(
+            ctx,
+            node,
+            target,
+            self.cfg.route_scope,
+            self.cfg.ctrl_bits,
+            EnergyAccount::Communication,
+        );
+        match outcome.route {
+            Some(route) => {
+                self.paths.insert((node, target), route.clone());
+                frame.path = route;
+                frame.pos = 0;
+                let id = self.next_pending;
+                self.next_pending += 1;
+                self.pending.insert(id, (node, frame));
+                ctx.set_timer(node, outcome.latency, id);
+            }
+            None => {
+                ctx.drop_data(frame.data);
+                self.stats.drops += 1;
+            }
+        }
+    }
+}
+
+impl Protocol for KautzOverlayProtocol {
+    type Payload = OvMsg;
+
+    fn name(&self) -> &'static str {
+        "Kautz-overlay"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<OvMsg>) {
+        self.build_overlay(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<OvMsg>, src: NodeId, data: DataId) {
+        if self.cells.is_empty() {
+            ctx.drop_data(data);
+            self.stats.drops += 1;
+            return;
+        }
+        let access = if self.is_member(src) {
+            Some(src)
+        } else {
+            self.member_cells
+                .keys()
+                .copied()
+                .filter(|&m| ctx.link_ok(src, m))
+                .min_by(|&a, &b| {
+                    ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
+                })
+        };
+        let Some(access) = access else {
+            ctx.drop_data(data);
+            self.stats.drops += 1;
+            return;
+        };
+        let (cell, _) = self.member_cells[&access][0].clone();
+        let corners = self.cells[cell].0.clone();
+        let nearest = corners
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("three corners");
+        let dest_kid = self.plan.actuator_kids[nearest].clone();
+        let frame = OvFrame {
+            data,
+            cell,
+            dest_kid,
+            forced: None,
+            path: Vec::new(),
+            pos: 0,
+            hops: 0,
+            repairs: 0,
+        };
+        if access == src {
+            self.overlay_step(ctx, src, frame);
+            return;
+        }
+        let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
+        if !ctx.send(src, access, size, EnergyAccount::Communication, OvMsg::Data(frame)) {
+            ctx.drop_data(data);
+            self.stats.drops += 1;
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<OvMsg>, at: NodeId, msg: Message<OvMsg>) {
+        match msg.payload {
+            OvMsg::Ctrl => {}
+            OvMsg::Data(frame) => {
+                if frame.path.is_empty() {
+                    // Access handoff arriving at the entry member.
+                    if self.is_member(at) {
+                        self.overlay_step(ctx, at, frame);
+                    } else {
+                        ctx.drop_data(frame.data);
+                        self.stats.drops += 1;
+                    }
+                } else {
+                    self.walk(ctx, at, frame);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<OvMsg>, at: NodeId, tag: u64) {
+        if let Some((node, frame)) = self.pending.remove(&tag) {
+            debug_assert_eq!(node, at);
+            if ctx.is_faulty(node) {
+                ctx.drop_data(frame.data);
+                self.stats.drops += 1;
+                return;
+            }
+            self.walk(ctx, node, frame);
+        }
+    }
+}
+
+impl Default for KautzOverlayProtocol {
+    fn default() -> Self {
+        Self::new(KautzOverlayConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_sim::{runner, SimConfig};
+
+    fn smoke(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::smoke();
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn overlay_builds_arcs_with_expensive_floods() {
+        let (summary, p) = runner::run_owned(smoke(1), KautzOverlayProtocol::default());
+        assert!(p.stats.arcs_built > 40, "most arcs get physical routes: {:?}", p.stats);
+        assert!(
+            summary.energy_construction_j > 10_000.0,
+            "per-arc floods dominate construction: {}",
+            summary.energy_construction_j
+        );
+    }
+
+    #[test]
+    fn delivers_some_data_despite_long_paths() {
+        let (summary, p) = runner::run_owned(smoke(2), KautzOverlayProtocol::default());
+        assert!(summary.delivery_ratio > 0.1, "{summary:?} {:?}", p.stats);
+    }
+
+    #[test]
+    fn repairs_follow_mobility() {
+        let mut cfg = smoke(3);
+        cfg.mobility.max_speed = 4.0;
+        let (_, p) = runner::run_owned(cfg, KautzOverlayProtocol::default());
+        assert!(p.stats.path_repairs > 0, "{:?}", p.stats);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = runner::run_owned(smoke(4), KautzOverlayProtocol::default());
+        let (b, _) = runner::run_owned(smoke(4), KautzOverlayProtocol::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Comparative mechanics tests: each baseline recovers the way the paper
+//! describes, and their costs order as Section IV argues.
+
+use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
+use wsan_sim::{runner, SimConfig, SimDuration};
+
+fn cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.warmup = SimDuration::from_secs(15);
+    cfg.duration = SimDuration::from_secs(90);
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn datree_faults_mean_retransmissions() {
+    let mut clean = cfg(31);
+    clean.mobility.max_speed = 0.0;
+    let mut faulty = clean.clone();
+    faulty.faults.count = 30;
+    let (_, p_clean) = runner::run_owned(clean, DaTreeProtocol::default());
+    let (_, p_faulty) = runner::run_owned(faulty, DaTreeProtocol::default());
+    assert!(
+        p_faulty.stats.retransmissions > p_clean.stats.retransmissions,
+        "faults {} vs clean {}",
+        p_faulty.stats.retransmissions,
+        p_clean.stats.retransmissions
+    );
+    // Every successful repair either schedules a retransmission or gives
+    // up because the packet exhausted its attempts.
+    assert_eq!(
+        p_faulty.stats.repairs,
+        p_faulty.stats.retransmissions + p_faulty.stats.drop_exhausted,
+        "{:?}",
+        p_faulty.stats
+    );
+}
+
+#[test]
+fn ddear_only_heads_keep_actuator_paths() {
+    let (_, p) = runner::run_owned(cfg(32), DdearProtocol::default());
+    assert!(p.stats.heads > 5, "heads elected: {}", p.stats.heads);
+    // Heads are a small minority: the mesh backbone the paper describes.
+    assert!(p.stats.heads < 120, "heads stay sparse: {}", p.stats.heads);
+}
+
+#[test]
+fn overlay_mobility_multiplies_repairs() {
+    let mut slow = cfg(33);
+    slow.mobility.max_speed = 0.5;
+    let mut fast = cfg(33);
+    fast.mobility.max_speed = 5.0;
+    let (_, p_slow) = runner::run_owned(slow, KautzOverlayProtocol::default());
+    let (_, p_fast) = runner::run_owned(fast, KautzOverlayProtocol::default());
+    assert!(
+        p_fast.stats.path_repairs > p_slow.stats.path_repairs,
+        "fast {} vs slow {}",
+        p_fast.stats.path_repairs,
+        p_slow.stats.path_repairs
+    );
+}
+
+#[test]
+fn overlay_builds_most_arcs_in_a_connected_deployment() {
+    let (_, p) = runner::run_owned(cfg(34), KautzOverlayProtocol::default());
+    // 4 cells x 24 arcs, minus actuator-actuator arcs shared across cells
+    // (deduplicated by endpoint pair): expect the vast majority built.
+    assert!(p.stats.arcs_built >= 70, "arcs built: {}", p.stats.arcs_built);
+}
+
+#[test]
+fn recovery_energy_ordering_under_faults() {
+    // With faults active, DaTree's per-sensor recovery floods cost more
+    // communication energy than D-DEAR's head-only rebuilds.
+    let mut c = cfg(35);
+    c.faults.count = 10;
+    let (datree, _) = runner::run_owned(c.clone(), DaTreeProtocol::default());
+    let (ddear, _) = runner::run_owned(c, DdearProtocol::default());
+    assert!(
+        datree.energy_communication_j > ddear.energy_communication_j * 0.8,
+        "datree {} vs ddear {}",
+        datree.energy_communication_j,
+        ddear.energy_communication_j
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: CAN upper-tier routing cost versus the number of cells.
+//!
+//! Measures greedy CID routing over growing CAN networks (REFER's
+//! inter-cell tier scales with deployment area, Section III-B3) and the
+//! join cost of adding a cell.
+
+use can_dht::{CanNetwork, Coord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn grid_network(cells: usize) -> CanNetwork {
+    let mut net = CanNetwork::new();
+    let side = (cells as f64).sqrt().ceil() as usize;
+    let mut joined = 0;
+    'outer: for row in 0..side {
+        for col in 0..side {
+            let c = Coord::new(
+                (col as f64 + 0.5) / side as f64,
+                (row as f64 + 0.5) / side as f64,
+            );
+            net.join(c).expect("grid coordinates split cleanly");
+            joined += 1;
+            if joined == cells {
+                break 'outer;
+            }
+        }
+    }
+    net
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_can_routing");
+    for cells in [4usize, 16, 64, 256] {
+        let net = grid_network(cells);
+        let members: Vec<_> = net.nodes().map(|(id, _)| id).collect();
+        group.bench_with_input(
+            BenchmarkId::new("route", cells),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    for (i, &from) in members.iter().enumerate() {
+                        let to = members[(i + members.len() / 2) % members.len()];
+                        let path = net.route_to_member(black_box(from), black_box(to));
+                        black_box(path);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("join", cells),
+            &cells,
+            |b, &cells| {
+                b.iter(|| black_box(grid_network(black_box(cells))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: Kautz embedding cost versus cell degree.
+//!
+//! Times (a) computing the `K(d, 3)` embedding plan and (b) logically
+//! assigning the plan's KIDs onto a field of sensor candidates — the
+//! computation a cell coordinator performs at construction and on the
+//! fallback path (Section III-B2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refer::embedding::{logical_embed, EmbeddingPlan, SensorCandidate};
+use std::hint::black_box;
+use wsan_sim::Point;
+
+fn candidates(n: usize) -> Vec<SensorCandidate> {
+    (0..n)
+        .map(|i| SensorCandidate {
+            handle: i,
+            position: Point::new(
+                20.0 + (i % 10) as f64 * 6.0,
+                20.0 + (i / 10) as f64 * 6.0,
+            ),
+            energy: 100.0 + (i % 17) as f64,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_embedding");
+    for d in [2u8, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("plan", format!("K({d},3)")), &d, |b, &d| {
+            b.iter(|| black_box(EmbeddingPlan::for_degree(black_box(d))));
+        });
+
+        let plan = EmbeddingPlan::for_degree(d);
+        let field = candidates(plan.sensor_kid_count() * 3);
+        let actuators = [
+            (10_000, Point::new(0.0, 0.0)),
+            (10_001, Point::new(80.0, 0.0)),
+            (10_002, Point::new(40.0, 70.0)),
+        ];
+        group.bench_with_input(
+            BenchmarkId::new("logical_embed", format!("K({d},3)")),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let assignment =
+                        logical_embed(black_box(plan), &actuators, &field, 100.0)
+                            .expect("enough candidates");
+                    black_box(assignment)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for QoS throughput vs. node mobility (Figure 4).
+//!
+//! Each iteration simulates the figure's most demanding sweep point at
+//! miniature scale for every system; the metric value is black-boxed so
+//! the simulation is not optimized away. Full-fidelity series:
+//! `cargo run -p refer-bench --release --bin figures -- --fig 4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refer_bench::{bench_config, figure, run_system, SYSTEMS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = figure(4).expect("figure exists");
+    let cfg = bench_config(&fig);
+    let mut group = c.benchmark_group("fig04_mobility_throughput");
+    group.sample_size(10);
+    for system in SYSTEMS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name()),
+            &system,
+            |b, &system| {
+                b.iter(|| {
+                    let summary = run_system(black_box(&cfg), system);
+                    black_box(summary)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Quick side-by-side comparison of the four systems on one scenario.
+//!
+//! ```text
+//! cargo run -p refer-bench --release --bin compare -- \
+//!     [--scale 0.2] [--seed 17] [--mobility 3] [--faults 0] [--sensors 200]
+//! ```
+//!
+//! Prints one row per system with throughput, delay, energy split,
+//! delivery ratio and load-balance metrics. Useful for eyeballing a
+//! configuration before committing to a full sweep.
+
+use refer_bench::{base_config, run_system, SYSTEMS};
+
+fn main() {
+    let mut scale = 0.2;
+    let mut seed = 17u64;
+    let mut mobility = 3.0;
+    let mut faults = 0usize;
+    let mut sensors = 200usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = || it.next().expect("flag needs a value");
+        match a.as_str() {
+            "--scale" => scale = next().parse().expect("float"),
+            "--seed" => seed = next().parse().expect("integer"),
+            "--mobility" => mobility = next().parse().expect("float"),
+            "--faults" => faults = next().parse().expect("integer"),
+            "--sensors" => sensors = next().parse().expect("integer"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty, scale {scale}, seed {seed}\n"
+    );
+    println!(
+        "{:>15} {:>13} {:>9} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7}",
+        "system", "QoS thr(B/s)", "delay", "comm(J)", "constr(J)", "deliv", "hotspot", "fairness", "wall"
+    );
+    for system in SYSTEMS {
+        let mut cfg = base_config(scale);
+        cfg.mobility.max_speed = mobility;
+        cfg.faults.count = faults;
+        cfg.sensors = sensors;
+        cfg.seed = seed;
+        let t = std::time::Instant::now();
+        let s = run_system(&cfg, system);
+        println!(
+            "{:>15} {:>13.0} {:>7.1}ms {:>12.0} {:>12.0} {:>6.1}% {:>8.0}J {:>9.2} {:>6.1}s",
+            system.name(),
+            s.throughput_bps,
+            s.mean_delay_s * 1e3,
+            s.energy_communication_j,
+            s.energy_construction_j,
+            s.delivery_ratio * 100.0,
+            s.hotspot_energy_j,
+            s.energy_fairness,
+            t.elapsed().as_secs_f64(),
+        );
+    }
+}

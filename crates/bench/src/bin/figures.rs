@@ -1,0 +1,137 @@
+//! Regenerates the paper's evaluation figures (4-11).
+//!
+//! ```text
+//! cargo run -p refer-bench --release --bin figures -- [--fig N|all] \
+//!     [--seeds 1,2,3] [--scale 0.25] [--out results/]
+//! ```
+//!
+//! Figures sharing a sweep (4-5 mobility, 6-7 faults, 8-11 size) reuse the
+//! same simulations. Output: one aligned text table per figure on stdout
+//! and a JSON dump per sweep under `--out`.
+
+use refer_bench::{figure, render_figure, run_sweep, Figure, Sweep, SweepResult, FIGURES};
+use std::collections::BTreeSet;
+use std::io::Write as _;
+
+struct Args {
+    figs: Vec<u32>,
+    seeds: Vec<u64>,
+    scale: f64,
+    out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figs: (4..=11).collect(),
+        seeds: vec![1, 2, 3],
+        scale: 0.25,
+        out: Some("results".to_string()),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig" => {
+                let v = it.next().expect("--fig needs a value");
+                if v != "all" {
+                    args.figs = v
+                        .split(',')
+                        .map(|s| s.parse().expect("figure numbers are integers"))
+                        .collect();
+                }
+            }
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a value");
+                args.seeds = v
+                    .split(',')
+                    .map(|s| s.parse().expect("seeds are integers"))
+                    .collect();
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("scale is a float");
+            }
+            "--out" => {
+                args.out = Some(it.next().expect("--out needs a path"));
+            }
+            "--no-out" => args.out = None,
+            "--quiet" => args.quiet = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let figs: Vec<Figure> = args
+        .figs
+        .iter()
+        .map(|&id| figure(id).unwrap_or_else(|| panic!("no figure {id}; the paper has 4..=11")))
+        .collect();
+    let sweeps_needed: BTreeSet<String> =
+        figs.iter().map(|f| format!("{:?}", f.sweep)).collect();
+
+    eprintln!(
+        "Reproducing {} figure(s) over {} seed(s) at scale {} ({} sweeps)",
+        figs.len(),
+        args.seeds.len(),
+        args.scale,
+        sweeps_needed.len()
+    );
+
+    let mut results: Vec<SweepResult> = Vec::new();
+    for sweep in [Sweep::Mobility, Sweep::Faults, Sweep::Size] {
+        if !figs.iter().any(|f| f.sweep == sweep) {
+            continue;
+        }
+        let quiet = args.quiet;
+        let t = std::time::Instant::now();
+        let result = run_sweep(sweep, &args.seeds, args.scale, |label| {
+            if !quiet {
+                eprintln!("  done: {label}");
+            }
+        });
+        eprintln!("sweep {sweep:?} finished in {:.1}s", t.elapsed().as_secs_f64());
+        results.push(result);
+    }
+
+    for fig in &FIGURES {
+        if !figs.iter().any(|f| f.id == fig.id) {
+            continue;
+        }
+        let sweep = results
+            .iter()
+            .find(|r| r.sweep == fig.sweep)
+            .expect("sweep was run");
+        println!("{}", render_figure(fig, sweep));
+    }
+
+    if let Some(out) = &args.out {
+        std::fs::create_dir_all(out).expect("create output directory");
+        for result in &results {
+            let path = format!("{out}/sweep_{:?}.json", result.sweep).to_lowercase();
+            let mut f = std::fs::File::create(&path).expect("create json");
+            let json = serde_json::to_string_pretty(result).expect("serialize sweep");
+            f.write_all(json.as_bytes()).expect("write json");
+            eprintln!("wrote {path}");
+        }
+        for fig in &FIGURES {
+            if !figs.iter().any(|f| f.id == fig.id) {
+                continue;
+            }
+            let sweep = results
+                .iter()
+                .find(|r| r.sweep == fig.sweep)
+                .expect("sweep was run");
+            let path = format!("{out}/fig{:02}.svg", fig.id);
+            std::fs::write(&path, refer_bench::svgplot::figure_svg(fig, sweep))
+                .expect("write svg");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Renders SVG charts from saved sweep JSON (no re-simulation).
+//!
+//! ```text
+//! cargo run -p refer-bench --release --bin plots -- [--in results] [--out results]
+//! ```
+//!
+//! Reads `sweep_mobility.json` / `sweep_faults.json` / `sweep_size.json`
+//! produced by the `figures` binary and writes `fig04.svg` .. `fig11.svg`.
+
+use refer_bench::svgplot::figure_svg;
+use refer_bench::{SweepResult, FIGURES};
+
+fn main() {
+    let mut input = "results".to_string();
+    let mut output = "results".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--in" => input = it.next().expect("--in needs a path"),
+            "--out" => output = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    std::fs::create_dir_all(&output).expect("create output directory");
+
+    let mut sweeps: Vec<SweepResult> = Vec::new();
+    for name in ["sweep_mobility.json", "sweep_faults.json", "sweep_size.json"] {
+        let path = format!("{input}/{name}");
+        match std::fs::read_to_string(&path) {
+            Ok(json) => {
+                let sweep: SweepResult =
+                    serde_json::from_str(&json).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                sweeps.push(sweep);
+            }
+            Err(_) => eprintln!("skipping {path} (not found)"),
+        }
+    }
+    assert!(!sweeps.is_empty(), "no sweep JSON found under {input}; run the figures binary first");
+
+    for fig in &FIGURES {
+        let Some(sweep) = sweeps.iter().find(|s| s.sweep == fig.sweep) else {
+            eprintln!("figure {}: sweep {:?} missing, skipped", fig.id, fig.sweep);
+            continue;
+        };
+        let path = format!("{output}/fig{:02}.svg", fig.id);
+        std::fs::write(&path, figure_svg(fig, sweep)).expect("write svg");
+        println!("wrote {path}");
+    }
+}

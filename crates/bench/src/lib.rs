@@ -1,0 +1,327 @@
+//! Figure-reproduction harness for the REFER evaluation (Section IV).
+//!
+//! The paper's eight figures come from three parameter sweeps over the same
+//! scenario (mobility for Figures 4-5, faulty nodes for Figures 6-7,
+//! network size for Figures 8-11), each comparing four systems. This crate
+//! runs those sweeps deterministically over a seed list and renders each
+//! figure's series; the `figures` binary drives it from the command line
+//! and the Criterion benches run scaled-down versions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod svgplot;
+
+use refer::{ReferConfig, ReferProtocol};
+use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
+use serde::{Deserialize, Serialize};
+use wsan_sim::harness::{aggregate, AggregateSummary};
+use wsan_sim::{runner, RunSummary, SimConfig, SimDuration};
+
+/// The four systems of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// REFER (this paper).
+    Refer,
+    /// DaTree \[2\], tree-based.
+    DaTree,
+    /// D-DEAR \[8\], cluster/mesh-based.
+    Ddear,
+    /// Kautz-overlay \[20\], application-layer Kautz graph.
+    KautzOverlay,
+}
+
+/// All four systems, in the paper's plotting order.
+pub const SYSTEMS: [System; 4] =
+    [System::Refer, System::DaTree, System::Ddear, System::KautzOverlay];
+
+impl System {
+    /// Display name used in figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Refer => "REFER",
+            System::DaTree => "DaTree",
+            System::Ddear => "D-DEAR",
+            System::KautzOverlay => "Kautz-overlay",
+        }
+    }
+}
+
+/// Runs one simulation of `system` under `cfg`.
+pub fn run_system(cfg: &SimConfig, system: System) -> RunSummary {
+    let cfg = cfg.clone();
+    match system {
+        System::Refer => runner::run(cfg, &mut ReferProtocol::new(ReferConfig::default())),
+        System::DaTree => runner::run(cfg, &mut DaTreeProtocol::default()),
+        System::Ddear => runner::run(cfg, &mut DdearProtocol::default()),
+        System::KautzOverlay => runner::run(cfg, &mut KautzOverlayProtocol::default()),
+    }
+}
+
+/// Which parameter sweep a figure belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sweep {
+    /// Figures 4-5: node speed drawn from `[0, x]` m/s, x in 1..=5; the
+    /// plotted x-axis is the mean speed `x/2`.
+    Mobility,
+    /// Figures 6-7: 2x faulty sensors, x in 1..=5, rotated every 10 s.
+    Faults,
+    /// Figures 8-11: network size 100..=400 sensors.
+    Size,
+}
+
+impl Sweep {
+    /// The sweep's x values (simulation parameter, not the plotted axis).
+    pub fn x_values(self) -> Vec<f64> {
+        match self {
+            Sweep::Mobility => vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            Sweep::Faults => vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            Sweep::Size => vec![100.0, 200.0, 300.0, 400.0],
+        }
+    }
+
+    /// The plotted x-axis value for a simulation parameter.
+    pub fn axis_value(self, x: f64) -> f64 {
+        match self {
+            Sweep::Mobility => x / 2.0, // mean of U[0, x]
+            _ => x,
+        }
+    }
+
+    /// The x-axis label of the paper's plots.
+    pub fn axis_label(self) -> &'static str {
+        match self {
+            Sweep::Mobility => "mean node speed (m/s)",
+            Sweep::Faults => "number of faulty nodes",
+            Sweep::Size => "number of sensors",
+        }
+    }
+
+    /// Applies the sweep parameter to a scenario.
+    pub fn configure(self, cfg: &mut SimConfig, x: f64) {
+        match self {
+            Sweep::Mobility => cfg.mobility.max_speed = x,
+            Sweep::Faults => cfg.faults.count = x as usize,
+            Sweep::Size => cfg.sensors = x as usize,
+        }
+    }
+}
+
+/// The metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// QoS throughput, bytes/second.
+    Throughput,
+    /// Mean QoS delay, seconds.
+    Delay,
+    /// Communication energy, Joules.
+    EnergyCommunication,
+    /// Construction energy, Joules.
+    EnergyConstruction,
+    /// Total energy, Joules.
+    EnergyTotal,
+}
+
+impl Metric {
+    /// Extracts the metric from an aggregated summary.
+    pub fn pick(self, agg: &AggregateSummary) -> wsan_sim::stats::CiStat {
+        match self {
+            Metric::Throughput => agg.throughput_bps,
+            Metric::Delay => agg.mean_delay_s,
+            Metric::EnergyCommunication => agg.energy_communication_j,
+            Metric::EnergyConstruction => agg.energy_construction_j,
+            Metric::EnergyTotal => agg.energy_total_j,
+        }
+    }
+
+    /// Unit label.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Metric::Throughput => "B/s",
+            Metric::Delay => "s",
+            _ => "J",
+        }
+    }
+}
+
+/// One of the paper's evaluation figures.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Figure {
+    /// Figure number in the paper (4..=11).
+    pub id: u32,
+    /// The underlying sweep.
+    pub sweep: Sweep,
+    /// The plotted metric.
+    pub metric: Metric,
+    /// Figure caption (paraphrased).
+    pub title: &'static str,
+}
+
+/// Every evaluation figure of the paper.
+pub const FIGURES: [Figure; 8] = [
+    Figure { id: 4, sweep: Sweep::Mobility, metric: Metric::Throughput, title: "Throughput vs. node mobility" },
+    Figure { id: 5, sweep: Sweep::Mobility, metric: Metric::EnergyCommunication, title: "Energy consumed in communication vs. node mobility" },
+    Figure { id: 6, sweep: Sweep::Faults, metric: Metric::Delay, title: "Transmission delay vs. number of faulty nodes" },
+    Figure { id: 7, sweep: Sweep::Faults, metric: Metric::Throughput, title: "Throughput vs. number of faulty nodes" },
+    Figure { id: 8, sweep: Sweep::Size, metric: Metric::Delay, title: "Transmission delay vs. network size" },
+    Figure { id: 9, sweep: Sweep::Size, metric: Metric::EnergyCommunication, title: "Energy consumed in communication vs. network size" },
+    Figure { id: 10, sweep: Sweep::Size, metric: Metric::EnergyConstruction, title: "Energy consumed in topology construction vs. network size" },
+    Figure { id: 11, sweep: Sweep::Size, metric: Metric::EnergyTotal, title: "Total energy consumption vs. network size" },
+];
+
+/// Returns the figure spec for a paper figure number.
+pub fn figure(id: u32) -> Option<Figure> {
+    FIGURES.iter().copied().find(|f| f.id == id)
+}
+
+/// The base scenario for a sweep at a fidelity scale.
+///
+/// `scale` multiplies the measured duration (1.0 = the paper's 1000 s) and
+/// scales warmup proportionally; the offered traffic rate is kept at the
+/// paper's 1 Mb/s. Scales below 1.0 trade confidence for wall-clock time.
+pub fn base_config(scale: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper();
+    let duration = (1000.0 * scale).max(20.0);
+    let warmup = (100.0 * scale).max(10.0);
+    cfg.duration = SimDuration::from_secs_f64(duration);
+    cfg.warmup = SimDuration::from_secs_f64(warmup);
+    cfg
+}
+
+/// A miniature configuration for the Criterion bench of one figure: the
+/// figure's sweep pinned at its most demanding point, at very small scale
+/// (Criterion times a full simulation per iteration). The full-fidelity
+/// series come from the `figures` binary.
+pub fn bench_config(fig: &Figure) -> SimConfig {
+    let mut cfg = base_config(0.02);
+    let x = match fig.sweep {
+        Sweep::Mobility => 5.0,
+        Sweep::Faults => 10.0,
+        Sweep::Size => 200.0,
+    };
+    fig.sweep.configure(&mut cfg, x);
+    cfg.seed = 1;
+    cfg
+}
+
+/// One aggregated data point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The simulation parameter value.
+    pub x: f64,
+    /// The plotted x-axis value.
+    pub axis: f64,
+    /// Aggregates per system, in [`SYSTEMS`] order.
+    pub systems: Vec<AggregateSummary>,
+}
+
+/// A full sweep result (feeds several figures).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Which sweep.
+    pub sweep: Sweep,
+    /// The data points.
+    pub points: Vec<SweepPoint>,
+    /// The seeds used.
+    pub seeds: Vec<u64>,
+    /// The duration scale used.
+    pub scale: f64,
+}
+
+/// Runs a full sweep: every x value, every system, every seed.
+///
+/// `progress` is invoked after each completed simulation with a
+/// human-readable label (the `figures` binary prints these).
+pub fn run_sweep(
+    sweep: Sweep,
+    seeds: &[u64],
+    scale: f64,
+    mut progress: impl FnMut(&str),
+) -> SweepResult {
+    let mut points = Vec::new();
+    for x in sweep.x_values() {
+        let mut systems = Vec::new();
+        for system in SYSTEMS {
+            let mut runs = Vec::new();
+            for &seed in seeds {
+                let mut cfg = base_config(scale);
+                sweep.configure(&mut cfg, x);
+                cfg.seed = seed;
+                runs.push(run_system(&cfg, system));
+                progress(&format!("{sweep:?} x={x} {} seed={seed}", system.name()));
+            }
+            systems.push(aggregate(&runs));
+        }
+        points.push(SweepPoint { x, axis: sweep.axis_value(x), systems });
+    }
+    SweepResult { sweep, points, seeds: seeds.to_vec(), scale }
+}
+
+/// Renders one figure's series from a sweep result as an aligned text
+/// table (one row per x value, one mean±ci column per system).
+pub fn render_figure(fig: &Figure, sweep: &SweepResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "Figure {}: {}", fig.id, fig.title).expect("write to string");
+    write!(out, "{:>24}", fig.sweep.axis_label()).expect("write to string");
+    for system in SYSTEMS {
+        write!(out, "{:>26}", system.name()).expect("write to string");
+    }
+    writeln!(out).expect("write to string");
+    for point in &sweep.points {
+        write!(out, "{:>24}", format!("{:.1}", point.axis)).expect("write to string");
+        for agg in &point.systems {
+            let stat = fig.metric.pick(agg);
+            write!(
+                out,
+                "{:>26}",
+                format!("{:.3} ± {:.3} {}", stat.mean, stat.ci95, fig.metric.unit())
+            )
+            .expect("write to string");
+        }
+        writeln!(out).expect("write to string");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_has_a_spec() {
+        for id in 4..=11 {
+            assert!(figure(id).is_some(), "figure {id}");
+        }
+        assert!(figure(3).is_none());
+        assert!(figure(12).is_none());
+    }
+
+    #[test]
+    fn sweeps_cover_the_paper_ranges() {
+        assert_eq!(Sweep::Mobility.x_values().len(), 5);
+        assert_eq!(Sweep::Size.x_values(), vec![100.0, 200.0, 300.0, 400.0]);
+        assert_eq!(Sweep::Mobility.axis_value(5.0), 2.5);
+        assert_eq!(Sweep::Faults.axis_value(10.0), 10.0);
+    }
+
+    #[test]
+    fn base_config_scales_duration() {
+        let full = base_config(1.0);
+        assert_eq!(full.duration.as_secs_f64(), 1000.0);
+        let tiny = base_config(0.05);
+        assert_eq!(tiny.duration.as_secs_f64(), 50.0);
+        assert_eq!(tiny.warmup.as_secs_f64(), 10.0);
+    }
+
+    #[test]
+    fn configure_applies_parameters() {
+        let mut cfg = base_config(0.1);
+        Sweep::Size.configure(&mut cfg, 300.0);
+        assert_eq!(cfg.sensors, 300);
+        Sweep::Faults.configure(&mut cfg, 8.0);
+        assert_eq!(cfg.faults.count, 8);
+        Sweep::Mobility.configure(&mut cfg, 4.0);
+        assert_eq!(cfg.mobility.max_speed, 4.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! REFER protocol parameters.
+
+use wsan_sim::SimDuration;
+
+/// Tunables of the REFER protocol implementation. Defaults match the
+/// paper's evaluation (4 cells of `K(2, 3)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferConfig {
+    /// Kautz graph degree per cell (paper: 2).
+    pub degree: u8,
+    /// How often Kautz members announce themselves. Beacons feed both the
+    /// sensors' access-point caches and the sleepers' candidate probing.
+    pub beacon_interval: SimDuration,
+    /// How often members re-check their Kautz links and battery
+    /// (Section III-B4's replacement trigger).
+    pub maintenance_interval: SimDuration,
+    /// Minimum spacing between a sleeping node's candidate probes.
+    pub probe_interval: SimDuration,
+    /// Fraction of the radio range beyond which a link counts as "about to
+    /// break" (the signal-strength trigger).
+    pub link_guard: f64,
+    /// Battery threshold (J) below which a member hands off its KID.
+    pub battery_threshold: f64,
+    /// How long a path-query collector waits before picking the
+    /// highest-energy path.
+    pub query_window: SimDuration,
+    /// Size of control frames (queries, beacons, assignments), bits.
+    pub ctrl_bits: u32,
+    /// Fraction of application packets addressed to a uniformly random
+    /// *remote* cell instead of the nearest actuator; exercises the
+    /// CAN-based inter-cell tier (paper traffic: 0).
+    pub cross_cell_fraction: f64,
+    /// Whether the awake/sleep maintenance of Section III-B4 runs
+    /// (candidate probing + node replacement). Disabling it is the
+    /// ablation: under mobility the embedded topology decays and routing
+    /// must fall back to alternates and direct hops.
+    pub maintenance_enabled: bool,
+}
+
+impl Default for ReferConfig {
+    fn default() -> Self {
+        ReferConfig {
+            degree: 2,
+            beacon_interval: SimDuration::from_secs(5),
+            maintenance_interval: SimDuration::from_secs(5),
+            probe_interval: SimDuration::from_secs(30),
+            link_guard: 0.9,
+            battery_threshold: 50.0,
+            query_window: SimDuration::from_millis(400),
+            ctrl_bits: 256,
+            cross_cell_fraction: 0.0,
+            maintenance_enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_cell_shape() {
+        let cfg = ReferConfig::default();
+        assert_eq!(cfg.degree, 2);
+        assert!(cfg.link_guard < 1.0 && cfg.link_guard > 0.0);
+        assert_eq!(cfg.cross_cell_fraction, 0.0);
+    }
+}

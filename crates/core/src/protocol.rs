@@ -1,0 +1,1275 @@
+//! The complete REFER system as a [`wsan_sim::Protocol`]: message-driven
+//! Kautz embedding, CAN-connected cells, beacon/probe/replace topology
+//! maintenance, and the ID-only fault-tolerant routing protocol.
+//!
+//! # Faithfulness and simplifications
+//!
+//! Construction follows Section III-B: actuators exchange topology
+//! broadcasts, the minimum-hash actuator partitions cells and notifies the
+//! others over a DFS of the actuator graph, then TTL=2 path queries select
+//! the highest-accumulated-energy sensor paths, stage by stage. Every step
+//! is paid for with real simulated frames (energy + latency); the *results*
+//! of distributed computations (the starting server's partition, roster
+//! updates after assignment/replacement messages) are applied to shared
+//! protocol state directly once the corresponding frames have been charged,
+//! rather than re-deriving each node's view from its inbox. Where a query
+//! stage fails to discover a physical path (sparse corner of a random
+//! deployment), the cell coordinator falls back to the logical embedding of
+//! [`crate::embedding::logical_embed`], charging one assignment frame per
+//! sensor — keeping cells complete so routing never faces a half-built
+//! graph, exactly as the paper assumes.
+
+use crate::addr::CellId;
+use crate::cells::{plan_cells, CellLayout};
+use crate::config::ReferConfig;
+use crate::embedding::EmbeddingPlan;
+use crate::maintenance::{battery_low, can_replace, link_endangered};
+use crate::routing::{route_choices, RouteHeader};
+use crate::tier::DhtTier;
+use kautz::KautzId;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use wsan_sim::{Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Protocol, SimDuration};
+
+// Timer tag layout: high 16 bits = kind, low 48 bits = argument.
+const TAG_SHIFT: u64 = 48;
+const KIND_STAGE1: u64 = 1; // arg = cell << 2 | corner
+const KIND_STAGE2: u64 = 2; // arg = cell
+const KIND_STAGE3: u64 = 3; // arg = cell
+const KIND_READY: u64 = 4; // arg = cell
+const KIND_QPICK: u64 = 5; // arg = qid
+const KIND_BEACON: u64 = 6;
+const KIND_MAINT: u64 = 7;
+
+fn tag(kind: u64, arg: u64) -> u64 {
+    (kind << TAG_SHIFT) | arg
+}
+
+fn untag(t: u64) -> (u64, u64) {
+    (t >> TAG_SHIFT, t & ((1 << TAG_SHIFT) - 1))
+}
+
+/// A data frame traveling through REFER.
+#[derive(Debug, Clone)]
+pub struct DataFrame {
+    /// The tracked application packet.
+    pub data: DataId,
+    /// Destination cell.
+    pub dest_cell: usize,
+    /// Destination KID (an actuator's corner KID).
+    pub dest_kid: KautzId,
+    /// Conflict-path forced digit for the next relay (Proposition 3.7).
+    pub forced: Option<u8>,
+    /// Hop counter; frames exceeding [`MAX_HOPS`] are dropped.
+    pub hops: u8,
+}
+
+/// Routing-loop guard for data frames.
+pub const MAX_HOPS: u8 = 32;
+
+/// REFER wire messages.
+#[derive(Debug, Clone)]
+pub enum ReferMsg {
+    /// Actuator topology-learning broadcast (content mirrored in protocol
+    /// state; the frame pays the construction energy).
+    Ctrl,
+    /// Starting server's DFS notification to one actuator.
+    Assignment,
+    /// TTL-scoped path query (stage 1 and stage 2 of the embedding).
+    PathQuery {
+        /// Query id.
+        qid: u64,
+        /// Remaining TTL.
+        ttl: u8,
+        /// The collecting node.
+        target: NodeId,
+        /// Accumulated path: `(sensor, battery at forwarding time)`.
+        path: Vec<(NodeId, f64)>,
+    },
+    /// Assignment sent back along a selected path.
+    PathAssign {
+        /// The sensors being assigned, outermost first.
+        assignments: Vec<(NodeId, KautzId)>,
+        /// Index into `assignments` of the next receiver.
+        hop: usize,
+    },
+    /// Coordinator instructs the stage-2 origin sensor to start its query.
+    StartStage2 {
+        /// Query id to use.
+        qid: u64,
+        /// The stage-2 collector (`S_j`'s node).
+        target: NodeId,
+    },
+    /// Cell construction finished (coordinator broadcast).
+    CellReady,
+    /// Periodic member announcement.
+    Beacon,
+    /// A sleeping sensor registers as replacement candidate.
+    Probe,
+    /// A member hands its KID to a candidate.
+    Replace,
+    /// Replacement announcement to the neighborhood.
+    ReplaceNotice,
+    /// An application data frame.
+    Data(DataFrame),
+}
+
+/// Per-cell construction and roster state.
+#[derive(Debug, Clone)]
+struct CellState {
+    /// Corner actuator nodes in KID order (012, 120, 201).
+    corners: [NodeId; 3],
+    /// KID -> current owner node.
+    roster: BTreeMap<KautzId, NodeId>,
+    /// Construction finished.
+    ready: bool,
+}
+
+/// In-flight path query state, held at the collector.
+#[derive(Debug, Clone)]
+struct QueryState {
+    cell: usize,
+    /// KIDs to hand to the two interior sensors, in hop order from origin.
+    interior_kids: Vec<KautzId>,
+    /// Collected candidate paths.
+    paths: Vec<Vec<(NodeId, f64)>>,
+    /// Whether the pick timer has been scheduled.
+    timer_set: bool,
+}
+
+/// A snapshot of one cell's embedded topology, captured when the cell
+/// finishes construction (used by visualization and debugging tools).
+#[derive(Debug, Clone)]
+pub struct CellSnapshot {
+    /// Cell index.
+    pub cell: usize,
+    /// Each member: KID, node, position at snapshot time, and whether it
+    /// is an actuator.
+    pub members: Vec<(KautzId, NodeId, wsan_sim::Point, bool)>,
+    /// The cell centroid.
+    pub centroid: wsan_sim::Point,
+}
+
+/// Observable protocol counters (inspected by tests and the bench harness).
+#[derive(Debug, Clone, Default)]
+pub struct ReferStats {
+    /// Cells that completed construction.
+    pub cells_ready: usize,
+    /// Stage paths filled by the logical fallback instead of a query.
+    pub fallback_assignments: usize,
+    /// Data drops: no access member reachable from the source.
+    pub drop_no_access: usize,
+    /// Data drops: no live successor on any disjoint path.
+    pub drop_no_successor: usize,
+    /// Data drops: hop-count guard tripped.
+    pub drop_hops: usize,
+    /// Times a relay diverted to a non-shortest disjoint path.
+    pub alt_path_switches: usize,
+    /// Successful node replacements (Section III-B4).
+    pub replacements: usize,
+    /// Packets delivered by this protocol's own accounting.
+    pub delivered: u64,
+    /// Inter-cell frames carried over the CAN tier.
+    pub inter_cell_hops: u64,
+}
+
+/// The REFER protocol (see module docs).
+#[derive(Debug)]
+pub struct ReferProtocol {
+    rcfg: ReferConfig,
+    plan: EmbeddingPlan,
+    layout: Option<CellLayout>,
+    tier: Option<DhtTier>,
+    /// Actuator node per layout index.
+    actuator_nodes: Vec<NodeId>,
+    cells: Vec<CellState>,
+    /// node -> memberships (cell index, KID).
+    member_cells: BTreeMap<NodeId, Vec<(usize, KautzId)>>,
+    /// sensor -> recently heard members, most recent first.
+    access_cache: BTreeMap<NodeId, Vec<NodeId>>,
+    /// member -> registered candidates.
+    candidates: BTreeMap<NodeId, Vec<NodeId>>,
+    /// sleeper -> last probe time (micros).
+    last_probe: BTreeMap<NodeId, u64>,
+    queries: BTreeMap<u64, QueryState>,
+    forwarded_queries: BTreeSet<(NodeId, u64)>,
+    timers_started: BTreeSet<NodeId>,
+    next_qid: u64,
+    /// Observable counters.
+    pub stats: ReferStats,
+    /// Per-cell topology snapshots taken at construction completion.
+    pub snapshots: Vec<CellSnapshot>,
+}
+
+impl ReferProtocol {
+    /// Creates a REFER instance with the given parameters.
+    pub fn new(rcfg: ReferConfig) -> Self {
+        let plan = EmbeddingPlan::for_degree(rcfg.degree);
+        ReferProtocol {
+            rcfg,
+            plan,
+            layout: None,
+            tier: None,
+            actuator_nodes: Vec::new(),
+            cells: Vec::new(),
+            member_cells: BTreeMap::new(),
+            access_cache: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+            last_probe: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            forwarded_queries: BTreeSet::new(),
+            timers_started: BTreeSet::new(),
+            next_qid: 0,
+            stats: ReferStats::default(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The cell layout computed at init (None before init or when the
+    /// deployment cannot form cells).
+    pub fn layout(&self) -> Option<&CellLayout> {
+        self.layout.as_ref()
+    }
+
+    /// Current KID -> node roster of `cell`.
+    pub fn roster(&self, cell: usize) -> Option<&BTreeMap<KautzId, NodeId>> {
+        self.cells.get(cell).map(|c| &c.roster)
+    }
+
+    // ----- roster bookkeeping -------------------------------------------
+
+    fn assign_kid(&mut self, cell: usize, kid: KautzId, node: NodeId) {
+        if let Some(prev) = self.cells[cell].roster.insert(kid.clone(), node) {
+            self.remove_membership(prev, cell, &kid);
+        }
+        self.member_cells.entry(node).or_default().push((cell, kid));
+    }
+
+    fn remove_membership(&mut self, node: NodeId, cell: usize, kid: &KautzId) {
+        if let Some(ms) = self.member_cells.get_mut(&node) {
+            ms.retain(|(c, k)| !(*c == cell && k == kid));
+            if ms.is_empty() {
+                self.member_cells.remove(&node);
+            }
+        }
+    }
+
+    fn is_member(&self, node: NodeId) -> bool {
+        self.member_cells.contains_key(&node)
+    }
+
+    fn is_assigned_sensor(&self, ctx: &Ctx<ReferMsg>, node: NodeId) -> bool {
+        matches!(ctx.kind(node), NodeKind::Sensor) && self.is_member(node)
+    }
+
+    fn kid_in_cell(&self, node: NodeId, cell: usize) -> Option<KautzId> {
+        self.member_cells
+            .get(&node)?
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map(|(_, k)| k.clone())
+    }
+
+    // ----- construction --------------------------------------------------
+
+    fn start_construction(&mut self, ctx: &mut Ctx<ReferMsg>) {
+        let actuator_nodes: Vec<NodeId> = ctx.actuator_ids().to_vec();
+        let positions: Vec<wsan_sim::Point> =
+            actuator_nodes.iter().map(|&a| ctx.position(a)).collect();
+        let ids: Vec<u64> = actuator_nodes.iter().map(|a| u64::from(a.0)).collect();
+        self.actuator_nodes = actuator_nodes.clone();
+
+        // Topology learning: two rounds of actuator broadcasts (hello +
+        // neighbor-list exchange), billed to construction.
+        for &a in &actuator_nodes {
+            ctx.broadcast(a, self.rcfg.ctrl_bits, EnergyAccount::Construction, ReferMsg::Ctrl);
+            ctx.broadcast(a, self.rcfg.ctrl_bits, EnergyAccount::Construction, ReferMsg::Ctrl);
+        }
+
+        let Some(layout) = plan_cells(&ids, &positions, ctx.config().actuator_range) else {
+            return; // degraded: no cells; every packet will be dropped
+        };
+
+        // DFS notification from the starting server over actuator adjacency.
+        let adjacency =
+            crate::cells::actuator_adjacency(&positions, ctx.config().actuator_range);
+        let mut visited = vec![false; actuator_nodes.len()];
+        let mut stack = vec![layout.starting_server];
+        visited[layout.starting_server] = true;
+        while let Some(v) = stack.pop() {
+            for &n in &adjacency[v] {
+                if !visited[n] {
+                    visited[n] = true;
+                    ctx.send(
+                        actuator_nodes[v],
+                        actuator_nodes[n],
+                        self.rcfg.ctrl_bits,
+                        EnergyAccount::Construction,
+                        ReferMsg::Assignment,
+                    );
+                    stack.push(n);
+                }
+            }
+        }
+
+        // Initialize cell state and the upper tier.
+        self.cells = layout
+            .cells
+            .iter()
+            .map(|cell| {
+                let corners = [
+                    actuator_nodes[cell.corners[0]],
+                    actuator_nodes[cell.corners[1]],
+                    actuator_nodes[cell.corners[2]],
+                ];
+                let mut roster = BTreeMap::new();
+                for (kid, &node) in self.plan.actuator_kids.iter().zip(corners.iter()) {
+                    roster.insert(kid.clone(), node);
+                }
+                CellState { corners, roster, ready: false }
+            })
+            .collect();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            for (kid, &node) in self.plan.actuator_kids.iter().zip(cell.corners.iter()) {
+                self.member_cells.entry(node).or_default().push((idx, kid.clone()));
+            }
+        }
+        self.tier = Some(DhtTier::build(&layout, &ids, ctx.config().area));
+        self.layout = Some(layout);
+
+        // Stage timers, slightly staggered per cell to spread the queries.
+        for cell in 0..self.cells.len() {
+            let base = SimDuration::from_millis(1_000 + 40 * cell as u64);
+            for corner in 0..3u64 {
+                let at = self.cells[cell].corners[corner as usize];
+                ctx.set_timer(
+                    at,
+                    base + SimDuration::from_millis(120 * corner),
+                    tag(KIND_STAGE1, (cell as u64) << 2 | corner),
+                );
+            }
+            let coordinator = self.cells[cell].corners[0];
+            ctx.set_timer(coordinator, SimDuration::from_millis(2_500), tag(KIND_STAGE2, cell as u64));
+            ctx.set_timer(coordinator, SimDuration::from_millis(4_000), tag(KIND_STAGE3, cell as u64));
+            ctx.set_timer(coordinator, SimDuration::from_millis(5_000), tag(KIND_READY, cell as u64));
+        }
+    }
+
+    fn launch_query(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        origin: NodeId,
+        target: NodeId,
+        cell: usize,
+        interior_kids: Vec<KautzId>,
+    ) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.queries.insert(
+            qid,
+            QueryState { cell, interior_kids, paths: Vec::new(), timer_set: false },
+        );
+        ctx.broadcast(
+            origin,
+            self.rcfg.ctrl_bits,
+            EnergyAccount::Construction,
+            ReferMsg::PathQuery { qid, ttl: 2, target, path: Vec::new() },
+        );
+    }
+
+    fn on_stage1_timer(&mut self, ctx: &mut Ctx<ReferMsg>, arg: u64) {
+        let cell = (arg >> 2) as usize;
+        let corner = (arg & 3) as usize;
+        let from_kid = self.plan.actuator_kids[corner].clone();
+        let stage = self
+            .plan
+            .stage1
+            .iter()
+            .find(|p| p.from == from_kid)
+            .expect("every corner has a stage-1 path")
+            .clone();
+        let origin = self.cells[cell].corners[corner];
+        let to_corner = self
+            .plan
+            .actuator_kids
+            .iter()
+            .position(|k| *k == stage.to)
+            .expect("stage targets a corner");
+        let target = self.cells[cell].corners[to_corner];
+        self.launch_query(ctx, origin, target, cell, stage.interior);
+    }
+
+    fn on_stage2_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+        // Ensure stage 1 completed; fill any hole logically first.
+        let stage1_kids: Vec<KautzId> = self
+            .plan
+            .stage1
+            .iter()
+            .flat_map(|p| p.interior.iter().cloned())
+            .collect();
+        self.fallback_assign(ctx, cell, &stage1_kids);
+        let (Some(&s_i), Some(&s_j)) = (
+            self.cells[cell].roster.get(&self.plan.stage2.from),
+            self.cells[cell].roster.get(&self.plan.stage2.to),
+        ) else {
+            return;
+        };
+        let qid = self.next_qid; // reserved by launch below
+        let coordinator = self.cells[cell].corners[0];
+        // The coordinator instructs S_i; if unreachable, fall back at stage 3.
+        if ctx.send(
+            coordinator,
+            s_i,
+            self.rcfg.ctrl_bits,
+            EnergyAccount::Construction,
+            ReferMsg::StartStage2 { qid, target: s_j },
+        ) {
+            self.launch_query(ctx, s_i, s_j, cell, self.plan.stage2.interior.clone());
+        }
+    }
+
+    fn on_stage3_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+        // Fill stage-2 holes, then assign every stage-3 KID to the best
+        // common physical neighbor of its placed Kautz neighbors.
+        let stage2_kids = self.plan.stage2.interior.clone();
+        self.fallback_assign(ctx, cell, &stage2_kids);
+        let coordinator = self.cells[cell].corners[0];
+        // One solicitation broadcast for the completion stage.
+        ctx.broadcast(coordinator, self.rcfg.ctrl_bits, EnergyAccount::Construction, ReferMsg::Ctrl);
+        let stage3 = self.plan.stage3.clone();
+        self.fallback_assign(ctx, cell, &stage3);
+    }
+
+    /// Assigns any of `kids` not yet in the roster using the logical
+    /// embedding rule (highest-battery sensor in range of the placed Kautz
+    /// neighbors), charging one assignment frame per pick.
+    fn fallback_assign(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize, kids: &[KautzId]) {
+        let coordinator = self.cells[cell].corners[0];
+        for kid in kids {
+            if self.cells[cell].roster.contains_key(kid) {
+                continue;
+            }
+            let anchors: Vec<wsan_sim::Point> = kid
+                .successors()
+                .into_iter()
+                .chain(kid.predecessors())
+                .filter_map(|n| self.cells[cell].roster.get(&n))
+                .map(|&node| ctx.position(node))
+                .collect();
+            let range = ctx.config().sensor_range;
+            let centroid = self
+                .layout
+                .as_ref()
+                .map(|l| l.cells[cell].centroid)
+                .unwrap_or_default();
+            let pick = ctx
+                .sensor_ids()
+                .iter()
+                .copied()
+                .filter(|&s| !ctx.is_faulty(s) && !self.is_member(s))
+                .filter(|&s| anchors.iter().all(|p| ctx.position(s).distance(p) <= range))
+                .max_by(|&a, &b| {
+                    ctx.battery(a).partial_cmp(&ctx.battery(b)).expect("finite")
+                })
+                .or_else(|| {
+                    ctx.sensor_ids()
+                        .iter()
+                        .copied()
+                        .filter(|&s| !ctx.is_faulty(s) && !self.is_member(s))
+                        .min_by(|&a, &b| {
+                            ctx.position(a)
+                                .distance(&centroid)
+                                .partial_cmp(&ctx.position(b).distance(&centroid))
+                                .expect("finite")
+                        })
+                });
+            if let Some(node) = pick {
+                ctx.send(
+                    coordinator,
+                    node,
+                    self.rcfg.ctrl_bits,
+                    EnergyAccount::Construction,
+                    ReferMsg::Assignment,
+                );
+                self.assign_kid(cell, kid.clone(), node);
+                self.stats.fallback_assignments += 1;
+            }
+        }
+    }
+
+    fn on_ready_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+        let coordinator = self.cells[cell].corners[0];
+        ctx.broadcast(coordinator, self.rcfg.ctrl_bits, EnergyAccount::Construction, ReferMsg::CellReady);
+        self.cells[cell].ready = true;
+        self.stats.cells_ready += 1;
+        self.snapshots.push(CellSnapshot {
+            cell,
+            members: self.cells[cell]
+                .roster
+                .iter()
+                .map(|(kid, &node)| {
+                    (
+                        kid.clone(),
+                        node,
+                        ctx.position(node),
+                        matches!(ctx.kind(node), NodeKind::Actuator),
+                    )
+                })
+                .collect(),
+            centroid: self
+                .layout
+                .as_ref()
+                .map(|l| l.cells[cell].centroid)
+                .unwrap_or_default(),
+        });
+        // Start periodic timers for every member of this cell (once per node).
+        let members: Vec<NodeId> = self.cells[cell].roster.values().copied().collect();
+        for node in members {
+            if self.timers_started.insert(node) {
+                let stagger = SimDuration::from_micros(ctx.rng().gen_range(0..1_000_000));
+                ctx.set_timer(node, self.rcfg.beacon_interval + stagger, tag(KIND_BEACON, 0));
+                if matches!(ctx.kind(node), NodeKind::Sensor) {
+                    ctx.set_timer(
+                        node,
+                        self.rcfg.maintenance_interval + stagger,
+                        tag(KIND_MAINT, 0),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_query_pick(&mut self, ctx: &mut Ctx<ReferMsg>, qid: u64, collector: NodeId) {
+        let Some(query) = self.queries.remove(&qid) else {
+            return;
+        };
+        let cell = query.cell;
+        let needed = query.interior_kids.len();
+        // Highest accumulated energy among valid candidate paths.
+        let best = query
+            .paths
+            .into_iter()
+            .filter(|p| {
+                p.len() == needed
+                    && p.iter().all(|(n, _)| !self.is_member(*n) && !ctx.is_faulty(*n))
+                    && p[0].0 != p[needed - 1].0
+            })
+            .max_by(|a, b| {
+                let ea: f64 = a.iter().map(|(_, e)| e).sum();
+                let eb: f64 = b.iter().map(|(_, e)| e).sum();
+                ea.partial_cmp(&eb).expect("finite energies")
+            });
+        let Some(path) = best else {
+            // No physical path discovered: the stage-2/3 timers fill the
+            // hole via the logical fallback.
+            return;
+        };
+        let assignments: Vec<(NodeId, KautzId)> = path
+            .iter()
+            .map(|(n, _)| *n)
+            .zip(query.interior_kids.iter().cloned())
+            .collect();
+        for (node, kid) in &assignments {
+            self.assign_kid(cell, kid.clone(), *node);
+        }
+        // Assignment chain back along the path: collector -> s2 -> s1.
+        let last = assignments.len() - 1;
+        ctx.send(
+            collector,
+            assignments[last].0,
+            self.rcfg.ctrl_bits,
+            EnergyAccount::Construction,
+            ReferMsg::PathAssign { assignments: assignments.clone(), hop: last },
+        );
+    }
+
+    // ----- steady state ---------------------------------------------------
+
+    fn on_beacon_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+        if !ctx.is_faulty(node) && self.is_member(node) {
+            ctx.broadcast(node, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::Beacon);
+        }
+        if self.is_member(node) {
+            ctx.set_timer(node, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
+        } else {
+            self.timers_started.remove(&node);
+        }
+    }
+
+    fn on_maintenance_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+        if !self.is_member(node) {
+            self.timers_started.remove(&node);
+            return;
+        }
+        ctx.set_timer(node, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
+        if !self.rcfg.maintenance_enabled
+            || ctx.is_faulty(node)
+            || matches!(ctx.kind(node), NodeKind::Actuator)
+        {
+            return;
+        }
+        let memberships = self.member_cells.get(&node).cloned().unwrap_or_default();
+        let range = ctx.config().sensor_range;
+        for (cell, kid) in memberships {
+            let neighbor_positions: Vec<wsan_sim::Point> = kid
+                .successors()
+                .into_iter()
+                .chain(kid.predecessors())
+                .filter_map(|n| self.cells[cell].roster.get(&n))
+                .filter(|&&n| n != node)
+                .map(|&n| ctx.position(n))
+                .collect();
+            let endangered = neighbor_positions
+                .iter()
+                .any(|&p| link_endangered(ctx.position(node), p, range, self.rcfg.link_guard));
+            let weak = battery_low(ctx.battery(node), self.rcfg.battery_threshold);
+            if !endangered && !weak {
+                continue;
+            }
+            // Pick the best live candidate able to reach all neighbors.
+            let strict = self
+                .candidates
+                .get(&node)
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&c| {
+                    !ctx.is_faulty(c)
+                        && !self.is_member(c)
+                        && can_replace(ctx.position(c), &neighbor_positions, range)
+                })
+                .max_by(|&a, &b| ctx.battery(a).partial_cmp(&ctx.battery(b)).expect("finite"));
+            // Best effort when no registered candidate qualifies: hand off
+            // to the reachable sensor that best re-centers the KID among
+            // its neighbors, provided it actually improves on us.
+            let max_dist = |p: wsan_sim::Point| {
+                neighbor_positions
+                    .iter()
+                    .map(|q| p.distance(q))
+                    .fold(0.0f64, f64::max)
+            };
+            let cand = strict.or_else(|| {
+                let own = max_dist(ctx.position(node));
+                ctx.sensor_ids()
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        c != node
+                            && !ctx.is_faulty(c)
+                            && !self.is_member(c)
+                            && ctx.in_range(node, c)
+                    })
+                    .min_by(|&a, &b| {
+                        max_dist(ctx.position(a))
+                            .partial_cmp(&max_dist(ctx.position(b)))
+                            .expect("finite")
+                    })
+                    .filter(|&c| max_dist(ctx.position(c)) + 1.0 < own)
+            });
+            let Some(replacement) = cand else {
+                continue;
+            };
+            if !ctx.send(
+                node,
+                replacement,
+                self.rcfg.ctrl_bits,
+                EnergyAccount::Communication,
+                ReferMsg::Replace,
+            ) {
+                continue;
+            }
+            ctx.broadcast(node, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::ReplaceNotice);
+            self.remove_membership(node, cell, &kid);
+            self.assign_kid(cell, kid.clone(), replacement);
+            self.stats.replacements += 1;
+            if self.timers_started.insert(replacement) {
+                ctx.set_timer(replacement, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
+                ctx.set_timer(replacement, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
+            }
+        }
+    }
+
+    /// Chooses the destination (cell, actuator corner) for a packet from
+    /// `src` entering the backbone at `access`.
+    fn choose_destination(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        src: NodeId,
+        access: NodeId,
+    ) -> (usize, KautzId) {
+        let memberships = self.member_cells.get(&access).expect("access is a member");
+        // The access member's cell; actuators belong to several — pick the
+        // one whose centroid is nearest the source.
+        let home_cell = memberships
+            .iter()
+            .map(|(c, _)| *c)
+            .min_by(|&a, &b| {
+                let la = self.layout.as_ref().expect("cells exist");
+                ctx.position(src)
+                    .distance(&la.cells[a].centroid)
+                    .partial_cmp(&ctx.position(src).distance(&la.cells[b].centroid))
+                    .expect("finite")
+            })
+            .expect("memberships non-empty");
+        let cross = self.rcfg.cross_cell_fraction > 0.0
+            && self.cells.len() > 1
+            && ctx.rng().gen_bool(self.rcfg.cross_cell_fraction);
+        let dest_cell = if cross {
+            let mut c = ctx.rng().gen_range(0..self.cells.len());
+            if c == home_cell {
+                c = (c + 1) % self.cells.len();
+            }
+            c
+        } else {
+            home_cell
+        };
+        // Nearest corner actuator of the destination cell (to the source
+        // for the home cell; any corner for a remote cell — pick corner 0's
+        // KID owner deterministically via tier ownership).
+        let kid = if cross {
+            let owner = self
+                .tier
+                .as_ref()
+                .expect("tier built")
+                .owner(CellId(dest_cell as u32));
+            let owner_node = self.actuator_nodes[owner];
+            self.kid_in_cell(owner_node, dest_cell)
+                .expect("owner is a corner")
+        } else {
+            let corners = self.cells[dest_cell].corners;
+            let nearest = (0..3)
+                .min_by(|&a, &b| {
+                    ctx.distance(src, corners[a])
+                        .partial_cmp(&ctx.distance(src, corners[b]))
+                        .expect("finite")
+                })
+                .expect("three corners");
+            self.plan.actuator_kids[nearest].clone()
+        };
+        (dest_cell, kid)
+    }
+
+    /// Forwards a data frame from member `node`. Delivers, intra-cell
+    /// routes, or crosses cells via the CAN tier.
+    fn forward(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, mut frame: DataFrame) {
+        if frame.hops >= MAX_HOPS {
+            ctx.drop_data(frame.data);
+            self.stats.drop_hops += 1;
+            return;
+        }
+        frame.hops += 1;
+        let dest_cell = frame.dest_cell;
+        match self.kid_in_cell(node, dest_cell) {
+            Some(kid) if kid == frame.dest_kid => {
+                // Arrived.
+                if matches!(ctx.kind(node), NodeKind::Actuator) {
+                    ctx.deliver_data(frame.data, node);
+                    self.stats.delivered += 1;
+                } else {
+                    ctx.drop_data(frame.data);
+                }
+            }
+            Some(kid) => self.forward_intra(ctx, node, kid, frame),
+            None => self.forward_toward_cell(ctx, node, frame),
+        }
+    }
+
+    /// Intra-cell Kautz routing (Theorem 3.8 with fault tolerance).
+    fn forward_intra(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        node: NodeId,
+        kid: KautzId,
+        frame: DataFrame,
+    ) {
+        // Section III-C2: a node forwards over "a path with the lowest
+        // delay, which could be either a multi-hop path or direct path".
+        // When the destination itself is in range and uncongested, the
+        // direct path is the lowest-delay choice.
+        if let Some(&dest) = self.cells[frame.dest_cell].roster.get(&frame.dest_kid) {
+            if ctx.link_ok(node, dest) && !ctx.is_congested(dest) {
+                let size = ctx
+                    .data_size_bits(frame.data)
+                    .unwrap_or(ctx.config().traffic.packet_bits);
+                let out = DataFrame { forced: None, ..frame };
+                ctx.send(node, dest, size, EnergyAccount::Communication, ReferMsg::Data(out));
+                return;
+            }
+        }
+        let header =
+            RouteHeader { dest_kid: frame.dest_kid.clone(), forced_digit: frame.forced };
+        let choices = match route_choices(&kid, &header, ctx.rng()) {
+            Ok(c) => c,
+            Err(_) => {
+                ctx.drop_data(frame.data);
+                self.stats.drop_no_successor += 1;
+                return;
+            }
+        };
+        // Resolve successor KIDs to nodes up front so the roster borrow
+        // does not outlive the picking logic.
+        let resolved: Vec<(Option<NodeId>, Option<u8>)> = {
+            let roster = &self.cells[frame.dest_cell].roster;
+            choices
+                .iter()
+                .map(|c| (roster.get(&c.successor).copied(), c.forced_digit))
+                .collect()
+        };
+        // First pass: live and uncongested; second pass: live.
+        let pick = resolved
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| {
+                n.map(|n| n != node && ctx.link_ok(node, n) && !ctx.is_congested(n))
+                    .unwrap_or(false)
+            })
+            .or_else(|| {
+                resolved.iter().enumerate().find(|(_, (n, _))| {
+                    n.map(|n| n != node && ctx.link_ok(node, n)).unwrap_or(false)
+                })
+            })
+            .map(|(idx, (n, forced))| (idx, n.expect("picked choices resolve"), *forced));
+        let Some((idx, next, forced)) = pick else {
+            // Last resort, per Section III-C2's lowest-delay rule: if the
+            // destination itself is directly reachable, skip the broken
+            // overlay hop and deliver straight.
+            let direct = self.cells[frame.dest_cell]
+                .roster
+                .get(&frame.dest_kid)
+                .copied()
+                .filter(|&d| ctx.link_ok(node, d));
+            if let Some(dest) = direct {
+                let size = ctx
+                    .data_size_bits(frame.data)
+                    .unwrap_or(ctx.config().traffic.packet_bits);
+                let out = DataFrame { forced: None, ..frame };
+                ctx.send(node, dest, size, EnergyAccount::Communication, ReferMsg::Data(out));
+                self.stats.alt_path_switches += 1;
+                return;
+            }
+            ctx.drop_data(frame.data);
+            self.stats.drop_no_successor += 1;
+            return;
+        };
+        if idx > 0 {
+            self.stats.alt_path_switches += 1;
+        }
+        let size = ctx
+            .data_size_bits(frame.data)
+            .unwrap_or(ctx.config().traffic.packet_bits);
+        let out = DataFrame { forced, ..frame };
+        ctx.send(node, next, size, EnergyAccount::Communication, ReferMsg::Data(out));
+    }
+
+    /// Routing toward a different cell: first to this cell's tier owner,
+    /// then actuator-to-actuator along the CAN path.
+    fn forward_toward_cell(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, frame: DataFrame) {
+        let Some(tier) = self.tier.as_ref() else {
+            ctx.drop_data(frame.data);
+            self.stats.drop_no_successor += 1;
+            return;
+        };
+        let memberships = self.member_cells.get(&node).cloned().unwrap_or_default();
+        let Some((home_cell, _)) = memberships.first().cloned() else {
+            ctx.drop_data(frame.data);
+            self.stats.drop_no_successor += 1;
+            return;
+        };
+        if matches!(ctx.kind(node), NodeKind::Sensor) {
+            // Leg 1: hop-by-hop intra-cell routing toward the home cell's
+            // owner actuator, keeping the remote cell as the frame's true
+            // destination. Each sensor relay lands back here and pushes the
+            // frame one Kautz hop closer to its own cell's owner.
+            let owner = tier.owner(CellId(home_cell as u32));
+            let owner_node = self.actuator_nodes[owner];
+            let Some(owner_kid) = self.kid_in_cell(owner_node, home_cell) else {
+                ctx.drop_data(frame.data);
+                return;
+            };
+            let my_kid = self.kid_in_cell(node, home_cell).expect("sensor membership");
+            let header = RouteHeader { dest_kid: owner_kid, forced_digit: None };
+            let choices = match route_choices(&my_kid, &header, ctx.rng()) {
+                Ok(c) => c,
+                Err(_) => {
+                    ctx.drop_data(frame.data);
+                    return;
+                }
+            };
+            let pick = {
+                let roster = &self.cells[home_cell].roster;
+                choices.iter().find_map(|c| {
+                    roster
+                        .get(&c.successor)
+                        .copied()
+                        .filter(|&n| n != node && ctx.link_ok(node, n))
+                })
+            };
+            let Some(next) = pick else {
+                ctx.drop_data(frame.data);
+                self.stats.drop_no_successor += 1;
+                return;
+            };
+            let size = ctx
+                .data_size_bits(frame.data)
+                .unwrap_or(ctx.config().traffic.packet_bits);
+            ctx.send(node, next, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+            return;
+        }
+        // Actuator: hop along the CAN cell path.
+        let from_cell = memberships
+            .iter()
+            .map(|(c, _)| *c)
+            .find(|&c| tier.owner(CellId(c as u32)) == self.actuator_index(node))
+            .unwrap_or(home_cell);
+        let Some(path) = tier.route_cells(CellId(from_cell as u32), CellId(frame.dest_cell as u32))
+        else {
+            ctx.drop_data(frame.data);
+            return;
+        };
+        let next_cell = if path.len() >= 2 { path[1] } else { CellId(frame.dest_cell as u32) };
+        let next_owner = self.actuator_nodes[tier.owner(next_cell)];
+        self.stats.inter_cell_hops += 1;
+        let size = ctx
+            .data_size_bits(frame.data)
+            .unwrap_or(ctx.config().traffic.packet_bits);
+        if next_owner == node {
+            // This actuator also owns the next cell: continue directly.
+            let f = frame.clone();
+            self.forward(ctx, node, f);
+            return;
+        }
+        if ctx.link_ok(node, next_owner) {
+            ctx.send(node, next_owner, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+            return;
+        }
+        // Relay through any actuator in range of both.
+        let relay = self.actuator_nodes.iter().copied().find(|&r| {
+            r != node && ctx.link_ok(node, r) && ctx.in_range(r, next_owner)
+        });
+        match relay {
+            Some(r) => {
+                ctx.send(node, r, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+            }
+            None => {
+                ctx.drop_data(frame.data);
+                self.stats.drop_no_successor += 1;
+            }
+        }
+    }
+
+    fn actuator_index(&self, node: NodeId) -> usize {
+        self.actuator_nodes
+            .iter()
+            .position(|&a| a == node)
+            .expect("node is an actuator")
+    }
+}
+
+impl Protocol for ReferProtocol {
+    type Payload = ReferMsg;
+
+    fn name(&self) -> &'static str {
+        "REFER"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<ReferMsg>) {
+        self.start_construction(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<ReferMsg>, src: NodeId, data: DataId) {
+        if self.layout.is_none() {
+            ctx.drop_data(data);
+            self.stats.drop_no_access += 1;
+            return;
+        }
+        // Find the backbone entry point.
+        let access = if self.is_member(src) {
+            Some(src)
+        } else {
+            // Prefer the beacon cache; fall back to the nearest live member
+            // in range (what a fresh beacon round would tell us).
+            let cached = self
+                .access_cache
+                .get(&src)
+                .into_iter()
+                .flatten()
+                .copied()
+                .find(|&m| self.is_member(m) && ctx.link_ok(src, m));
+            cached.or_else(|| {
+                self.member_cells
+                    .keys()
+                    .copied()
+                    .filter(|&m| ctx.link_ok(src, m))
+                    .min_by(|&a, &b| {
+                        ctx.distance(src, a)
+                            .partial_cmp(&ctx.distance(src, b))
+                            .expect("finite")
+                    })
+            })
+        };
+        // Two-hop access: no member in range, but a neighbor has one (the
+        // neighbor learned it from beacons). Hand the packet to that relay;
+        // it enters the backbone on arrival.
+        if access.is_none() {
+            let relay = ctx
+                .neighbors(src)
+                .into_iter()
+                .filter(|&n| {
+                    matches!(ctx.kind(n), NodeKind::Sensor)
+                        && !self.is_member(n)
+                        && self
+                            .member_cells
+                            .keys()
+                            .any(|&m| ctx.link_ok(n, m))
+                })
+                .min_by(|&a, &b| {
+                    ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
+                });
+            if let Some(relay) = relay {
+                let home = self
+                    .member_cells
+                    .keys()
+                    .copied()
+                    .filter(|&m| ctx.link_ok(relay, m))
+                    .min_by(|&a, &b| {
+                        ctx.distance(relay, a)
+                            .partial_cmp(&ctx.distance(relay, b))
+                            .expect("finite")
+                    })
+                    .expect("relay has a member in range");
+                let (dest_cell, dest_kid) = self.choose_destination(ctx, src, home);
+                let size =
+                    ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
+                let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
+                if !ctx.send(src, relay, size, EnergyAccount::Communication, ReferMsg::Data(frame))
+                {
+                    ctx.drop_data(data);
+                    self.stats.drop_no_access += 1;
+                }
+                return;
+            }
+        }
+        let Some(access) = access else {
+            ctx.drop_data(data);
+            self.stats.drop_no_access += 1;
+            return;
+        };
+        let (dest_cell, dest_kid) = self.choose_destination(ctx, src, access);
+        // Lowest-delay rule at the source too: a sensor standing next to
+        // the destination actuator reports directly.
+        if let Some(&dest) = self.cells[dest_cell].roster.get(&dest_kid) {
+            if ctx.link_ok(src, dest) && !ctx.is_congested(dest) {
+                let size =
+                    ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
+                let frame = DataFrame {
+                    data,
+                    dest_cell,
+                    dest_kid: dest_kid.clone(),
+                    forced: None,
+                    hops: 0,
+                };
+                if ctx.send(src, dest, size, EnergyAccount::Communication, ReferMsg::Data(frame)) {
+                    return;
+                }
+            }
+        }
+        let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
+        if access == src {
+            self.forward(ctx, src, frame);
+            return;
+        }
+        let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
+        if !ctx.send(src, access, size, EnergyAccount::Communication, ReferMsg::Data(frame)) {
+            ctx.drop_data(data);
+            self.stats.drop_no_access += 1;
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, msg: Message<ReferMsg>) {
+        match msg.payload {
+            ReferMsg::Ctrl | ReferMsg::Assignment | ReferMsg::CellReady | ReferMsg::Replace
+            | ReferMsg::ReplaceNotice => {
+                // State transitions for these are applied by the initiator
+                // when the frame is charged; receivers have nothing to add.
+            }
+            ReferMsg::PathQuery { qid, ttl, target, mut path } => {
+                if at == target {
+                    if let Some(q) = self.queries.get_mut(&qid) {
+                        if path.len() == q.interior_kids.len() {
+                            q.paths.push(path);
+                        }
+                        if !q.timer_set {
+                            q.timer_set = true;
+                            ctx.set_timer(at, self.rcfg.query_window, tag(KIND_QPICK, qid));
+                        }
+                    }
+                    return;
+                }
+                if ttl == 0
+                    || !matches!(ctx.kind(at), NodeKind::Sensor)
+                    || self.is_assigned_sensor(ctx, at)
+                    || path.iter().any(|(n, _)| *n == at)
+                    || !self.forwarded_queries.insert((at, qid))
+                {
+                    return;
+                }
+                path.push((at, ctx.battery(at)));
+                ctx.broadcast(
+                    at,
+                    self.rcfg.ctrl_bits,
+                    EnergyAccount::Construction,
+                    ReferMsg::PathQuery { qid, ttl: ttl - 1, target, path },
+                );
+            }
+            ReferMsg::PathAssign { assignments, hop } => {
+                // Pass the chain down toward the origin end.
+                if hop > 0 {
+                    let next = assignments[hop - 1].0;
+                    ctx.send(
+                        at,
+                        next,
+                        self.rcfg.ctrl_bits,
+                        EnergyAccount::Construction,
+                        ReferMsg::PathAssign { assignments, hop: hop - 1 },
+                    );
+                }
+            }
+            ReferMsg::StartStage2 { .. } => {
+                // The coordinator launched the query on our behalf when the
+                // instruction frame was accepted; nothing further here.
+            }
+            ReferMsg::Beacon => {
+                if self.is_member(at) {
+                    return;
+                }
+                let cache = self.access_cache.entry(at).or_default();
+                cache.retain(|&m| m != msg.from);
+                cache.insert(0, msg.from);
+                cache.truncate(4);
+                // Sleeping nodes probe the member to register as candidates.
+                let now = ctx.now().as_micros();
+                let due = self
+                    .last_probe
+                    .get(&at)
+                    .map(|&t| now.saturating_sub(t) >= self.rcfg.probe_interval.as_micros())
+                    .unwrap_or(true);
+                if due && self.rcfg.maintenance_enabled && !ctx.is_faulty(at) {
+                    self.last_probe.insert(at, now);
+                    ctx.send(
+                        at,
+                        msg.from,
+                        self.rcfg.ctrl_bits,
+                        EnergyAccount::Communication,
+                        ReferMsg::Probe,
+                    );
+                }
+            }
+            ReferMsg::Probe => {
+                let cands = self.candidates.entry(at).or_default();
+                cands.retain(|&c| c != msg.from);
+                cands.insert(0, msg.from);
+                cands.truncate(8);
+            }
+            ReferMsg::Data(frame) => {
+                if self.is_member(at) {
+                    self.forward(ctx, at, frame);
+                } else {
+                    // Access relay (or a stale handoff): push the frame to
+                    // the nearest member in range, or give up.
+                    let next = self
+                        .member_cells
+                        .keys()
+                        .copied()
+                        .filter(|&m| ctx.link_ok(at, m))
+                        .min_by(|&a, &b| {
+                            ctx.distance(at, a)
+                                .partial_cmp(&ctx.distance(at, b))
+                                .expect("finite")
+                        });
+                    match next {
+                        Some(m) => {
+                            ctx.send(
+                                at,
+                                m,
+                                msg.size_bits,
+                                EnergyAccount::Communication,
+                                ReferMsg::Data(frame),
+                            );
+                        }
+                        None => {
+                            ctx.drop_data(frame.data);
+                            self.stats.drop_no_successor += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, t: u64) {
+        let (kind, arg) = untag(t);
+        match kind {
+            KIND_STAGE1 => self.on_stage1_timer(ctx, arg),
+            KIND_STAGE2 => self.on_stage2_timer(ctx, arg as usize),
+            KIND_STAGE3 => self.on_stage3_timer(ctx, arg as usize),
+            KIND_READY => self.on_ready_timer(ctx, arg as usize),
+            KIND_QPICK => self.on_query_pick(ctx, arg, at),
+            KIND_BEACON => self.on_beacon_timer(ctx, at),
+            KIND_MAINT => self.on_maintenance_timer(ctx, at),
+            _ => {}
+        }
+    }
+}
+
+impl Default for ReferProtocol {
+    fn default() -> Self {
+        Self::new(ReferConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tags_round_trip() {
+        for kind in [KIND_STAGE1, KIND_STAGE2, KIND_QPICK, KIND_BEACON, KIND_MAINT] {
+            for arg in [0u64, 1, 3, 1 << 20, (1 << TAG_SHIFT) - 1] {
+                assert_eq!(untag(tag(kind, arg)), (kind, arg));
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_protocol_has_no_cells() {
+        let p = ReferProtocol::default();
+        assert!(p.layout().is_none());
+        assert!(p.roster(0).is_none());
+        assert_eq!(p.stats.cells_ready, 0);
+    }
+
+    #[test]
+    fn assign_kid_moves_ownership() {
+        let mut p = ReferProtocol::default();
+        p.cells.push(CellState {
+            corners: [NodeId(100), NodeId(101), NodeId(102)],
+            roster: BTreeMap::new(),
+            ready: false,
+        });
+        let kid = KautzId::parse("010", 2).expect("valid");
+        p.assign_kid(0, kid.clone(), NodeId(7));
+        assert!(p.is_member(NodeId(7)));
+        assert_eq!(p.kid_in_cell(NodeId(7), 0), Some(kid.clone()));
+        // Reassignment evicts the previous holder.
+        p.assign_kid(0, kid.clone(), NodeId(8));
+        assert!(!p.is_member(NodeId(7)));
+        assert_eq!(p.roster(0).expect("cell").get(&kid), Some(&NodeId(8)));
+    }
+
+    #[test]
+    fn max_hops_guard_is_generous_for_cell_routes() {
+        // Worst intra-cell route: access (2) + k + 2 Kautz hops (5) plus
+        // inter-cell actuator hops; 32 leaves ample slack.
+        assert!(MAX_HOPS as usize > 2 * (3 + 2) + 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for REFER's pure components: the embedding, cell
+//! planning and routing decisions.
+
+use proptest::prelude::*;
+use refer::cells::{plan_cells, quincunx};
+use refer::embedding::{logical_embed, physical_consistency, EmbeddingPlan, SensorCandidate};
+use refer::routing::{route_choices, RouteHeader};
+use kautz::KautzId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use wsan_sim::Point;
+
+fn candidates(seed: &[(f64, f64, f64)]) -> Vec<SensorCandidate> {
+    seed.iter()
+        .enumerate()
+        .map(|(i, &(x, y, e))| SensorCandidate {
+            handle: i,
+            position: Point::new(x, y),
+            energy: e,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn logical_embed_is_total_and_injective(
+        field in prop::collection::vec((0.0..120.0f64, 0.0..120.0f64, 1.0..1e3f64), 12..40),
+        degree in 2u8..=3,
+    ) {
+        let plan = EmbeddingPlan::for_degree(degree);
+        prop_assume!(field.len() >= plan.sensor_kid_count());
+        let actuators = [
+            (9000, Point::new(0.0, 0.0)),
+            (9001, Point::new(90.0, 0.0)),
+            (9002, Point::new(45.0, 80.0)),
+        ];
+        let cands = candidates(&field);
+        let got = logical_embed(&plan, &actuators, &cands, 100.0)
+            .expect("enough candidates");
+        // Total: every vertex assigned; injective: no node holds two KIDs.
+        let graph = kautz::KautzGraph::new(degree, 3).expect("valid");
+        prop_assert_eq!(got.len(), graph.node_count());
+        let handles: HashSet<usize> = got.values().copied().collect();
+        prop_assert_eq!(handles.len(), got.len());
+    }
+
+    #[test]
+    fn tight_fields_embed_consistently(
+        jitter in prop::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 9..20),
+    ) {
+        // All candidates within a 40 m blob and 100 m range: every Kautz
+        // arc must be physically realizable.
+        let plan = EmbeddingPlan::for_degree(2);
+        prop_assume!(jitter.len() >= plan.sensor_kid_count());
+        let actuators = [
+            (9000, Point::new(30.0, 10.0)),
+            (9001, Point::new(70.0, 10.0)),
+            (9002, Point::new(50.0, 50.0)),
+        ];
+        let field: Vec<(f64, f64, f64)> = jitter
+            .iter()
+            .map(|&(dx, dy)| (50.0 + dx, 30.0 + dy, 10.0))
+            .collect();
+        let cands = candidates(&field);
+        let got = logical_embed(&plan, &actuators, &cands, 100.0)
+            .expect("enough candidates");
+        let mut positions: HashMap<usize, Point> =
+            cands.iter().map(|c| (c.handle, c.position)).collect();
+        for (h, p) in actuators {
+            positions.insert(h, p);
+        }
+        prop_assert_eq!(physical_consistency(&plan, &got, &positions, 100.0), 1.0);
+    }
+
+    #[test]
+    fn route_choices_cover_all_successors(a in 0usize..320, b in 0usize..320, seed in 0u64..1000) {
+        let u = KautzId::from_index(a % 320, 4, 4);
+        let v = KautzId::from_index(b % 320, 4, 4);
+        prop_assume!(u != v);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let header = RouteHeader { dest_kid: v.clone(), forced_digit: None };
+        let hops = route_choices(&u, &header, &mut rng).expect("valid pair");
+        prop_assert_eq!(hops.len(), 4);
+        let succ: HashSet<&KautzId> = hops.iter().map(|h| &h.successor).collect();
+        for s in u.successors() {
+            prop_assert!(succ.contains(&s), "missing successor {s}");
+        }
+    }
+
+    #[test]
+    fn forced_header_always_yields_a_first_choice(a in 0usize..320, b in 0usize..320, digit in 0u8..=4, seed in 0u64..1000) {
+        let u = KautzId::from_index(a % 320, 4, 4);
+        let v = KautzId::from_index(b % 320, 4, 4);
+        prop_assume!(u != v);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let header = RouteHeader { dest_kid: v.clone(), forced_digit: Some(digit) };
+        let hops = route_choices(&u, &header, &mut rng).expect("valid pair");
+        prop_assert!(!hops.is_empty());
+        if digit != u.last() {
+            // The forced successor leads the list.
+            let forced = u.shift_append(digit).expect("valid digit");
+            prop_assert_eq!(&hops[0].successor, &forced);
+        }
+    }
+}
+
+#[test]
+fn quincunx_layouts_are_stable_under_id_relabeling() {
+    // Cell geometry depends on positions, not on which actuator ids are
+    // used; only the starting server and corner colors may differ.
+    let positions = quincunx(500.0, 500.0);
+    let a = plan_cells(&[0, 1, 2, 3, 4], &positions, 250.0).expect("cells");
+    let b = plan_cells(&[100, 101, 102, 103, 104], &positions, 250.0).expect("cells");
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.cid, cb.cid);
+        let da = ca.centroid;
+        let db = cb.centroid;
+        assert!(da.distance(&db) < 1e-9);
+    }
+}

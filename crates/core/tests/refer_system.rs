@@ -1,0 +1,127 @@
+//! System-level tests of the full REFER protocol on the simulator.
+
+use refer::{ReferConfig, ReferProtocol};
+use wsan_sim::{runner, SimConfig, SimDuration};
+
+fn smoke_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_refer(cfg: SimConfig) -> (wsan_sim::RunSummary, ReferProtocol) {
+    runner::run_owned(cfg, ReferProtocol::new(ReferConfig::default()))
+}
+
+#[test]
+fn construction_builds_all_four_cells() {
+    let (_, refer) = run_refer(smoke_cfg(1));
+    let layout = refer.layout().expect("quincunx forms cells");
+    assert_eq!(layout.cells.len(), 4);
+    assert_eq!(refer.stats.cells_ready, 4);
+    for cell in 0..4 {
+        let roster = refer.roster(cell).expect("cell exists");
+        assert_eq!(roster.len(), 12, "complete K(2,3): 3 actuators + 9 sensors");
+    }
+}
+
+#[test]
+fn rosters_cover_the_whole_kautz_graph() {
+    let (_, refer) = run_refer(smoke_cfg(2));
+    let graph = kautz::KautzGraph::new(2, 3).expect("valid");
+    for cell in 0..4 {
+        let roster = refer.roster(cell).expect("cell exists");
+        for v in graph.nodes() {
+            assert!(roster.contains_key(&v), "cell {cell} missing {v}");
+        }
+    }
+}
+
+#[test]
+fn delivers_most_packets_without_faults() {
+    let (summary, refer) = run_refer(smoke_cfg(3));
+    assert!(
+        summary.delivery_ratio > 0.7,
+        "REFER should deliver most packets: {summary:?}, stats {:?}",
+        refer.stats
+    );
+    assert!(summary.mean_delay_s > 0.0 && summary.mean_delay_s < 0.6);
+}
+
+#[test]
+fn fault_injection_triggers_alternate_paths() {
+    let mut cfg = smoke_cfg(4);
+    cfg.faults.count = 10;
+    let (summary, refer) = run_refer(cfg);
+    assert!(
+        refer.stats.alt_path_switches > 0,
+        "failures should divert onto disjoint paths: {:?}",
+        refer.stats
+    );
+    assert!(summary.delivery_ratio > 0.3, "{summary:?}");
+}
+
+#[test]
+fn mobility_triggers_replacements() {
+    let mut cfg = smoke_cfg(5);
+    cfg.mobility.max_speed = 5.0;
+    cfg.duration = SimDuration::from_secs(120);
+    let (_, refer) = run_refer(cfg);
+    assert!(
+        refer.stats.replacements > 0,
+        "members drifting out of range must hand off their KIDs: {:?}",
+        refer.stats
+    );
+}
+
+#[test]
+fn construction_energy_is_separated_from_communication() {
+    let (summary, _) = run_refer(smoke_cfg(6));
+    assert!(summary.energy_construction_j > 0.0, "queries and notifications cost energy");
+    assert!(summary.energy_communication_j > 0.0, "data and beacons cost energy");
+    // Figure 11's observation: construction is a small fraction of total.
+    assert!(
+        summary.energy_construction_j < summary.energy_communication_j,
+        "construction {} < communication {}",
+        summary.energy_construction_j,
+        summary.energy_communication_j
+    );
+}
+
+#[test]
+fn cross_cell_traffic_rides_the_can_tier() {
+    let mut rcfg = ReferConfig::default();
+    rcfg.cross_cell_fraction = 0.5;
+    let mut cfg = smoke_cfg(7);
+    cfg.traffic.rate_bps = 40_000.0;
+    let (summary, refer) = runner::run_owned(cfg, ReferProtocol::new(rcfg));
+    assert!(refer.stats.inter_cell_hops > 0, "half the packets go remote: {:?}", refer.stats);
+    assert!(summary.delivery_ratio > 0.3, "{summary:?}");
+}
+
+#[test]
+fn same_seed_is_deterministic() {
+    let (a, _) = run_refer(smoke_cfg(8));
+    let (b, _) = run_refer(smoke_cfg(8));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sparse_deployment_degrades_gracefully() {
+    // Two actuators cannot form a triangle: every packet is dropped, none
+    // delivered, and the protocol does not panic.
+    let mut cfg = smoke_cfg(9);
+    cfg.actuators = 2;
+    cfg.duration = SimDuration::from_secs(20);
+    let (summary, refer) = run_refer(cfg);
+    assert!(refer.layout().is_none());
+    assert_eq!(summary.delivery_ratio, 0.0);
+    assert!(refer.stats.drop_no_access > 0);
+}
+
+#[test]
+fn qos_deliveries_meet_the_deadline() {
+    let (summary, _) = run_refer(smoke_cfg(10));
+    assert!(summary.qos_delivery_ratio <= summary.delivery_ratio);
+    assert!(summary.mean_delay_s <= 0.6, "QoS mean delay respects the deadline");
+}

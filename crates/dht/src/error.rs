@@ -1,0 +1,39 @@
+//! Error types for CAN membership operations.
+
+use crate::network::CanId;
+use crate::space::Zone;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`CanNetwork`](crate::CanNetwork) membership changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum CanError {
+    /// The zone containing the join coordinate is below the split
+    /// resolution floor.
+    ZoneTooSmall {
+        /// The unsplittable zone.
+        zone: Zone,
+    },
+    /// The member is not part of the network.
+    UnknownNode {
+        /// The offending identifier.
+        id: CanId,
+    },
+    /// The last member cannot leave: the coordinate space must stay owned.
+    LastNode,
+}
+
+impl fmt::Display for CanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanError::ZoneTooSmall { zone } => {
+                write!(f, "zone {zone} is too small to split")
+            }
+            CanError::UnknownNode { id } => write!(f, "unknown CAN member {id}"),
+            CanError::LastNode => write!(f, "the last CAN member cannot leave"),
+        }
+    }
+}
+
+impl Error for CanError {}

@@ -1,0 +1,94 @@
+//! Property tests: CAN invariants hold under arbitrary join/leave churn and
+//! routing always reaches the owner.
+
+use can_dht::{CanId, CanNetwork, Coord};
+use proptest::prelude::*;
+
+/// A churn step: join at a coordinate, or leave the i-th current member.
+#[derive(Debug, Clone)]
+enum Step {
+    Join(f64, f64),
+    Leave(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| Step::Join(x, y)),
+            1 => (0usize..64).prop_map(Step::Leave),
+        ],
+        1..40,
+    )
+}
+
+fn apply(net: &mut CanNetwork, members: &mut Vec<CanId>, step: &Step) {
+    match step {
+        Step::Join(x, y) => {
+            if let Ok(id) = net.join(Coord::new(*x, *y)) {
+                members.push(id);
+            }
+        }
+        Step::Leave(i) => {
+            if members.len() > 1 {
+                let id = members.remove(i % members.len());
+                net.leave(id).expect("member exists and is not last");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_churn(script in steps()) {
+        let mut net = CanNetwork::new();
+        let mut members = Vec::new();
+        for step in &script {
+            apply(&mut net, &mut members, step);
+            net.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    #[test]
+    fn every_coordinate_stays_owned(script in steps(), x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let mut net = CanNetwork::new();
+        let mut members = Vec::new();
+        for step in &script {
+            apply(&mut net, &mut members, step);
+        }
+        if !net.is_empty() {
+            prop_assert!(net.owner_of(&Coord::new(x, y)).is_some());
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner_after_churn(script in steps(), x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let mut net = CanNetwork::new();
+        let mut members = Vec::new();
+        for step in &script {
+            apply(&mut net, &mut members, step);
+        }
+        prop_assume!(!net.is_empty());
+        let target = Coord::new(x, y);
+        let owner = net.owner_of(&target).expect("space tiled");
+        for &from in &members {
+            if net.node(from).is_none() { continue; }
+            match net.route(from, &target) {
+                Some(path) => {
+                    prop_assert_eq!(*path.last().expect("non-empty"), owner);
+                    prop_assert!(path.len() <= net.len());
+                }
+                None => {
+                    // Greedy stalls are allowed only if the overlay became
+                    // non-convex after takeovers; they must be rare. Fail
+                    // loudly so we notice if they are systematic.
+                    return Err(TestCaseError::fail(format!(
+                        "greedy route stalled from {from} to {target} in {} members",
+                        net.len()
+                    )));
+                }
+            }
+        }
+    }
+}

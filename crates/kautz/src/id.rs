@@ -1,0 +1,494 @@
+//! Kautz identifiers: digit strings labelling the vertices of `K(d, k)`.
+//!
+//! A vertex of the Kautz digraph `K(d, k)` is a word `u_1 u_2 ... u_k` over
+//! the alphabet `{0, 1, ..., d}` (that is, `d + 1` letters) in which no two
+//! adjacent letters are equal. [`KautzId`] owns such a word together with its
+//! degree `d` and enforces the invariant at construction.
+
+use crate::error::KautzIdError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A validated Kautz vertex label `u_1 u_2 ... u_k` over the alphabet
+/// `[0, d]` with `u_i != u_{i+1}`.
+///
+/// The identifier knows the degree `d` of the graph it belongs to; two
+/// identifiers are comparable / routable only when both their degree and
+/// length agree.
+///
+/// # Examples
+///
+/// ```
+/// # use kautz::KautzId;
+/// # fn main() -> Result<(), kautz::KautzIdError> {
+/// let u = KautzId::new([1, 2, 0], 2)?;
+/// assert_eq!(u.k(), 3);
+/// assert_eq!(u.degree(), 2);
+/// assert_eq!(u.to_string(), "120");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KautzId {
+    digits: Vec<u8>,
+    degree: u8,
+}
+
+impl KautzId {
+    /// Creates an identifier from raw digits, validating the Kautz
+    /// constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KautzIdError`] if the digit string is empty, the degree is
+    /// zero, any digit exceeds `degree`, or two adjacent digits are equal.
+    pub fn new(digits: impl Into<Vec<u8>>, degree: u8) -> Result<Self, KautzIdError> {
+        let digits = digits.into();
+        if degree == 0 {
+            return Err(KautzIdError::ZeroDegree);
+        }
+        if digits.is_empty() {
+            return Err(KautzIdError::Empty);
+        }
+        for (index, &digit) in digits.iter().enumerate() {
+            if digit > degree {
+                return Err(KautzIdError::DigitOutOfRange { index, digit, degree });
+            }
+            if index + 1 < digits.len() && digits[index + 1] == digit {
+                return Err(KautzIdError::AdjacentEqual { index, digit });
+            }
+        }
+        Ok(KautzId { digits, degree })
+    }
+
+    /// Parses a decimal digit string such as `"201"` into an identifier of
+    /// the given degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KautzIdError`] on non-digit characters or any violation of
+    /// the Kautz constraints.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use kautz::KautzId;
+    /// # fn main() -> Result<(), kautz::KautzIdError> {
+    /// let v = KautzId::parse("2301", 4)?;
+    /// assert_eq!(v.digits(), &[2, 3, 0, 1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(s: &str, degree: u8) -> Result<Self, KautzIdError> {
+        let mut digits = Vec::with_capacity(s.len());
+        for (index, ch) in s.chars().enumerate() {
+            let digit = ch
+                .to_digit(10)
+                .ok_or(KautzIdError::InvalidChar { index, ch })? as u8;
+            digits.push(digit);
+        }
+        Self::new(digits, degree)
+    }
+
+    /// The label length `k`, i.e. the diameter of the graph this vertex
+    /// belongs to.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// The graph degree `d`; the alphabet is `[0, d]`.
+    #[inline]
+    pub fn degree(&self) -> u8 {
+        self.degree
+    }
+
+    /// The raw digits `u_1 ... u_k`.
+    #[inline]
+    pub fn digits(&self) -> &[u8] {
+        &self.digits
+    }
+
+    /// The first digit `u_1`.
+    #[inline]
+    pub fn first(&self) -> u8 {
+        self.digits[0]
+    }
+
+    /// The last digit `u_k`.
+    #[inline]
+    pub fn last(&self) -> u8 {
+        *self.digits.last().expect("KautzId is never empty")
+    }
+
+    /// Whether `self` and `other` label vertices of the same graph
+    /// (equal degree and length).
+    #[inline]
+    pub fn same_graph(&self, other: &KautzId) -> bool {
+        self.degree == other.degree && self.digits.len() == other.digits.len()
+    }
+
+    /// `L(U, V)`: the length of the longest *proper-or-full* suffix of `self`
+    /// that appears as a prefix of `other` (Section III-B of the paper).
+    ///
+    /// `L(U, U) == k`, so [`routing_distance`](Self::routing_distance) of a
+    /// node to itself is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use kautz::KautzId;
+    /// # fn main() -> Result<(), kautz::KautzIdError> {
+    /// let u = KautzId::parse("120", 2)?;
+    /// let v = KautzId::parse("201", 2)?;
+    /// assert_eq!(u.overlap(&v), 2); // suffix "20" == prefix "20"
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn overlap(&self, other: &KautzId) -> usize {
+        let k = self.digits.len().min(other.digits.len());
+        for l in (1..=k).rev() {
+            if self.digits[self.digits.len() - l..] == other.digits[..l] {
+                return l;
+            }
+        }
+        0
+    }
+
+    /// The Kautz routing distance `k - L(U, V)`: the length of the unique
+    /// shortest path from `self` to `other` in the digraph.
+    ///
+    /// Returns `0` when the identifiers are equal.
+    pub fn routing_distance(&self, other: &KautzId) -> usize {
+        debug_assert!(self.same_graph(other), "distance across different graphs");
+        other.digits.len() - self.overlap(other)
+    }
+
+    /// Shift-append: drops `u_1` and appends `digit`, producing the successor
+    /// `u_2 ... u_k digit` reached by the arc labelled `digit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KautzIdError`] if `digit` exceeds the alphabet or equals the
+    /// current last digit (no self-loop arcs exist in a Kautz graph).
+    pub fn shift_append(&self, digit: u8) -> Result<Self, KautzIdError> {
+        if digit > self.degree {
+            return Err(KautzIdError::DigitOutOfRange {
+                index: self.digits.len(),
+                digit,
+                degree: self.degree,
+            });
+        }
+        if digit == self.last() {
+            return Err(KautzIdError::AdjacentEqual {
+                index: self.digits.len() - 1,
+                digit,
+            });
+        }
+        let mut digits = Vec::with_capacity(self.digits.len());
+        digits.extend_from_slice(&self.digits[1..]);
+        digits.push(digit);
+        Ok(KautzId { digits, degree: self.degree })
+    }
+
+    /// All `d` out-neighbors (successors) of this vertex, in increasing
+    /// order of their appended digit.
+    pub fn successors(&self) -> Vec<KautzId> {
+        (0..=self.degree)
+            .filter(|&digit| digit != self.last())
+            .map(|digit| {
+                self.shift_append(digit)
+                    .expect("digit validated against alphabet and last digit")
+            })
+            .collect()
+    }
+
+    /// All `d` in-neighbors (predecessors): vertices `beta u_1 ... u_{k-1}`
+    /// with `beta != u_1`.
+    pub fn predecessors(&self) -> Vec<KautzId> {
+        (0..=self.degree)
+            .filter(|&beta| beta != self.first())
+            .map(|beta| {
+                let mut digits = Vec::with_capacity(self.digits.len());
+                digits.push(beta);
+                digits.extend_from_slice(&self.digits[..self.digits.len() - 1]);
+                KautzId { digits, degree: self.degree }
+            })
+            .collect()
+    }
+
+    /// Whether there is an arc `self -> other` in the Kautz digraph, i.e.
+    /// `other = u_2 ... u_k x` for some letter `x != u_k`.
+    pub fn is_arc_to(&self, other: &KautzId) -> bool {
+        self.same_graph(other)
+            && self != other
+            && self.digits[1..] == other.digits[..other.digits.len() - 1]
+    }
+
+    /// Whether the two vertices are connected by an arc in either direction
+    /// (the undirected adjacency used for physical link checks).
+    pub fn is_adjacent(&self, other: &KautzId) -> bool {
+        self.is_arc_to(other) || other.is_arc_to(self)
+    }
+
+    /// Left rotation `u_2 u_3 ... u_k u_1`, written `kid_l` in the paper; the
+    /// embedding protocol defines the *successor actuator* of actuator `kid`
+    /// as the actuator labelled `rotate_left(kid)`.
+    ///
+    /// Rotation preserves validity whenever `u_1 != u_k`, which holds for the
+    /// actuator labels used by the embedding (e.g. `012 -> 120 -> 201`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KautzIdError::AdjacentEqual`] when `u_1 == u_k`, in which
+    /// case the rotation is not a valid Kautz word.
+    pub fn rotate_left(&self) -> Result<Self, KautzIdError> {
+        if self.first() == self.last() && self.digits.len() > 1 {
+            return Err(KautzIdError::AdjacentEqual {
+                index: self.digits.len() - 1,
+                digit: self.first(),
+            });
+        }
+        let mut digits = Vec::with_capacity(self.digits.len());
+        digits.extend_from_slice(&self.digits[1..]);
+        digits.push(self.digits[0]);
+        Ok(KautzId { digits, degree: self.degree })
+    }
+
+    /// A dense index of this vertex in `0..(d+1)*d^(k-1)`, the mixed-radix
+    /// encoding used for compact tables: the first digit picks one of `d+1`
+    /// letters and each later digit one of the `d` letters differing from its
+    /// predecessor.
+    pub fn to_index(&self) -> usize {
+        let d = self.degree as usize;
+        let mut index = self.digits[0] as usize;
+        for w in self.digits.windows(2) {
+            let (prev, cur) = (w[0], w[1]);
+            // Rank of `cur` among letters != prev, i.e. cur adjusted down by
+            // one when it sorts after prev.
+            let rank = if cur > prev { cur as usize - 1 } else { cur as usize };
+            index = index * d + rank;
+        }
+        index
+    }
+
+    /// Inverse of [`to_index`](Self::to_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `K(degree, k)` or `degree == 0`
+    /// or `k == 0`.
+    pub fn from_index(mut index: usize, degree: u8, k: usize) -> Self {
+        assert!(degree >= 1 && k >= 1, "degenerate Kautz graph");
+        let d = degree as usize;
+        let count = (d + 1) * d.pow((k - 1) as u32);
+        assert!(index < count, "index {index} out of range for K({degree}, {k})");
+        let mut ranks = Vec::with_capacity(k);
+        for _ in 0..k - 1 {
+            ranks.push(index % d);
+            index /= d;
+        }
+        let mut digits = Vec::with_capacity(k);
+        digits.push(index as u8);
+        for rank in ranks.into_iter().rev() {
+            let prev = *digits.last().expect("non-empty");
+            let cur = if (rank as u8) >= prev { rank as u8 + 1 } else { rank as u8 };
+            digits.push(cur);
+        }
+        KautzId { digits, degree }
+    }
+}
+
+impl fmt::Display for KautzId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &digit in &self.digits {
+            write!(f, "{digit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for KautzId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KautzId({self} /K({}, {}))", self.degree, self.digits.len())
+    }
+}
+
+impl AsRef<[u8]> for KautzId {
+    fn as_ref(&self) -> &[u8] {
+        &self.digits
+    }
+}
+
+/// Parses a digit string into an identifier whose degree is the smallest
+/// degree containing every digit (i.e. `max(digits).max(1)`).
+///
+/// Prefer [`KautzId::parse`] when the graph degree is known; `FromStr` is a
+/// convenience for tests and examples.
+impl FromStr for KautzId {
+    type Err = KautzIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut digits = Vec::with_capacity(s.len());
+        for (index, ch) in s.chars().enumerate() {
+            let digit = ch
+                .to_digit(10)
+                .ok_or(KautzIdError::InvalidChar { index, ch })? as u8;
+            digits.push(digit);
+        }
+        let degree = digits.iter().copied().max().unwrap_or(1).max(1);
+        Self::new(digits, degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str, d: u8) -> KautzId {
+        KautzId::parse(s, d).expect("valid id in test")
+    }
+
+    #[test]
+    fn new_validates_alphabet() {
+        assert!(matches!(
+            KautzId::new([0, 3], 2),
+            Err(KautzIdError::DigitOutOfRange { index: 1, digit: 3, degree: 2 })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_adjacent_equal() {
+        assert!(matches!(
+            KautzId::new([0, 1, 1], 2),
+            Err(KautzIdError::AdjacentEqual { index: 1, digit: 1 })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_empty_and_zero_degree() {
+        assert_eq!(KautzId::new(Vec::new(), 2), Err(KautzIdError::Empty));
+        assert_eq!(KautzId::new([0, 1], 0), Err(KautzIdError::ZeroDegree));
+    }
+
+    #[test]
+    fn parse_rejects_non_digits() {
+        assert!(matches!(
+            KautzId::parse("0a1", 2),
+            Err(KautzIdError::InvalidChar { index: 1, ch: 'a' })
+        ));
+    }
+
+    #[test]
+    fn overlap_matches_paper_example() {
+        // Paper Section III-B: distance(120, 201) = k - L = 3 - 2 = 1.
+        let u = id("120", 2);
+        let v = id("201", 2);
+        assert_eq!(u.overlap(&v), 2);
+        assert_eq!(u.routing_distance(&v), 1);
+    }
+
+    #[test]
+    fn overlap_of_self_is_k() {
+        let u = id("0123", 4);
+        assert_eq!(u.overlap(&u), 4);
+        assert_eq!(u.routing_distance(&u), 0);
+    }
+
+    #[test]
+    fn overlap_is_zero_for_disjoint_words() {
+        assert_eq!(id("210", 2).overlap(&id("212", 2)), 0);
+    }
+
+    #[test]
+    fn figure_2a_distance() {
+        // Paper Figure 2(a): U = 0123, V = 2301 share "23", so l = 2 and the
+        // shortest path has length k - l = 2.
+        let u = id("0123", 4);
+        let v = id("2301", 4);
+        assert_eq!(u.overlap(&v), 2);
+        assert_eq!(u.routing_distance(&v), 2);
+    }
+
+    #[test]
+    fn shift_append_produces_successor() {
+        let u = id("0123", 4);
+        let s = u.shift_append(0).expect("0 != last digit 3");
+        assert_eq!(s.to_string(), "1230");
+        assert!(u.is_arc_to(&s));
+    }
+
+    #[test]
+    fn shift_append_rejects_last_digit() {
+        let u = id("0123", 4);
+        assert!(u.shift_append(3).is_err());
+        assert!(u.shift_append(5).is_err());
+    }
+
+    #[test]
+    fn successors_count_is_degree() {
+        let u = id("0123", 4);
+        let succ = u.successors();
+        assert_eq!(succ.len(), 4);
+        for s in &succ {
+            assert!(u.is_arc_to(s));
+        }
+    }
+
+    #[test]
+    fn predecessors_are_inverse_of_successors() {
+        let u = id("120", 2);
+        for p in u.predecessors() {
+            assert!(p.is_arc_to(&u));
+            assert!(p.successors().contains(&u));
+        }
+        assert_eq!(u.predecessors().len(), 2);
+    }
+
+    #[test]
+    fn rotate_left_cycles_actuator_labels() {
+        // The embedding's actuator successor chain: 012 -> 120 -> 201 -> 012.
+        let a = id("012", 2);
+        let b = a.rotate_left().expect("rotation of 012 valid");
+        assert_eq!(b.to_string(), "120");
+        let c = b.rotate_left().expect("rotation of 120 valid");
+        assert_eq!(c.to_string(), "201");
+        assert_eq!(c.rotate_left().expect("rotation of 201 valid"), a);
+    }
+
+    #[test]
+    fn rotate_left_rejects_equal_endpoints() {
+        assert!(id("010", 2).rotate_left().is_err());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for d in 1..=4u8 {
+            for k in 1..=3usize {
+                let count = (d as usize + 1) * (d as usize).pow((k - 1) as u32);
+                for index in 0..count {
+                    let v = KautzId::from_index(index, d, k);
+                    assert_eq!(v.to_index(), index, "round trip in K({d}, {k})");
+                    assert_eq!(v.k(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_directional() {
+        let u = id("012", 2);
+        let s = id("120", 2);
+        assert!(u.is_arc_to(&s));
+        assert!(!s.is_arc_to(&u));
+        assert!(u.is_adjacent(&s) && s.is_adjacent(&u));
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        let u: KautzId = "2301".parse().expect("valid literal");
+        assert_eq!(u.to_string(), "2301");
+        assert_eq!(u.degree(), 3);
+    }
+}

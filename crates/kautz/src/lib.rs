@@ -1,0 +1,58 @@
+//! # kautz — Kautz digraph theory for REFER
+//!
+//! This crate implements the graph-theoretic core of *REFER: A Kautz-based
+//! Real-time and Energy-Efficient Wireless Sensor and Actuator Network*
+//! (Li & Shen, ICDCS 2012):
+//!
+//! * [`KautzId`] — validated vertex labels `u_1 ... u_k` over the alphabet
+//!   `[0, d]` with `u_i != u_{i+1}`, plus the label arithmetic the paper's
+//!   protocols are built from (`L(U, V)` overlap, shift-append successors,
+//!   left rotation).
+//! * [`KautzGraph`] — the digraph `K(d, k)` as a whole: enumeration, node
+//!   and arc counts (Lemma 3.1), the Moore bound, Eulerian circuits and
+//!   Hamiltonian cycles (the basis of the physical embedding, Section
+//!   III-A/B).
+//! * [`routing`] — the greedy shortest protocol: next hop and full path
+//!   from IDs alone.
+//! * [`disjoint`] — **Theorem 3.8**: the `d` vertex-disjoint `U -> V`
+//!   paths, their successors, lengths and the conflict-node rule
+//!   (Propositions 3.3–3.7), computed purely from the two identifiers.
+//! * [`brute`] — brute-force reference algorithms (BFS, DFTR-style route
+//!   generation) used to verify the theorem and as the ablation baseline.
+//! * [`props`] — Section III-A's feasibility results: degree/diameter
+//!   trade-off and Proposition 3.2's `r >= 0.8 b` embedding condition.
+//!
+//! # Quick example
+//!
+//! ```
+//! use kautz::{KautzId, disjoint::disjoint_paths};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let u = KautzId::parse("0123", 4)?;
+//! let v = KautzId::parse("2301", 4)?;
+//! // A relay that fails to reach its shortest-path successor immediately
+//! // knows every alternative and its exact length:
+//! for plan in disjoint_paths(&u, &v)? {
+//!     println!("via {} in {} hops", plan.successor, plan.length);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod debruijn;
+pub mod disjoint;
+mod error;
+mod graph;
+mod id;
+pub mod props;
+pub mod routing;
+
+pub use disjoint::{disjoint_paths, PathClass, PathPlan};
+pub use error::{KautzIdError, RoutingError};
+pub use graph::{KautzGraph, Nodes};
+pub use id::KautzId;
+pub use routing::{greedy_next_hop, greedy_path};

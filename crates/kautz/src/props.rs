@@ -1,0 +1,145 @@
+//! Section III-A: the theoretical study of Kautz graphs as WSAN overlay
+//! topologies — degree/diameter trade-off, comparison against de Bruijn
+//! graphs, and Proposition 3.2's deployment condition.
+
+use crate::graph::KautzGraph;
+
+/// The number of vertices of the de Bruijn graph `B(d, k)`: `d^k`. The paper
+/// cites \[31\] for the fact that Kautz graphs achieve a smaller diameter than
+/// de Bruijn or hypercube topologies at equal size; equivalently, at equal
+/// degree and diameter a Kautz graph holds more vertices.
+pub fn de_bruijn_node_count(degree: u8, diameter: usize) -> usize {
+    (degree as usize).pow(diameter as u32)
+}
+
+/// The number of vertices of the binary hypercube of dimension `k` (degree
+/// and diameter are both `k`): `2^k`.
+pub fn hypercube_node_count(dimension: usize) -> usize {
+    1usize << dimension
+}
+
+/// Proposition 3.2: for nodes uniformly distributed over a square cell of
+/// side length `b`, a Hamiltonian cycle (and hence a consistent Kautz
+/// embedding) is guaranteed when the transmission range satisfies
+/// `r >= sqrt(2 / pi) * b ≈ 0.8 b`.
+///
+/// Returns the minimum admissible transmission range for a given cell side.
+///
+/// # Examples
+///
+/// ```
+/// # use kautz::props::min_embedding_range;
+/// // Paper scenario: 100 m sensor range supports cells up to ~125 m across.
+/// let r = min_embedding_range(125.0);
+/// assert!(r <= 100.0 + 1e-9);
+/// ```
+pub fn min_embedding_range(cell_side: f64) -> f64 {
+    (2.0 / std::f64::consts::PI).sqrt() * cell_side
+}
+
+/// The maximum square-cell side a given transmission range supports under
+/// Proposition 3.2: `b <= sqrt(pi / 2) * r / ... ` — the inverse of
+/// [`min_embedding_range`].
+pub fn max_cell_side(range: f64) -> f64 {
+    range / (2.0 / std::f64::consts::PI).sqrt()
+}
+
+/// Whether a deployment `(range, cell_side)` satisfies Proposition 3.2's
+/// sufficient condition for the embedded cell to be Hamiltonian.
+pub fn embedding_feasible(range: f64, cell_side: f64) -> bool {
+    range >= min_embedding_range(cell_side)
+}
+
+/// The paper's corollary to Proposition 3.2: the coverage area of one Kautz
+/// cell is upper-bounded by `(2r + b)^2` with `b <= 1.25 r`, i.e. about
+/// `(3.25 r)^2`. Returns that bound for a given range.
+pub fn max_cell_coverage_area(range: f64) -> f64 {
+    let side = 2.0 * range + max_cell_side(range);
+    side * side
+}
+
+/// Picks the smallest degree `d` such that `K(d, k)` holds at least
+/// `required_nodes` vertices — the sizing rule of Section III-B ("based on
+/// the number of nodes n = (d+1)d^{k-1} in a WSAN and k, the value d can be
+/// determined"). Returns `None` if no degree up to `max_degree` suffices.
+pub fn degree_for(required_nodes: usize, diameter: usize, max_degree: u8) -> Option<u8> {
+    (1..=max_degree).find(|&d| {
+        KautzGraph::new(d, diameter)
+            .map(|g| g.node_count() >= required_nodes)
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kautz_beats_de_bruijn_at_equal_parameters() {
+        // K(d,k) has (d+1)d^{k-1} > d^k vertices for all d >= 1: a strictly
+        // better degree/diameter trade-off than B(d,k).
+        for d in 1..=5u8 {
+            for k in 1..=5usize {
+                let kautz = KautzGraph::new(d, k).expect("valid").node_count();
+                let debruijn = de_bruijn_node_count(d, k);
+                assert!(kautz > debruijn, "K({d},{k})={kautz} vs B={debruijn}");
+            }
+        }
+    }
+
+    #[test]
+    fn kautz_beats_hypercube_diameter() {
+        // A hypercube with 2^k nodes has degree and diameter k; a Kautz
+        // graph with at least as many nodes and the same degree has a
+        // smaller diameter for k >= 4.
+        for k in 4..=8usize {
+            let nodes = hypercube_node_count(k);
+            let d = k as u8; // same degree budget
+            let mut diameter = 1;
+            while KautzGraph::new(d, diameter).expect("valid").node_count() < nodes {
+                diameter += 1;
+            }
+            assert!(diameter < k, "Kautz diameter {diameter} vs hypercube {k}");
+        }
+    }
+
+    #[test]
+    fn proposition_3_2_constant_is_about_0_8() {
+        let c = min_embedding_range(1.0);
+        assert!((c - 0.7978845608).abs() < 1e-6, "sqrt(2/pi) = {c}");
+    }
+
+    #[test]
+    fn embedding_feasibility_is_monotone() {
+        assert!(embedding_feasible(100.0, 100.0));
+        assert!(embedding_feasible(100.0, 125.0));
+        assert!(!embedding_feasible(100.0, 126.0));
+        assert!(!embedding_feasible(50.0, 100.0));
+    }
+
+    #[test]
+    fn range_and_side_are_inverse() {
+        for b in [10.0, 125.0, 500.0] {
+            let r = min_embedding_range(b);
+            assert!((max_cell_side(r) - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coverage_bound_matches_paper_figure() {
+        // (2r + b)^2 with b = 1.2533 r gives approximately (13/4 r)^2.
+        let r = 100.0;
+        let bound = max_cell_coverage_area(r);
+        let paper = (13.0 / 4.0 * r) * (13.0 / 4.0 * r);
+        assert!((bound - paper).abs() / paper < 0.01, "bound {bound} vs paper {paper}");
+    }
+
+    #[test]
+    fn degree_sizing_covers_the_evaluation_scenario() {
+        // 4 cells of K(2,3): each cell holds 12 Kautz nodes.
+        assert_eq!(degree_for(12, 3, 8), Some(2));
+        assert_eq!(degree_for(13, 3, 8), Some(3));
+        assert_eq!(degree_for(37, 3, 8), Some(4));
+        assert_eq!(degree_for(10_000, 3, 8), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! The greedy shortest protocol (Section III-C1).
+//!
+//! In a Kautz digraph the next hop on the unique shortest `U -> V` path is
+//! obtained by left-shifting `U` and appending `v_{l+1}`, the digit of `V`
+//! just past the longest suffix/prefix overlap `l = L(U, V)`. The functions
+//! here compute that next hop and the full greedy path.
+
+use crate::error::RoutingError;
+use crate::id::KautzId;
+
+/// Checks that `u` and `v` label distinct vertices of the same graph.
+pub(crate) fn check_pair(u: &KautzId, v: &KautzId) -> Result<(), RoutingError> {
+    if !u.same_graph(v) {
+        return Err(RoutingError::IncompatibleIds {
+            source: (u.degree(), u.k()),
+            dest: (v.degree(), v.k()),
+        });
+    }
+    if u == v {
+        return Err(RoutingError::SameNode);
+    }
+    Ok(())
+}
+
+/// The next hop of the greedy shortest protocol from `u` toward `v`:
+/// `u_2 ... u_k v_{l+1}` where `l = L(u, v)`.
+///
+/// # Errors
+///
+/// Returns [`RoutingError`] if the identifiers belong to different graphs or
+/// are equal.
+///
+/// # Examples
+///
+/// ```
+/// # use kautz::{KautzId, routing::greedy_next_hop};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = KautzId::parse("0123", 4)?;
+/// let v = KautzId::parse("2301", 4)?;
+/// // Paper Section III-C2: the shortest path is 0123 -> 1230 -> 2301.
+/// assert_eq!(greedy_next_hop(&u, &v)?.to_string(), "1230");
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_next_hop(u: &KautzId, v: &KautzId) -> Result<KautzId, RoutingError> {
+    check_pair(u, v)?;
+    let l = u.overlap(v);
+    debug_assert!(l < v.k(), "distinct ids overlap strictly less than k");
+    let digit = v.digits()[l];
+    Ok(u
+        .shift_append(digit)
+        .expect("v_{l+1} != u_k because u's suffix of length l equals v's prefix"))
+}
+
+/// The full greedy shortest path from `u` to `v`, inclusive of both
+/// endpoints. Its length (in hops) is `k - L(u, v)`.
+///
+/// # Errors
+///
+/// Returns [`RoutingError`] if the identifiers belong to different graphs or
+/// are equal.
+pub fn greedy_path(u: &KautzId, v: &KautzId) -> Result<Vec<KautzId>, RoutingError> {
+    check_pair(u, v)?;
+    let mut path = vec![u.clone()];
+    let mut cur = u.clone();
+    while &cur != v {
+        cur = greedy_next_hop(&cur, v)?;
+        path.push(cur.clone());
+        debug_assert!(path.len() <= v.k() + 1, "greedy path cannot exceed diameter");
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str, d: u8) -> KautzId {
+        KautzId::parse(s, d).expect("valid id in test")
+    }
+
+    #[test]
+    fn paper_example_shortest_route() {
+        // Section III-C1: "An example of the shortest routing path is:
+        // 12345 -> 23450 -> 34501."
+        let u = id("12345", 5);
+        let v = id("34501", 5);
+        let path = greedy_path(&u, &v).expect("routable");
+        let rendered: Vec<String> = path.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, ["12345", "23450", "34501"]);
+    }
+
+    #[test]
+    fn figure_1_example_one_hop() {
+        // Figure 1: distance between 120 and 201 is 1.
+        let u = id("120", 2);
+        let v = id("201", 2);
+        assert_eq!(greedy_next_hop(&u, &v).expect("routable"), v);
+    }
+
+    #[test]
+    fn greedy_path_length_is_k_minus_l() {
+        use crate::graph::KautzGraph;
+        let g = KautzGraph::new(3, 3).expect("valid");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let path = greedy_path(&u, &v).expect("routable");
+                assert_eq!(path.len() - 1, u.routing_distance(&v), "{u} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_path_follows_arcs() {
+        let u = id("0123", 4);
+        let v = id("2301", 4);
+        let path = greedy_path(&u, &v).expect("routable");
+        for w in path.windows(2) {
+            assert!(w[0].is_arc_to(&w[1]));
+        }
+    }
+
+    #[test]
+    fn same_node_is_an_error() {
+        let u = id("120", 2);
+        assert_eq!(greedy_next_hop(&u, &u), Err(RoutingError::SameNode));
+        assert_eq!(greedy_path(&u, &u), Err(RoutingError::SameNode));
+    }
+
+    #[test]
+    fn incompatible_graphs_are_an_error() {
+        let u = id("120", 2);
+        let v = id("201", 3);
+        assert!(matches!(
+            greedy_next_hop(&u, &v),
+            Err(RoutingError::IncompatibleIds { .. })
+        ));
+    }
+}

@@ -1,0 +1,376 @@
+//! Simulation scenario configuration, with defaults matching Section IV of
+//! the paper.
+
+use crate::energy::EnergyModel;
+use crate::geometry::{Area, Point};
+use crate::time::SimDuration;
+
+/// How actuators are positioned in the area.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ActuatorPlacement {
+    /// The paper's 5-actuator scenario: four actuators at the quarter
+    /// points plus one at the center, forming 4 triangular cells.
+    Quincunx,
+    /// Uniformly random positions.
+    UniformRandom,
+    /// Explicit coordinates.
+    Explicit(Vec<Point>),
+}
+
+/// How sensors are scattered over the area.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SensorPlacement {
+    /// I.i.d. uniform over the whole area.
+    UniformArea,
+    /// The paper's deployment: "200 sensors were i.i.d distributed around
+    /// the actuators" — each sensor picks a random actuator and a uniform
+    /// offset within a disc of this radius (clamped to the area).
+    AroundActuators {
+        /// Disc radius around the chosen actuator, meters.
+        radius: f64,
+    },
+}
+
+/// Traffic generation: every `round_interval`, `sources_per_round` random
+/// live sensors each stream packets at `rate_bps` until the next round
+/// (Section IV: "Every 10 seconds, we randomly chose 5 source nodes, which
+/// transmit data to their nearby actuators at the rate of 1 Mbps").
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrafficConfig {
+    /// Interval between source re-selection rounds.
+    pub round_interval: SimDuration,
+    /// Number of simultaneous sources per round.
+    pub sources_per_round: usize,
+    /// Application sending rate per source, bits/second.
+    pub rate_bps: f64,
+    /// Application packet size, bits.
+    pub packet_bits: u32,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            round_interval: SimDuration::from_secs(10),
+            sources_per_round: 5,
+            rate_bps: 1_000_000.0,
+            packet_bits: 8_000,
+        }
+    }
+}
+
+/// Node mobility: random waypoint without pause (Section IV: "each sensor
+/// randomly selects a destination point and moves to that point with a
+/// speed randomly selected from [0, max]").
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MobilityConfig {
+    /// Minimum node speed, m/s.
+    pub min_speed: f64,
+    /// Maximum node speed, m/s (the figures' x-axis is `max/2`, the mean).
+    pub max_speed: f64,
+    /// Position-update granularity.
+    pub tick: SimDuration,
+    /// The movement model.
+    pub model: MobilityModel,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig {
+            min_speed: 0.0,
+            max_speed: 3.0,
+            tick: SimDuration::from_secs(1),
+            model: MobilityModel::RandomWaypoint,
+        }
+    }
+}
+
+/// Fault injection: every `rotation`, the previous faulty set recovers and
+/// `count` random sensors break down (Section IV-B).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultConfig {
+    /// Number of simultaneously faulty sensors.
+    pub count: usize,
+    /// How often the faulty set is re-drawn.
+    pub rotation: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { count: 0, rotation: SimDuration::from_secs(10) }
+    }
+}
+
+/// How link success depends on distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LinkModel {
+    /// Classic unit disk: frames within the range always arrive, frames
+    /// beyond it never do (the paper's model).
+    UnitDisk,
+    /// Log-distance shadowing approximation: delivery probability decays
+    /// smoothly through the nominal range following a logistic curve of
+    /// the given transition width (meters). At `distance == range` the
+    /// probability is 0.5; links are considered "up" (MAC-visible) while
+    /// the probability is at least 0.5.
+    Shadowed {
+        /// Width of the success-probability transition band, meters.
+        fade_width: f64,
+    },
+}
+
+impl LinkModel {
+    /// Probability that a frame sent over `distance` with nominal `range`
+    /// is received.
+    pub fn delivery_prob(self, distance: f64, range: f64) -> f64 {
+        match self {
+            LinkModel::UnitDisk => {
+                if distance <= range {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            LinkModel::Shadowed { fade_width } => {
+                let w = fade_width.max(1e-9);
+                1.0 / (1.0 + ((distance - range) / w).exp())
+            }
+        }
+    }
+
+    /// Whether the MAC would report the link as usable (expected-case
+    /// reachability): delivery probability at least one half.
+    pub fn link_up(self, distance: f64, range: f64) -> bool {
+        self.delivery_prob(distance, range) >= 0.5
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::UnitDisk
+    }
+}
+
+/// How sensors move between mobility ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MobilityModel {
+    /// Random waypoint without pause (the paper's model): pick a uniform
+    /// destination, walk to it at a uniform speed, repeat.
+    RandomWaypoint,
+    /// Gauss-Markov: velocity evolves as an AR(1) process with memory
+    /// `alpha` in `[0, 1]` (1 = straight-line ballistic, 0 = fully random
+    /// each tick); reflects off the area boundary.
+    GaussMarkov {
+        /// Velocity memory coefficient.
+        alpha: f64,
+    },
+}
+
+impl Default for MobilityModel {
+    fn default() -> Self {
+        MobilityModel::RandomWaypoint
+    }
+}
+
+/// Radio/MAC timing model: per-hop service time plus a uniformly random
+/// contention jitter. Transmissions queue behind the sender's (and the
+/// receiver's) earlier traffic, which is what congests hot relays.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RadioConfig {
+    /// Channel bitrate, bits/second (802.11b default: 11 Mb/s).
+    pub bitrate_bps: f64,
+    /// Fixed per-frame MAC overhead added to the service time.
+    pub mac_overhead: SimDuration,
+    /// Upper bound of the uniform random contention jitter per hop.
+    pub max_jitter: SimDuration,
+    /// Fraction of a frame's service time that also occupies the
+    /// *receiver*'s radio (models the shared medium around hot nodes).
+    pub receiver_occupancy: f64,
+    /// Maximum radio backlog: a frame offered to a node whose transmit
+    /// queue already exceeds this horizon is tail-dropped (bounded MAC
+    /// buffers). The sender is not notified — the loss is silent, as with
+    /// a real interface-queue overflow.
+    pub max_queue: SimDuration,
+    /// The distance/success link model.
+    pub link: LinkModel,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            bitrate_bps: 11_000_000.0,
+            mac_overhead: SimDuration::from_micros(500),
+            max_jitter: SimDuration::from_micros(1_500),
+            receiver_occupancy: 1.0,
+            max_queue: SimDuration::from_millis(1_500),
+            link: LinkModel::UnitDisk,
+        }
+    }
+}
+
+/// Complete scenario description. `SimConfig::paper()` reproduces the
+/// evaluation defaults; `SimConfig::smoke()` is a fast variant for tests.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    /// Deployment area.
+    pub area: Area,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Number of actuators.
+    pub actuators: usize,
+    /// Sensor transmission range, meters.
+    pub sensor_range: f64,
+    /// Actuator transmission range, meters.
+    pub actuator_range: f64,
+    /// Actuator placement policy.
+    pub placement: ActuatorPlacement,
+    /// Sensor placement policy.
+    pub sensor_placement: SensorPlacement,
+    /// Initial sensor battery, Joules (randomized ±20% per node).
+    pub initial_battery: f64,
+    /// Traffic generation parameters.
+    pub traffic: TrafficConfig,
+    /// Mobility parameters.
+    pub mobility: MobilityConfig,
+    /// Fault-injection parameters.
+    pub faults: FaultConfig,
+    /// Radio/MAC timing parameters.
+    pub radio: RadioConfig,
+    /// Energy prices.
+    pub energy: EnergyModel,
+    /// Metrics start after this much simulated time.
+    pub warmup: SimDuration,
+    /// Measured simulation length (total run = warmup + duration).
+    pub duration: SimDuration,
+    /// Packets count toward QoS throughput only if delivered within this
+    /// deadline (paper: 0.6 s).
+    pub qos_deadline: SimDuration,
+    /// Master RNG seed; every random choice in the run derives from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's scenario: 500 m x 500 m, 5 actuators (quincunx), 200
+    /// sensors, ranges 100/250 m, 1 Mb/s sources every 10 s, warmup 100 s,
+    /// 1000 s measured, QoS deadline 0.6 s, 2/0.75 J per packet.
+    pub fn paper() -> Self {
+        SimConfig {
+            area: Area::new(500.0, 500.0),
+            sensors: 200,
+            actuators: 5,
+            sensor_range: 100.0,
+            actuator_range: 250.0,
+            placement: ActuatorPlacement::Quincunx,
+            sensor_placement: SensorPlacement::AroundActuators { radius: 150.0 },
+            initial_battery: 10_000.0,
+            traffic: TrafficConfig::default(),
+            mobility: MobilityConfig::default(),
+            faults: FaultConfig::default(),
+            radio: RadioConfig::default(),
+            energy: EnergyModel::PAPER,
+            warmup: SimDuration::from_secs(100),
+            duration: SimDuration::from_secs(1000),
+            qos_deadline: SimDuration::from_secs_f64(0.6),
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down scenario for unit/integration tests: same geometry,
+    /// lighter traffic, 60 s measured after a 30 s warmup.
+    pub fn smoke() -> Self {
+        let mut cfg = Self::paper();
+        cfg.sensors = 120;
+        cfg.traffic.rate_bps = 80_000.0;
+        cfg.warmup = SimDuration::from_secs(30);
+        cfg.duration = SimDuration::from_secs(60);
+        cfg
+    }
+
+    /// Total simulated time (warmup + measured duration).
+    pub fn total_time(&self) -> SimDuration {
+        self.warmup + self.duration
+    }
+
+    /// Number of packets each source emits per traffic round.
+    pub fn packets_per_round(&self) -> u64 {
+        let bits = self.traffic.rate_bps * self.traffic.round_interval.as_secs_f64();
+        (bits / self.traffic.packet_bits as f64).floor() as u64
+    }
+
+    /// Inter-packet gap at the configured application rate.
+    pub fn packet_gap(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.traffic.packet_bits as f64 / self.traffic.rate_bps)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (no nodes, zero bitrate, zero
+    /// packet size) — configurations are code, not user input.
+    pub fn validate(&self) {
+        assert!(self.sensors > 0, "need at least one sensor");
+        assert!(self.actuators > 0, "need at least one actuator");
+        assert!(self.radio.bitrate_bps > 0.0, "bitrate must be positive");
+        assert!(self.traffic.packet_bits > 0, "packets must be non-empty");
+        assert!(self.sensor_range > 0.0 && self.actuator_range > 0.0);
+        if let ActuatorPlacement::Explicit(points) = &self.placement {
+            assert_eq!(points.len(), self.actuators, "explicit placement count mismatch");
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let cfg = SimConfig::paper();
+        assert_eq!(cfg.sensors, 200);
+        assert_eq!(cfg.actuators, 5);
+        assert_eq!(cfg.sensor_range, 100.0);
+        assert_eq!(cfg.actuator_range, 250.0);
+        assert_eq!(cfg.traffic.sources_per_round, 5);
+        assert_eq!(cfg.qos_deadline.as_secs_f64(), 0.6);
+        assert_eq!(cfg.warmup.as_secs_f64(), 100.0);
+        assert_eq!(cfg.duration.as_secs_f64(), 1000.0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn packets_per_round_at_1mbps() {
+        let cfg = SimConfig::paper();
+        // 1 Mb/s for 10 s at 8000-bit packets = 1250 packets.
+        assert_eq!(cfg.packets_per_round(), 1250);
+        assert_eq!(cfg.packet_gap().as_micros(), 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit placement count mismatch")]
+    fn explicit_placement_must_match_count() {
+        let mut cfg = SimConfig::paper();
+        cfg.placement = ActuatorPlacement::Explicit(vec![Point::new(0.0, 0.0)]);
+        cfg.validate();
+    }
+
+    #[test]
+    fn smoke_is_lighter_than_paper() {
+        let smoke = SimConfig::smoke();
+        assert!(smoke.packets_per_round() < SimConfig::paper().packets_per_round());
+        assert!(smoke.total_time() < SimConfig::paper().total_time());
+    }
+}

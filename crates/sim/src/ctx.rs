@@ -1,0 +1,454 @@
+//! The simulation context: world state plus the API protocols use to act.
+
+use crate::config::SimConfig;
+use crate::energy::EnergyAccount;
+use crate::geometry::Point;
+use crate::message::{DataId, DataRecord, Message};
+use crate::metrics::Metrics;
+use crate::node::{NodeId, NodeKind, NodeState};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An event awaiting dispatch.
+#[derive(Debug)]
+pub(crate) enum EventKind<P> {
+    /// A frame arrives at a node.
+    Deliver { to: NodeId, msg: Message<P> },
+    /// A protocol timer fires.
+    Timer { node: NodeId, tag: u64 },
+    /// One application packet is emitted by a traffic source; `remaining`
+    /// packets follow at the configured gap.
+    EmitPacket { node: NodeId, remaining: u64 },
+    /// New traffic sources are drawn.
+    TrafficRound,
+    /// The faulty-node set rotates.
+    FaultRotation,
+    /// Node positions advance one mobility step.
+    MobilityTick,
+}
+
+pub(crate) struct Scheduled<P> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Scheduled<P> {}
+impl<P> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// World state and protocol-facing API.
+///
+/// A `Ctx` is handed to every [`Protocol`](crate::Protocol) hook. It owns
+/// the event queue, node table, RNG, metrics and application-data tracker.
+/// All methods are deterministic given the configuration seed.
+pub struct Ctx<P> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) actuators: Vec<NodeId>,
+    pub(crate) sensors: Vec<NodeId>,
+    pub(crate) queue: BinaryHeap<Reverse<Scheduled<P>>>,
+    pub(crate) seq: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) data: HashMap<DataId, DataRecord>,
+    pub(crate) next_data_id: u64,
+    pub(crate) end: SimTime,
+    /// Set during `Protocol::on_init`: construction traffic is exempt from
+    /// interface-queue tail drop (all of it is conceptually spread over the
+    /// deployment phase, not burst through a 1.5 s buffer at t = 0).
+    pub(crate) unbounded_queue: bool,
+    /// Optional event trace (None = tracing disabled, zero cost).
+    pub(crate) trace: Option<crate::trace::TraceLog>,
+}
+
+impl<P> Ctx<P> {
+    // ----- clock and configuration ------------------------------------
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scenario configuration (read-only).
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The deterministic run RNG. Protocols must draw all randomness here.
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Enables event tracing with a bounded buffer of `capacity` events.
+    /// Typically called from `Protocol::on_init`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceLog::new(capacity));
+    }
+
+    /// Takes the trace log (if tracing was enabled), leaving tracing on
+    /// with an empty buffer.
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.as_mut().map(crate::trace::TraceLog::drain).unwrap_or_default()
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, make: impl FnOnce(SimTime) -> crate::trace::TraceEvent) {
+        if let Some(log) = self.trace.as_mut() {
+            let at = self.now;
+            log.push(make(at));
+        }
+    }
+
+    // ----- topology queries --------------------------------------------
+
+    /// Number of nodes (sensors + actuators).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids, sensors first then actuators.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The actuator ids.
+    pub fn actuator_ids(&self) -> &[NodeId] {
+        &self.actuators
+    }
+
+    /// The sensor ids.
+    pub fn sensor_ids(&self) -> &[NodeId] {
+        &self.sensors
+    }
+
+    /// Device class of `id`.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// Current position of `id`.
+    pub fn position(&self, id: NodeId) -> Point {
+        self.nodes[id.index()].position
+    }
+
+    /// Transmission range of `id`, meters.
+    pub fn range(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].range
+    }
+
+    /// Whether `id` is currently broken down.
+    pub fn is_faulty(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].faulty
+    }
+
+    /// Remaining battery of `id`, Joules.
+    pub fn battery(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].battery
+    }
+
+    /// Total radio energy `id` has consumed so far, Joules.
+    pub fn consumed_energy(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].consumed
+    }
+
+    /// Distance between two nodes, meters.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance(&self.position(b))
+    }
+
+    /// Whether `b` is inside `a`'s transmission range (under the
+    /// configured link model: the MAC-visible expected reachability).
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.cfg.radio.link.link_up(self.distance(a, b), self.range(a))
+    }
+
+    /// Whether a frame from `a` would currently reach `b`: both alive and
+    /// `b` inside `a`'s range. Models the sender's MAC-level link knowledge
+    /// (ACK feedback / signal strength).
+    pub fn link_ok(&self, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && !self.nodes[a.index()].faulty
+            && !self.nodes[b.index()].faulty
+            && self.in_range(a, b)
+    }
+
+    /// Alive nodes currently within `id`'s range (excluding itself).
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let me = &self.nodes[id.index()];
+        self.node_ids()
+            .filter(|&other| {
+                other != id
+                    && !self.nodes[other.index()].faulty
+                    && me.position.distance(&self.nodes[other.index()].position) <= me.range
+            })
+            .collect()
+    }
+
+    /// How long `id`'s radio queue currently is (time until it could start
+    /// a new transmission).
+    pub fn queue_delay(&self, id: NodeId) -> SimDuration {
+        SimTime::from_micros(self.nodes[id.index()].busy_until_micros).saturating_since(self.now)
+    }
+
+    /// Whether `id` counts as congested: its radio backlog exceeds a tenth
+    /// of the QoS deadline. REFER treats a congested successor like a
+    /// failed one and reroutes (Section III-C2).
+    pub fn is_congested(&self, id: NodeId) -> bool {
+        self.queue_delay(id).as_micros() > self.cfg.qos_deadline.as_micros() / 10
+    }
+
+    // ----- acting -------------------------------------------------------
+
+    /// Sends a unicast frame from `from` to `to`.
+    ///
+    /// Transmit energy is charged to `from` unconditionally (the radio does
+    /// not know in advance whether the receiver is gone). Returns `false` —
+    /// modelling the missing MAC acknowledgment — when the link is down
+    /// (receiver faulty, sender faulty, or out of range); the frame is then
+    /// lost. On success the frame arrives after queueing + service time +
+    /// contention jitter, and receive energy is charged on arrival.
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size_bits: u32,
+        account: EnergyAccount,
+        payload: P,
+    ) -> bool {
+        if !self.unbounded_queue && self.queue_delay(from) > self.cfg.radio.max_queue {
+            // Interface-queue overflow: the frame is tail-dropped before
+            // transmission. The sender's MAC accepted it, so the caller
+            // sees success — the loss is silent, costs no energy, and the
+            // packet simply never arrives.
+            self.metrics.frames_queue_dropped += 1;
+            self.record(|at| crate::trace::TraceEvent::QueueDrop { at, from });
+            return true;
+        }
+        self.charge_tx(from, account);
+        self.metrics.frames_sent += 1;
+        if !self.link_ok(from, to) {
+            self.metrics.frames_failed += 1;
+            self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
+            return false;
+        }
+        // Probabilistic link models can lose an "up" link's frame; the
+        // sender's MAC retries absorb most of it, so a lost draw here
+        // models residual loss after retries (unit disk never loses).
+        let p = self
+            .cfg
+            .radio
+            .link
+            .delivery_prob(self.distance(from, to), self.range(from));
+        if p < 1.0 && !self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+            self.metrics.frames_failed += 1;
+            self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
+            return false;
+        }
+        self.record(|at| crate::trace::TraceEvent::Send { at, from, to, size_bits, account });
+        let arrival = self.tx_schedule(from, to, size_bits);
+        let msg = Message { from, size_bits, account, broadcast: false, payload };
+        self.push(arrival, EventKind::Deliver { to, msg });
+        true
+    }
+
+    /// Broadcasts a frame from `from` to every alive node in range. Returns
+    /// the number of receivers. One transmit charge at the sender, one
+    /// receive charge per receiver.
+    pub fn broadcast(
+        &mut self,
+        from: NodeId,
+        size_bits: u32,
+        account: EnergyAccount,
+        payload: P,
+    ) -> usize
+    where
+        P: Clone,
+    {
+        if !self.unbounded_queue && self.queue_delay(from) > self.cfg.radio.max_queue {
+            self.metrics.frames_queue_dropped += 1;
+            return 0;
+        }
+        self.charge_tx(from, account);
+        self.metrics.broadcasts_sent += 1;
+        if self.nodes[from.index()].faulty {
+            return 0;
+        }
+        let receivers = self.neighbors(from);
+        if receivers.is_empty() {
+            return 0;
+        }
+        // One service occupancy at the sender for the broadcast frame.
+        let base = self.tx_base_schedule(from, size_bits);
+        for &to in &receivers {
+            let jitter = self.sample_jitter();
+            let arrival = base + jitter;
+            self.bump_receiver(to, arrival);
+            let msg =
+                Message { from, size_bits, account, broadcast: true, payload: payload.clone() };
+            self.push(arrival, EventKind::Deliver { to, msg });
+        }
+        let n = receivers.len();
+        self.record(|at| crate::trace::TraceEvent::Broadcast { at, from, receivers: n, account });
+        n
+    }
+
+    /// Schedules a protocol timer on `node` after `delay` with `tag`.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, tag });
+    }
+
+    // ----- application data ---------------------------------------------
+
+    /// Records that application packet `data` reached an actuator at `at`.
+    /// Only the first delivery of each packet counts toward metrics.
+    pub fn deliver_data(&mut self, data: DataId, at: NodeId) {
+        debug_assert!(
+            matches!(self.nodes[at.index()].kind, NodeKind::Actuator),
+            "data must be delivered to an actuator"
+        );
+        let now = self.now;
+        let qos = self.cfg.qos_deadline;
+        let Some(record) = self.data.get_mut(&data) else {
+            return;
+        };
+        if record.delivered.is_some() {
+            return;
+        }
+        record.delivered = Some(now);
+        if !record.measured {
+            return;
+        }
+        let delay = now - record.created;
+        self.metrics.delivered_packets += 1;
+        self.metrics.delivered_delay_sum += delay.as_secs_f64();
+        if delay <= qos {
+            self.metrics.qos_packets += 1;
+            self.metrics.qos_bytes += u64::from(record.size_bits) / 8;
+            self.metrics.qos_delay_sum += delay.as_secs_f64();
+        }
+        let node = at;
+        self.record(|t| crate::trace::TraceEvent::Delivered {
+            at: t,
+            node,
+            delay_s: delay.as_secs_f64(),
+        });
+    }
+
+    /// Records that the protocol gave up on `data`.
+    pub fn drop_data(&mut self, data: DataId) {
+        if let Some(record) = self.data.get(&data) {
+            if record.delivered.is_none() && record.measured {
+                self.metrics.dropped_packets += 1;
+                self.record(|at| crate::trace::TraceEvent::Dropped { at });
+            }
+        }
+    }
+
+    /// The origin node of an application packet.
+    pub fn data_origin(&self, data: DataId) -> Option<NodeId> {
+        self.data.get(&data).map(|r| r.origin)
+    }
+
+    /// The application payload size of a packet, bits.
+    pub fn data_size_bits(&self, data: DataId) -> Option<u32> {
+        self.data.get(&data).map(|r| r.size_bits)
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Computes the arrival time for a unicast and updates both radios'
+    /// busy horizons.
+    fn tx_schedule(&mut self, from: NodeId, to: NodeId, size_bits: u32) -> SimTime {
+        let base = self.tx_base_schedule(from, size_bits);
+        let arrival = base + self.sample_jitter();
+        self.bump_receiver(to, arrival);
+        arrival
+    }
+
+    /// Queues the frame on the sender's radio and returns the time its
+    /// transmission completes (before jitter).
+    fn tx_base_schedule(&mut self, from: NodeId, size_bits: u32) -> SimTime {
+        let service = self.service_time(size_bits);
+        let node = &mut self.nodes[from.index()];
+        let start = self.now.as_micros().max(node.busy_until_micros);
+        let done = start + service.as_micros();
+        node.busy_until_micros = done;
+        SimTime::from_micros(done)
+    }
+
+    fn bump_receiver(&mut self, to: NodeId, arrival: SimTime) {
+        let occupancy = self.cfg.radio.receiver_occupancy;
+        if occupancy <= 0.0 {
+            return;
+        }
+        let node = &mut self.nodes[to.index()];
+        node.busy_until_micros = node.busy_until_micros.max(arrival.as_micros());
+    }
+
+    /// Per-frame service time: payload serialization at the channel bitrate
+    /// plus fixed MAC overhead.
+    pub fn service_time(&self, size_bits: u32) -> SimDuration {
+        let ser = SimDuration::from_secs_f64(f64::from(size_bits) / self.cfg.radio.bitrate_bps);
+        ser + self.cfg.radio.mac_overhead
+    }
+
+    fn sample_jitter(&mut self) -> SimDuration {
+        let max = self.cfg.radio.max_jitter.as_micros();
+        if max == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.rng.gen_range(0..=max))
+    }
+
+    fn charge_tx(&mut self, node: NodeId, account: EnergyAccount) {
+        let model = self.cfg.energy;
+        let state = &mut self.nodes[node.index()];
+        state.battery = (state.battery - model.tx_joules).max(0.0);
+        state.consumed += model.tx_joules;
+        // The paper's energy metric counts sensors only (actuators are
+        // resource-rich / mains-powered).
+        if matches!(state.kind, NodeKind::Sensor) {
+            self.metrics.energy.charge_tx(&model, account);
+        }
+    }
+
+    /// Charges receive energy; invoked by the runner when a frame is
+    /// actually received (a receiver that died in flight pays nothing).
+    pub(crate) fn charge_rx(&mut self, node: NodeId, account: EnergyAccount) {
+        let model = self.cfg.energy;
+        let state = &mut self.nodes[node.index()];
+        state.battery = (state.battery - model.rx_joules).max(0.0);
+        state.consumed += model.rx_joules;
+        if matches!(state.kind, NodeKind::Sensor) {
+            self.metrics.energy.charge_rx(&model, account);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! A naive TTL-scoped flooding protocol.
+//!
+//! Serves two purposes: it exercises the whole engine in the simulator's own
+//! test suite, and it is the "no structure at all" reference point — the
+//! energy cost every overlay in the paper is trying to avoid.
+
+use crate::ctx::Ctx;
+use crate::energy::EnergyAccount;
+use crate::message::{DataId, Message};
+use crate::node::{NodeId, NodeKind};
+use crate::protocol::Protocol;
+use std::collections::HashSet;
+
+/// Payload of a flooded data frame.
+#[derive(Debug, Clone)]
+pub struct FloodPayload {
+    /// The application packet being carried.
+    pub data: DataId,
+    /// Remaining hops before the flood dies out.
+    pub ttl: u8,
+}
+
+/// Flooding: every data packet is broadcast with a hop budget; each node
+/// rebroadcasts unseen packets until an actuator absorbs them.
+#[derive(Debug, Clone)]
+pub struct FloodProtocol {
+    /// Initial TTL for each packet's flood.
+    pub ttl: u8,
+    seen: HashSet<(NodeId, DataId)>,
+}
+
+impl FloodProtocol {
+    /// Creates a flooding protocol with the given hop budget.
+    pub fn new(ttl: u8) -> Self {
+        FloodProtocol { ttl, seen: HashSet::new() }
+    }
+}
+
+impl Protocol for FloodProtocol {
+    type Payload = FloodPayload;
+
+    fn name(&self) -> &'static str {
+        "Flooding"
+    }
+
+    fn on_init(&mut self, _ctx: &mut Ctx<FloodPayload>) {}
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<FloodPayload>, src: NodeId, data: DataId) {
+        let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
+        self.seen.insert((src, data));
+        let payload = FloodPayload { data, ttl: self.ttl };
+        if ctx.broadcast(src, size, EnergyAccount::Communication, payload) == 0 {
+            ctx.drop_data(data);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<FloodPayload>, at: NodeId, msg: Message<FloodPayload>) {
+        if !self.seen.insert((at, msg.payload.data)) {
+            return; // duplicate suppression
+        }
+        if matches!(ctx.kind(at), NodeKind::Actuator) {
+            ctx.deliver_data(msg.payload.data, at);
+            return;
+        }
+        if msg.payload.ttl == 0 {
+            return;
+        }
+        let payload = FloodPayload { data: msg.payload.data, ttl: msg.payload.ttl - 1 };
+        ctx.broadcast(at, msg.size_bits, EnergyAccount::Communication, payload);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<FloodPayload>, _at: NodeId, _tag: u64) {}
+}

@@ -1,0 +1,147 @@
+//! Run metrics: the three quantities the paper's figures report, plus
+//! supporting counters.
+
+use crate::energy::EnergyLedger;
+use crate::time::SimDuration;
+
+/// Raw counters accumulated during a run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Bytes of application data delivered within the QoS deadline
+    /// (measured window only).
+    pub qos_bytes: u64,
+    /// Number of QoS-compliant deliveries.
+    pub qos_packets: u64,
+    /// Sum of delays of QoS-compliant deliveries, seconds.
+    pub qos_delay_sum: f64,
+    /// All deliveries (including late ones), measured window only.
+    pub delivered_packets: u64,
+    /// Sum of delays over all deliveries, seconds.
+    pub delivered_delay_sum: f64,
+    /// Application packets handed to the protocol in the measured window.
+    pub offered_packets: u64,
+    /// Packets explicitly dropped by the protocol.
+    pub dropped_packets: u64,
+    /// Unicast frames sent (all accounts).
+    pub frames_sent: u64,
+    /// Broadcast frames sent (all accounts).
+    pub broadcasts_sent: u64,
+    /// Frames that failed at send time (dead link / faulty receiver).
+    pub frames_failed: u64,
+    /// Frames tail-dropped by interface-queue overflow.
+    pub frames_queue_dropped: u64,
+    /// Energy totals per account and mode.
+    pub energy: EnergyLedger,
+}
+
+/// The per-run summary the figure harness consumes.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunSummary {
+    /// QoS throughput, bytes per second of measured time (Figures 4, 7).
+    pub throughput_bps: f64,
+    /// Mean end-to-end delay of QoS-compliant packets, seconds
+    /// (Figures 6, 8).
+    pub mean_delay_s: f64,
+    /// Energy consumed in communication, Joules (Figures 5, 9).
+    pub energy_communication_j: f64,
+    /// Energy consumed in topology construction, Joules (Figure 10).
+    pub energy_construction_j: f64,
+    /// Fraction of offered packets delivered within the deadline.
+    pub qos_delivery_ratio: f64,
+    /// Fraction of offered packets delivered at all.
+    pub delivery_ratio: f64,
+    /// Mean delay over all deliveries (not just QoS-compliant), seconds.
+    pub mean_delay_all_s: f64,
+    /// Unicast frames sent during the whole run.
+    pub frames_sent: u64,
+    /// Broadcast frames sent during the whole run.
+    pub broadcasts_sent: u64,
+    /// Highest per-sensor energy consumption, Joules: the hotspot a
+    /// load-balancing topology tries to avoid.
+    pub hotspot_energy_j: f64,
+    /// Jain fairness index of per-sensor energy consumption in `(0, 1]`
+    /// (1 = perfectly even load).
+    pub energy_fairness: f64,
+}
+
+/// Jain's fairness index of a load vector: `(sum x)^2 / (n * sum x^2)`.
+/// Returns 1.0 for an empty or all-zero vector (no load is evenly no load).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+impl Metrics {
+    /// Produces the run summary for a measured window of `measured` length.
+    pub fn summarize(&self, measured: SimDuration) -> RunSummary {
+        let secs = measured.as_secs_f64().max(f64::EPSILON);
+        let offered = self.offered_packets.max(1) as f64;
+        RunSummary {
+            throughput_bps: self.qos_bytes as f64 / secs,
+            mean_delay_s: if self.qos_packets > 0 {
+                self.qos_delay_sum / self.qos_packets as f64
+            } else {
+                0.0
+            },
+            energy_communication_j: self.energy.communication_total(),
+            energy_construction_j: self.energy.construction_total(),
+            qos_delivery_ratio: self.qos_packets as f64 / offered,
+            delivery_ratio: self.delivered_packets as f64 / offered,
+            mean_delay_all_s: if self.delivered_packets > 0 {
+                self.delivered_delay_sum / self.delivered_packets as f64
+            } else {
+                0.0
+            },
+            frames_sent: self.frames_sent,
+            broadcasts_sent: self.broadcasts_sent,
+            hotspot_energy_j: 0.0,
+            energy_fairness: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_divides_by_measured_window() {
+        let mut m = Metrics::default();
+        m.qos_bytes = 600_000;
+        m.qos_packets = 600;
+        m.qos_delay_sum = 60.0;
+        m.delivered_packets = 700;
+        m.delivered_delay_sum = 140.0;
+        m.offered_packets = 1000;
+        let s = m.summarize(SimDuration::from_secs(100));
+        assert_eq!(s.throughput_bps, 6_000.0);
+        assert_eq!(s.mean_delay_s, 0.1);
+        assert_eq!(s.mean_delay_all_s, 0.2);
+        assert_eq!(s.qos_delivery_ratio, 0.6);
+        assert_eq!(s.delivery_ratio, 0.7);
+    }
+
+    #[test]
+    fn jain_fairness_behaviour() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One node carrying everything: fairness = 1/n.
+        assert!((jain_fairness(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let skewed = jain_fairness(&[9.0, 1.0, 1.0, 1.0]);
+        assert!(skewed > 0.25 && skewed < 1.0);
+    }
+
+    #[test]
+    fn summary_handles_empty_run() {
+        let s = Metrics::default().summarize(SimDuration::from_secs(10));
+        assert_eq!(s.throughput_bps, 0.0);
+        assert_eq!(s.mean_delay_s, 0.0);
+        assert_eq!(s.qos_delivery_ratio, 0.0);
+    }
+}

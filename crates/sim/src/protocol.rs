@@ -1,0 +1,54 @@
+//! The protocol trait: how a routing system plugs into the simulator.
+
+use crate::ctx::Ctx;
+use crate::message::{DataId, Message};
+use crate::node::NodeId;
+use std::fmt::Debug;
+
+/// A routing system under evaluation (REFER, DaTree, D-DEAR, Kautz-overlay,
+/// or any custom protocol).
+///
+/// The simulator is event-driven: it calls these hooks as events fire and
+/// the protocol reacts by sending messages, setting timers and delivering
+/// application data through the [`Ctx`] handle. All protocol state lives in
+/// the implementing type; the simulator never inspects payloads.
+///
+/// Determinism: implementations must derive all randomness from
+/// [`Ctx::rng`], never from global RNGs or wall-clock time.
+pub trait Protocol {
+    /// The protocol's message payload type.
+    type Payload: Clone + Debug;
+
+    /// A short display name for reports ("REFER", "DaTree", ...).
+    fn name(&self) -> &'static str;
+
+    /// Called once at simulated time zero, before any traffic. Topology
+    /// construction (ID assignment, tree building, clustering) happens here,
+    /// usually by sending [`crate::EnergyAccount::Construction`] messages
+    /// and setting timers.
+    fn on_init(&mut self, ctx: &mut Ctx<Self::Payload>);
+
+    /// A frame addressed to (or broadcast into the range of) `at` arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Payload>, at: NodeId, msg: Message<Self::Payload>);
+
+    /// A timer set via [`Ctx::set_timer`] for `at` fired with `tag`.
+    fn on_timer(&mut self, ctx: &mut Ctx<Self::Payload>, at: NodeId, tag: u64);
+
+    /// The application on `src` produced a data packet to report to a nearby
+    /// actuator. The protocol owns addressing and forwarding; it must call
+    /// [`Ctx::deliver_data`] when the packet reaches an actuator (or
+    /// [`Ctx::drop_data`] when it gives up).
+    fn on_app_data(&mut self, ctx: &mut Ctx<Self::Payload>, src: NodeId, data: DataId);
+
+    /// Fault rotation notice: `failed` just broke down and `recovered` came
+    /// back. Most protocols ignore this (failures are *discovered* through
+    /// link errors); it exists so tests can model perfect failure detectors.
+    fn on_fault_rotation(
+        &mut self,
+        ctx: &mut Ctx<Self::Payload>,
+        failed: &[NodeId],
+        recovered: &[NodeId],
+    ) {
+        let _ = (ctx, failed, recovered);
+    }
+}

@@ -1,0 +1,359 @@
+//! The discrete-event loop: placement, traffic generation, mobility, fault
+//! rotation and event dispatch.
+
+use crate::config::{ActuatorPlacement, SimConfig};
+use crate::ctx::{Ctx, EventKind};
+use crate::geometry::Point;
+use crate::message::{DataId, DataRecord};
+use crate::metrics::RunSummary;
+use crate::node::{NodeId, NodeKind, NodeState};
+use crate::protocol::Protocol;
+use crate::time::SimTime;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Runs one simulation of `protocol` under `cfg` and returns the summary.
+///
+/// The run is fully deterministic given `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+pub fn run<P: Protocol>(cfg: SimConfig, protocol: &mut P) -> RunSummary {
+    cfg.validate();
+    let mut ctx = build_ctx::<P::Payload>(cfg);
+    ctx.unbounded_queue = true;
+    protocol.on_init(&mut ctx);
+    ctx.unbounded_queue = false;
+    // Construction bursts through at t=0; radios start steady state clear.
+    for node in &mut ctx.nodes {
+        node.busy_until_micros = 0;
+    }
+
+    // Drivers: traffic from t=0 (warmup traffic flows but is not measured),
+    // mobility from the first tick, fault rotation from the first boundary.
+    ctx.push(SimTime::ZERO, EventKind::TrafficRound);
+    let mob_tick = ctx.cfg.mobility.tick;
+    ctx.push(SimTime::ZERO + mob_tick, EventKind::MobilityTick);
+    if ctx.cfg.faults.count > 0 {
+        let rot = ctx.cfg.faults.rotation;
+        ctx.push(SimTime::ZERO + rot, EventKind::FaultRotation);
+    }
+
+    let end = ctx.end;
+    let mut faulty_set: Vec<NodeId> = Vec::new();
+    while let Some(std::cmp::Reverse(ev)) = ctx.queue.pop() {
+        if ev.at > end {
+            break;
+        }
+        debug_assert!(ev.at >= ctx.now, "event queue went backwards");
+        ctx.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { to, msg } => {
+                if ctx.nodes[to.index()].faulty {
+                    continue; // receiver died in flight; frame lost
+                }
+                ctx.charge_rx(to, msg.account);
+                protocol.on_message(&mut ctx, to, msg);
+            }
+            EventKind::Timer { node, tag } => {
+                // Timers fire even on faulty nodes so periodic chains are
+                // not permanently severed by a transient fault; protocols
+                // check `ctx.is_faulty` before acting.
+                protocol.on_timer(&mut ctx, node, tag);
+            }
+            EventKind::EmitPacket { node, remaining } => {
+                emit_packet(&mut ctx, protocol, node, remaining);
+            }
+            EventKind::TrafficRound => {
+                traffic_round(&mut ctx);
+            }
+            EventKind::FaultRotation => {
+                rotate_faults(&mut ctx, protocol, &mut faulty_set);
+            }
+            EventKind::MobilityTick => {
+                mobility_tick(&mut ctx);
+            }
+        }
+    }
+    let mut summary = ctx.metrics.summarize(ctx.cfg.duration);
+    let consumed: Vec<f64> = ctx
+        .sensors
+        .iter()
+        .map(|&s| ctx.nodes[s.index()].consumed)
+        .collect();
+    summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
+    summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
+    summary
+}
+
+/// Convenience: runs and also returns the protocol for post-hoc inspection
+/// in tests.
+pub fn run_owned<P: Protocol>(cfg: SimConfig, mut protocol: P) -> (RunSummary, P) {
+    let summary = run(cfg, &mut protocol);
+    (summary, protocol)
+}
+
+fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut nodes = Vec::with_capacity(cfg.sensors + cfg.actuators);
+    let mut sensors = Vec::with_capacity(cfg.sensors);
+    let mut actuators = Vec::with_capacity(cfg.actuators);
+
+    let actuator_pts = actuator_positions(&cfg, &mut rng);
+    for _ in 0..cfg.sensors {
+        let p = sensor_position(&cfg, &actuator_pts, &mut rng);
+        let battery = cfg.initial_battery * rng.gen_range(0.8..=1.2);
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(NodeState::new(NodeKind::Sensor, p, cfg.sensor_range, battery));
+        sensors.push(id);
+    }
+
+    for p in actuator_pts {
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(NodeState::new(NodeKind::Actuator, p, cfg.actuator_range, f64::INFINITY));
+        actuators.push(id);
+    }
+
+    let end = SimTime::ZERO + cfg.total_time();
+    Ctx {
+        cfg,
+        now: SimTime::ZERO,
+        nodes,
+        actuators,
+        sensors,
+        queue: std::collections::BinaryHeap::new(),
+        seq: 0,
+        rng,
+        metrics: crate::metrics::Metrics::default(),
+        data: HashMap::new(),
+        next_data_id: 0,
+        end,
+        unbounded_queue: false,
+        trace: None,
+    }
+}
+
+fn actuator_positions(cfg: &SimConfig, rng: &mut rand::rngs::StdRng) -> Vec<Point> {
+    match &cfg.placement {
+        ActuatorPlacement::Explicit(points) => points.clone(),
+        ActuatorPlacement::UniformRandom => (0..cfg.actuators)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=cfg.area.width),
+                    rng.gen_range(0.0..=cfg.area.height),
+                )
+            })
+            .collect(),
+        ActuatorPlacement::Quincunx => {
+            let w = cfg.area.width;
+            let h = cfg.area.height;
+            let mut pts = vec![
+                Point::new(0.25 * w, 0.25 * h),
+                Point::new(0.75 * w, 0.25 * h),
+                Point::new(0.25 * w, 0.75 * h),
+                Point::new(0.75 * w, 0.75 * h),
+                Point::new(0.50 * w, 0.50 * h),
+            ];
+            // More than 5 actuators: fill in uniformly at random; fewer:
+            // truncate (center actuator is kept last so 5 is the quincunx).
+            while pts.len() < cfg.actuators {
+                pts.push(Point::new(
+                    rng.gen_range(0.0..=w),
+                    rng.gen_range(0.0..=h),
+                ));
+            }
+            pts.truncate(cfg.actuators);
+            pts
+        }
+    }
+}
+
+fn sensor_position(
+    cfg: &SimConfig,
+    actuators: &[Point],
+    rng: &mut rand::rngs::StdRng,
+) -> Point {
+    match cfg.sensor_placement {
+        crate::config::SensorPlacement::UniformArea => Point::new(
+            rng.gen_range(0.0..=cfg.area.width),
+            rng.gen_range(0.0..=cfg.area.height),
+        ),
+        crate::config::SensorPlacement::AroundActuators { radius } => {
+            let anchor = actuators[rng.gen_range(0..actuators.len())];
+            // Uniform over the disc: radius scaled by sqrt of a uniform.
+            let r = radius * rng.gen_range(0.0f64..=1.0).sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            cfg.area.clamp(Point::new(anchor.x + r * theta.cos(), anchor.y + r * theta.sin()))
+        }
+    }
+}
+
+fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
+    // Draw the new source set among alive sensors.
+    let alive: Vec<NodeId> = ctx
+        .sensors
+        .iter()
+        .copied()
+        .filter(|id| !ctx.nodes[id.index()].faulty)
+        .collect();
+    let n = ctx.cfg.traffic.sources_per_round.min(alive.len());
+    let sources: Vec<NodeId> = alive
+        .choose_multiple(&mut ctx.rng, n)
+        .copied()
+        .collect();
+    let packets = ctx.cfg.packets_per_round();
+    let now = ctx.now;
+    for src in sources {
+        if packets > 0 {
+            ctx.push(now, EventKind::EmitPacket { node: src, remaining: packets - 1 });
+        }
+    }
+    let next = now + ctx.cfg.traffic.round_interval;
+    if next <= ctx.end {
+        ctx.push(next, EventKind::TrafficRound);
+    }
+}
+
+fn emit_packet<P: Protocol>(
+    ctx: &mut Ctx<P::Payload>,
+    protocol: &mut P,
+    node: NodeId,
+    remaining: u64,
+) {
+    if !ctx.nodes[node.index()].faulty {
+        let id = DataId(ctx.next_data_id);
+        ctx.next_data_id += 1;
+        let measured = ctx.now >= SimTime::ZERO + ctx.cfg.warmup;
+        ctx.data.insert(
+            id,
+            DataRecord {
+                origin: node,
+                created: ctx.now,
+                size_bits: ctx.cfg.traffic.packet_bits,
+                delivered: None,
+                measured,
+            },
+        );
+        if measured {
+            ctx.metrics.offered_packets += 1;
+        }
+        protocol.on_app_data(ctx, node, id);
+    }
+    if remaining > 0 {
+        let next = ctx.now + ctx.cfg.packet_gap();
+        ctx.push(next, EventKind::EmitPacket { node, remaining: remaining - 1 });
+    }
+}
+
+fn rotate_faults<P: Protocol>(
+    ctx: &mut Ctx<P::Payload>,
+    protocol: &mut P,
+    faulty_set: &mut Vec<NodeId>,
+) {
+    let recovered = std::mem::take(faulty_set);
+    for &id in &recovered {
+        ctx.nodes[id.index()].faulty = false;
+    }
+    let count = ctx.cfg.faults.count.min(ctx.sensors.len());
+    let sensors = ctx.sensors.clone();
+    let failed: Vec<NodeId> = sensors
+        .choose_multiple(&mut ctx.rng, count)
+        .copied()
+        .collect();
+    for &id in &failed {
+        ctx.nodes[id.index()].faulty = true;
+    }
+    *faulty_set = failed.clone();
+    {
+        let (f, r) = (failed.clone(), recovered.clone());
+        ctx.record(move |at| wsan_sim_trace_event(at, f, r));
+    }
+    protocol.on_fault_rotation(ctx, &failed, &recovered);
+    let next = ctx.now + ctx.cfg.faults.rotation;
+    if next <= ctx.end {
+        ctx.push(next, EventKind::FaultRotation);
+    }
+}
+
+fn wsan_sim_trace_event(
+    at: crate::time::SimTime,
+    failed: Vec<NodeId>,
+    recovered: Vec<NodeId>,
+) -> crate::trace::TraceEvent {
+    crate::trace::TraceEvent::FaultRotation { at, failed, recovered }
+}
+
+fn mobility_tick<Pl>(ctx: &mut Ctx<Pl>) {
+    match ctx.cfg.mobility.model {
+        crate::config::MobilityModel::RandomWaypoint => random_waypoint_tick(ctx),
+        crate::config::MobilityModel::GaussMarkov { alpha } => gauss_markov_tick(ctx, alpha),
+    }
+    let next = ctx.now + ctx.cfg.mobility.tick;
+    if next <= ctx.end {
+        ctx.push(next, EventKind::MobilityTick);
+    }
+}
+
+fn random_waypoint_tick<Pl>(ctx: &mut Ctx<Pl>) {
+    let dt = ctx.cfg.mobility.tick.as_secs_f64();
+    let area = ctx.cfg.area;
+    let (min_s, max_s) = (ctx.cfg.mobility.min_speed, ctx.cfg.mobility.max_speed);
+    let sensors = ctx.sensors.clone();
+    for id in sensors {
+        // Random waypoint: walk toward the waypoint; on arrival pick a new
+        // destination and speed.
+        let need_new = {
+            let node = &ctx.nodes[id.index()];
+            node.position == node.waypoint || node.speed <= 0.0
+        };
+        if need_new {
+            let wp = Point::new(
+                ctx.rng.gen_range(0.0..=area.width),
+                ctx.rng.gen_range(0.0..=area.height),
+            );
+            let speed = if max_s > min_s { ctx.rng.gen_range(min_s..=max_s) } else { max_s };
+            let node = &mut ctx.nodes[id.index()];
+            node.waypoint = wp;
+            node.speed = speed;
+        }
+        let node = &mut ctx.nodes[id.index()];
+        let step = node.speed * dt;
+        node.position = area.clamp(node.position.step_toward(&node.waypoint, step));
+    }
+}
+
+fn gauss_markov_tick<Pl>(ctx: &mut Ctx<Pl>, alpha: f64) {
+    // Velocity AR(1): v' = a*v + (1-a)*mean + sqrt(1-a^2)*noise, with zero
+    // mean velocity and noise scaled to keep speeds near the configured
+    // mean; positions reflect off the area boundary.
+    let dt = ctx.cfg.mobility.tick.as_secs_f64();
+    let area = ctx.cfg.area;
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mean_speed = (ctx.cfg.mobility.min_speed + ctx.cfg.mobility.max_speed) / 2.0;
+    let noise = (1.0 - alpha * alpha).sqrt() * mean_speed;
+    let sensors = ctx.sensors.clone();
+    for id in sensors {
+        let (nx, ny): (f64, f64) = (
+            ctx.rng.gen_range(-1.0..=1.0),
+            ctx.rng.gen_range(-1.0..=1.0),
+        );
+        let node = &mut ctx.nodes[id.index()];
+        let (vx, vy) = node.velocity;
+        let mut vx = alpha * vx + noise * nx;
+        let mut vy = alpha * vy + noise * ny;
+        let mut x = node.position.x + vx * dt;
+        let mut y = node.position.y + vy * dt;
+        if x < 0.0 || x > area.width {
+            vx = -vx;
+            x = x.clamp(0.0, area.width);
+        }
+        if y < 0.0 || y > area.height {
+            vy = -vy;
+            y = y.clamp(0.0, area.height);
+        }
+        node.velocity = (vx, vy);
+        node.position = Point::new(x, y);
+    }
+}

@@ -1,0 +1,189 @@
+//! Optional event tracing: a bounded in-memory log of what happened on
+//! the (simulated) air, for debugging protocols and building timelines.
+//!
+//! Tracing is off by default and costs nothing when disabled. Enable it
+//! with [`Ctx::enable_trace`](crate::Ctx::enable_trace); drain the log
+//! afterwards with [`Ctx::take_trace`](crate::Ctx::take_trace) (or from
+//! the protocol during the run).
+
+use crate::energy::EnergyAccount;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceEvent {
+    /// A unicast frame was accepted by the sender's radio.
+    Send {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Frame size, bits.
+        size_bits: u32,
+        /// Billing ledger.
+        account: EnergyAccount,
+    },
+    /// A unicast failed at send time (link down / receiver faulty).
+    SendFailed {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A frame was tail-dropped by the sender's full interface queue.
+    QueueDrop {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+    },
+    /// A broadcast frame was accepted by the sender's radio.
+    Broadcast {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Number of receivers in range.
+        receivers: usize,
+        /// Billing ledger.
+        account: EnergyAccount,
+    },
+    /// An application packet reached an actuator.
+    Delivered {
+        /// When.
+        at: SimTime,
+        /// Receiving actuator.
+        node: NodeId,
+        /// End-to-end delay, seconds.
+        delay_s: f64,
+    },
+    /// The protocol gave up on an application packet.
+    Dropped {
+        /// When.
+        at: SimTime,
+    },
+    /// The faulty set rotated.
+    FaultRotation {
+        /// When.
+        at: SimTime,
+        /// Nodes that just broke.
+        failed: Vec<NodeId>,
+        /// Nodes that just recovered.
+        recovered: Vec<NodeId>,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::SendFailed { at, .. }
+            | TraceEvent::QueueDrop { at, .. }
+            | TraceEvent::Broadcast { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Dropped { at }
+            | TraceEvent::FaultRotation { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded trace buffer: keeps the most recent `capacity` events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events observed, including evicted ones.
+    pub observed: u64,
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            observed: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.observed += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the retained events out, leaving the log empty (counters
+    /// keep running).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(us: u64) -> TraceEvent {
+        TraceEvent::Dropped { at: SimTime::from_micros(us) }
+    }
+
+    #[test]
+    fn bounded_eviction_keeps_most_recent() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.push(ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.observed, 5);
+        let times: Vec<u64> = log.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut log = TraceLog::new(0);
+        log.push(ev(1));
+        assert!(log.is_empty());
+        assert_eq!(log.observed, 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_counting() {
+        let mut log = TraceLog::new(8);
+        log.push(ev(1));
+        log.push(ev(2));
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        log.push(ev(3));
+        assert_eq!(log.observed, 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the simulator's pure components: statistics,
+//! geometry and time arithmetic.
+
+use proptest::prelude::*;
+use wsan_sim::stats::{ci95, mean, std_dev};
+use wsan_sim::{Area, Point, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn mean_is_within_sample_bounds(xs in prop::collection::vec(-1e6..1e6f64, 1..50)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_is_nonnegative_and_zero_for_constants(x in -1e6..1e6f64, n in 2usize..30) {
+        let xs = vec![x; n];
+        // Constant samples: zero spread up to floating-point rounding.
+        prop_assert!(std_dev(&xs).abs() < 1e-6 * (1.0 + x.abs()));
+        prop_assert!(std_dev(&[x, x + 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn ci_contains_the_mean(xs in prop::collection::vec(-1e3..1e3f64, 2..30)) {
+        let s = ci95(&xs);
+        prop_assert!(s.ci95 >= 0.0);
+        prop_assert!(s.lo() <= s.mean && s.mean <= s.hi());
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn more_samples_of_same_spread_narrow_the_ci(x in -10.0..10.0f64) {
+        let small: Vec<f64> = (0..4).map(|i| x + (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..24).map(|i| x + (i % 2) as f64).collect();
+        prop_assert!(ci95(&large).ci95 < ci95(&small).ci95);
+    }
+
+    #[test]
+    fn step_toward_never_overshoots(ax in 0.0..500.0f64, ay in 0.0..500.0, bx in 0.0..500.0, by in 0.0..500.0, step in 0.0..1e3f64) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let moved = a.step_toward(&b, step);
+        let travelled = a.distance(&moved);
+        prop_assert!(travelled <= step + 1e-9 || moved == b);
+        // Moving toward b never increases the remaining distance.
+        prop_assert!(moved.distance(&b) <= a.distance(&b) + 1e-9);
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_contained(x in -1e3..1e3f64, y in -1e3..1e3f64) {
+        let area = Area::new(500.0, 500.0);
+        let c = area.clamp(Point::new(x, y));
+        prop_assert!(area.contains(&c));
+        prop_assert_eq!(area.clamp(c), c);
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        let later = t + d;
+        prop_assert_eq!(later - t, d);
+        prop_assert_eq!(later.saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_seconds_round_trip(secs in 0.0..1e5f64) {
+        let d = SimDuration::from_secs_f64(secs);
+        prop_assert!((d.as_secs_f64() - secs).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Cross-cell actuator coordination over the CAN upper tier
+//! (Section III-B3).
+//!
+//! Half of the sensed events are addressed to a *remote* cell's actuator —
+//! e.g. a sprinkler in another wing must pre-charge when smoke is detected
+//! here. Frames travel sensor -> local cell actuator (Kautz routing) ->
+//! destination cell (CAN CID routing) -> destination actuator.
+//!
+//! ```text
+//! cargo run --example cross_cell_coordination --release
+//! ```
+
+use refer_wsan::refer::{ReferConfig, ReferProtocol};
+use refer_wsan::wsan_sim::{runner, SimConfig, SimDuration};
+
+fn main() {
+    let mut rcfg = ReferConfig::default();
+    rcfg.cross_cell_fraction = 0.5;
+
+    let mut cfg = SimConfig::paper();
+    cfg.warmup = SimDuration::from_secs(20);
+    cfg.duration = SimDuration::from_secs(120);
+    cfg.traffic.rate_bps = 200_000.0;
+    cfg.seed = 12;
+
+    let mut protocol = ReferProtocol::new(rcfg);
+    let summary = runner::run(cfg, &mut protocol);
+
+    println!("cross-cell coordination over the CAN tier (50% remote events):\n");
+    let layout = protocol.layout().expect("cells formed");
+    println!("  cells:              {}", layout.cells.len());
+    println!("  inter-cell hops:    {}", protocol.stats.inter_cell_hops);
+    println!("  QoS throughput:     {:.0} B/s", summary.throughput_bps);
+    println!("  mean delay:         {:.1} ms", summary.mean_delay_s * 1e3);
+    println!("  delivery ratio:     {:.1} %", summary.delivery_ratio * 100.0);
+    println!();
+    println!("the DHT keeps inter-cell routing at O(sqrt(cells)) actuator hops,");
+    println!("so remote events cost only a few extra transmissions.");
+    assert!(protocol.stats.inter_cell_hops > 0, "remote traffic used the tier");
+}

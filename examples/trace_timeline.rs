@@ -1,0 +1,103 @@
+//! Event tracing: record what happened on the air during a REFER run and
+//! print a condensed timeline.
+//!
+//! Demonstrates protocol composition: a thin wrapper enables the
+//! simulator's trace buffer at init and delegates everything to REFER.
+//!
+//! ```text
+//! cargo run --example trace_timeline --release
+//! ```
+
+use refer_wsan::refer::{ReferConfig, ReferProtocol};
+use refer_wsan::wsan_sim::trace::TraceEvent;
+use refer_wsan::wsan_sim::{
+    runner, Ctx, DataId, Message, NodeId, Protocol, SimConfig, SimDuration,
+};
+
+/// Wraps any protocol and records the simulator's event trace.
+struct Traced<P> {
+    inner: P,
+    events: Vec<TraceEvent>,
+}
+
+impl<P: Protocol> Protocol for Traced<P> {
+    type Payload = P::Payload;
+    fn name(&self) -> &'static str {
+        "Traced"
+    }
+    fn on_init(&mut self, ctx: &mut Ctx<P::Payload>) {
+        ctx.enable_trace(50_000);
+        self.inner.on_init(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<P::Payload>, at: NodeId, msg: Message<P::Payload>) {
+        self.inner.on_message(ctx, at, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<P::Payload>, at: NodeId, tag: u64) {
+        self.inner.on_timer(ctx, at, tag);
+        // Periodically drain so the bounded buffer never evicts.
+        self.events.extend(ctx.take_trace());
+    }
+    fn on_app_data(&mut self, ctx: &mut Ctx<P::Payload>, src: NodeId, data: DataId) {
+        self.inner.on_app_data(ctx, src, data);
+    }
+}
+
+fn main() {
+    let mut cfg = SimConfig::smoke();
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg.faults.count = 6;
+    cfg.traffic.rate_bps = 24_000.0;
+    cfg.seed = 9;
+
+    let traced: Traced<ReferProtocol> =
+        Traced { inner: ReferProtocol::new(ReferConfig::default()), events: Vec::new() };
+    let (summary, mut traced) = runner::run_owned::<Traced<ReferProtocol>>(cfg, traced);
+    // The last batch stays in the buffer until drained.
+    let events = std::mem::take(&mut traced.events);
+
+    let mut sends = 0u64;
+    let mut failures = 0u64;
+    let mut broadcasts = 0u64;
+    let mut deliveries = 0u64;
+    let mut fault_rotations = 0u64;
+    for e in &events {
+        match e {
+            TraceEvent::Send { .. } => sends += 1,
+            TraceEvent::SendFailed { .. } => failures += 1,
+            TraceEvent::Broadcast { .. } => broadcasts += 1,
+            TraceEvent::Delivered { .. } => deliveries += 1,
+            TraceEvent::FaultRotation { .. } => fault_rotations += 1,
+            _ => {}
+        }
+    }
+    println!("traced {} events over the run:", events.len());
+    println!("  unicast sends:    {sends}");
+    println!("  link failures:    {failures}");
+    println!("  broadcasts:       {broadcasts}");
+    println!("  deliveries:       {deliveries}");
+    println!("  fault rotations:  {fault_rotations}");
+    println!();
+    println!("first link failure and the recovery around it:");
+    if let Some(pos) = events.iter().position(|e| matches!(e, TraceEvent::SendFailed { .. })) {
+        for e in events.iter().skip(pos.saturating_sub(1)).take(6) {
+            match e {
+                TraceEvent::Send { at, from, to, .. } => {
+                    println!("  {at}  {from} -> {to}  (send)")
+                }
+                TraceEvent::SendFailed { at, from, to } => {
+                    println!("  {at}  {from} -> {to}  (LINK FAILED; relay reroutes)")
+                }
+                TraceEvent::Broadcast { at, from, receivers, .. } => {
+                    println!("  {at}  {from} broadcast to {receivers} receivers")
+                }
+                TraceEvent::Delivered { at, node, delay_s } => {
+                    println!("  {at}  delivered at {node} after {:.1} ms", delay_s * 1e3)
+                }
+                other => println!("  {}  {other:?}", other.at()),
+            }
+        }
+    }
+    println!("\nrun summary: {:.0} B/s QoS, {:.1}% delivered", summary.throughput_bps,
+        summary.delivery_ratio * 100.0);
+}

@@ -1,0 +1,42 @@
+//! # refer-wsan — a reproduction of REFER (Li & Shen, ICDCS 2012)
+//!
+//! *A Kautz-based Real-time, Fault-tolerant and EneRgy-efficient Wireless
+//! Sensor and Actuator Network.*
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`kautz`] — Kautz digraph theory: identifiers, enumeration, the greedy
+//!   shortest protocol, and Theorem 3.8's ID-only `d`-disjoint-path planner.
+//! * [`wsan_sim`] — the discrete-event WSAN simulator substrate (mobility,
+//!   unit-disk radio with queueing, per-packet energy metering, fault
+//!   injection, QoS metrics).
+//! * [`can_dht`] — a Content-Addressable Network, REFER's inter-cell tier.
+//! * [`refer`] — the system itself: cell partitioning, Kautz embedding,
+//!   topology maintenance and the fault-tolerant routing protocol.
+//! * [`refer_baselines`] — the paper's comparison systems: DaTree, D-DEAR
+//!   and the application-layer Kautz overlay.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use refer_wsan::refer::{ReferConfig, ReferProtocol};
+//! use refer_wsan::wsan_sim::{runner, SimConfig, SimDuration};
+//!
+//! let mut cfg = SimConfig::smoke();
+//! cfg.duration = SimDuration::from_secs(20);
+//! let mut protocol = ReferProtocol::new(ReferConfig::default());
+//! let summary = runner::run(cfg, &mut protocol);
+//! println!("QoS throughput: {:.0} B/s", summary.throughput_bps);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness regenerating the paper's Figures 4-11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use can_dht;
+pub use kautz;
+pub use refer;
+pub use refer_baselines;
+pub use wsan_sim;

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the four systems on the shared
+//! substrate, and the paper's headline comparative claims at smoke scale.
+
+use refer_wsan::refer::{ReferConfig, ReferProtocol};
+use refer_wsan::refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
+use refer_wsan::wsan_sim::{runner, RunSummary, SimConfig, SimDuration};
+
+fn scenario(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper();
+    cfg.warmup = SimDuration::from_secs(20);
+    cfg.duration = SimDuration::from_secs(120);
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_all(seed: u64) -> [RunSummary; 4] {
+    [
+        runner::run(scenario(seed), &mut ReferProtocol::new(ReferConfig::default())),
+        runner::run(scenario(seed), &mut DaTreeProtocol::default()),
+        runner::run(scenario(seed), &mut DdearProtocol::default()),
+        runner::run(scenario(seed), &mut KautzOverlayProtocol::default()),
+    ]
+}
+
+#[test]
+fn all_four_systems_deliver_data() {
+    let [refer, datree, ddear, overlay] = run_all(1);
+    for (name, s) in [
+        ("REFER", &refer),
+        ("DaTree", &datree),
+        ("D-DEAR", &ddear),
+        ("Kautz-overlay", &overlay),
+    ] {
+        assert!(s.delivery_ratio > 0.3, "{name} barely delivers: {s:?}");
+        assert!(s.energy_communication_j > 0.0, "{name} consumed no energy");
+    }
+}
+
+#[test]
+fn construction_energy_ordering_matches_figure_10() {
+    // Kautz-overlay >> REFER > D-DEAR > DaTree.
+    let [refer, datree, ddear, overlay] = run_all(2);
+    assert!(
+        overlay.energy_construction_j > refer.energy_construction_j,
+        "overlay {} vs refer {}",
+        overlay.energy_construction_j,
+        refer.energy_construction_j
+    );
+    assert!(
+        refer.energy_construction_j > ddear.energy_construction_j,
+        "refer {} vs ddear {}",
+        refer.energy_construction_j,
+        ddear.energy_construction_j
+    );
+    assert!(
+        ddear.energy_construction_j > datree.energy_construction_j,
+        "ddear {} vs datree {}",
+        ddear.energy_construction_j,
+        datree.energy_construction_j
+    );
+}
+
+#[test]
+fn refer_spends_least_communication_energy() {
+    // Figure 5/9's headline: REFER's topology consistency and ID-only
+    // recovery make it the cheapest communicator.
+    let [refer, datree, ddear, overlay] = run_all(3);
+    assert!(refer.energy_communication_j < datree.energy_communication_j);
+    assert!(refer.energy_communication_j < ddear.energy_communication_j);
+    assert!(refer.energy_communication_j < overlay.energy_communication_j);
+}
+
+#[test]
+fn overlay_without_topology_consistency_is_slowest() {
+    // Figure 6/8: application-layer Kautz pays multi-hop physical paths
+    // per overlay hop.
+    let [refer, _, _, overlay] = run_all(4);
+    assert!(
+        overlay.mean_delay_all_s > refer.mean_delay_all_s,
+        "overlay {} vs refer {}",
+        overlay.mean_delay_all_s,
+        refer.mean_delay_all_s
+    );
+    assert!(overlay.throughput_bps < refer.throughput_bps);
+}
+
+#[test]
+fn refer_throughput_resists_faults() {
+    // Figure 7 at the 10-faulty-node end: REFER keeps its throughput.
+    let mut faulty = scenario(5);
+    faulty.faults.count = 10;
+    let clean = runner::run(scenario(5), &mut ReferProtocol::new(ReferConfig::default()));
+    let dirty = runner::run(faulty, &mut ReferProtocol::new(ReferConfig::default()));
+    assert!(
+        dirty.throughput_bps > clean.throughput_bps * 0.7,
+        "clean {} vs faulty {}",
+        clean.throughput_bps,
+        dirty.throughput_bps
+    );
+}
+
+#[test]
+fn constant_degree_balances_load_better_than_trees() {
+    // Kautz cells bound every member's degree by d, so no sensor becomes
+    // the funnel a tree's root-adjacent relays are: REFER's hottest sensor
+    // burns less than DaTree's, and its energy spread is fairer.
+    let [refer, datree, _, _] = run_all(6);
+    assert!(
+        refer.hotspot_energy_j < datree.hotspot_energy_j,
+        "REFER hotspot {} vs DaTree {}",
+        refer.hotspot_energy_j,
+        datree.hotspot_energy_j
+    );
+    assert!(
+        refer.energy_fairness > datree.energy_fairness,
+        "REFER fairness {} vs DaTree {}",
+        refer.energy_fairness,
+        datree.energy_fairness
+    );
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The kautz theory, the CAN and the simulator are reachable through
+    // the facade and interoperate.
+    use refer_wsan::can_dht::{CanNetwork, Coord};
+    use refer_wsan::kautz::{greedy_path, KautzGraph};
+
+    let g = KautzGraph::new(2, 3).expect("valid");
+    let nodes: Vec<_> = g.nodes().collect();
+    let path = greedy_path(&nodes[0], &nodes[5]).expect("routable");
+    assert!(!path.is_empty());
+
+    let mut can = CanNetwork::new();
+    let a = can.join(Coord::new(0.2, 0.8)).expect("bootstrap");
+    can.join(Coord::new(0.9, 0.1)).expect("join");
+    assert!(can.route(a, &Coord::new(0.9, 0.1)).is_some());
+}
