@@ -10,12 +10,13 @@
 //! physical break triggers a re-flood (Figures 5 and 9's energy).
 
 use crate::flood::{discover, ControlPayload};
-use kautz::KautzId;
+use kautz::{KautzId, RouteTable};
 use refer::cells::plan_cells;
 use refer::embedding::EmbeddingPlan;
-use refer::routing::{route_choices, RouteHeader};
+use refer::routing::route_choices_indexed;
 use rand::seq::SliceRandom;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wsan_sim::{
     Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Point, Protocol,
 };
@@ -100,13 +101,25 @@ pub struct OverlayStats {
 
 const MAX_OVERLAY_HOPS: u8 = 16;
 
+/// One overlay cell: corner actuators plus the KID -> node roster and its
+/// dense-index mirror (used by the forwarding hot path so an overlay step
+/// costs two array reads instead of a `BTreeMap` clone + walk).
+#[derive(Debug)]
+struct OvCell {
+    corners: Vec<NodeId>,
+    roster: BTreeMap<KautzId, NodeId>,
+    roster_idx: Vec<Option<NodeId>>,
+}
+
 /// The Kautz-overlay protocol.
 #[derive(Debug)]
 pub struct KautzOverlayProtocol {
     cfg: KautzOverlayConfig,
     plan: EmbeddingPlan,
-    /// Per cell: corner actuators and KID -> node roster.
-    cells: Vec<(Vec<NodeId>, BTreeMap<KautzId, NodeId>)>,
+    /// Dense Theorem 3.8 tables for the cell graph `K(degree, 3)`, shared
+    /// with REFER's routing layer.
+    route_table: Arc<RouteTable>,
+    cells: Vec<OvCell>,
     /// node -> memberships.
     member_cells: BTreeMap<NodeId, Vec<(usize, KautzId)>>,
     /// Physical route per overlay arc (from-node, to-node).
@@ -124,9 +137,13 @@ impl KautzOverlayProtocol {
     /// Creates a Kautz-overlay instance.
     pub fn new(cfg: KautzOverlayConfig) -> Self {
         let plan = EmbeddingPlan::for_degree(cfg.degree);
+        let route_table = Arc::new(
+            RouteTable::new(cfg.degree, 3).expect("cell graph degree within MAX_DEGREE"),
+        );
         KautzOverlayProtocol {
             cfg,
             plan,
+            route_table,
             cells: Vec::new(),
             member_cells: BTreeMap::new(),
             paths: BTreeMap::new(),
@@ -179,14 +196,18 @@ impl KautzOverlayProtocol {
                 }
             }
             let idx = self.cells.len();
+            let mut roster_idx = vec![None; self.route_table.node_count()];
             for (kid, &node) in &roster {
                 self.member_cells.entry(node).or_default().push((idx, kid.clone()));
+                if let Some(i) = self.route_table.index_of(kid) {
+                    roster_idx[i] = Some(node);
+                }
             }
-            self.cells.push((corners, roster));
+            self.cells.push(OvCell { corners, roster, roster_idx });
         }
         // Every overlay arc needs a flooding-built physical route.
         for cell_idx in 0..self.cells.len() {
-            let roster = self.cells[cell_idx].1.clone();
+            let roster = self.cells[cell_idx].roster.clone();
             for (kid, &from) in &roster {
                 for succ in kid.successors() {
                     let Some(&to) = roster.get(&succ) else { continue };
@@ -232,8 +253,20 @@ impl KautzOverlayProtocol {
             }
             return;
         }
-        let header = RouteHeader { dest_kid: frame.dest_kid.clone(), forced_digit: frame.forced };
-        let choices = match route_choices(&kid, &header, ctx.rng()) {
+        let (Some(at_idx), Some(dest_idx)) =
+            (self.route_table.index_of(&kid), self.route_table.index_of(&frame.dest_kid))
+        else {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        };
+        let choices = match route_choices_indexed(
+            &self.route_table,
+            at_idx,
+            dest_idx,
+            frame.forced,
+            ctx.rng(),
+        ) {
             Ok(c) => c,
             Err(_) => {
                 ctx.drop_data(frame.data);
@@ -241,9 +274,9 @@ impl KautzOverlayProtocol {
                 return;
             }
         };
-        let roster = self.cells[frame.cell].1.clone();
+        let roster_idx = &self.cells[frame.cell].roster_idx;
         let pick = choices.iter().enumerate().find_map(|(i, c)| {
-            let n = roster.get(&c.successor).copied()?;
+            let n = roster_idx[c.successor as usize]?;
             if n == node || ctx.is_faulty(n) {
                 return None;
             }
@@ -412,7 +445,7 @@ impl Protocol for KautzOverlayProtocol {
             return;
         };
         let (cell, _) = self.member_cells[&access][0].clone();
-        let corners = self.cells[cell].0.clone();
+        let corners = self.cells[cell].corners.clone();
         let nearest = corners
             .iter()
             .enumerate()

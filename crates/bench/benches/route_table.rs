@@ -1,0 +1,93 @@
+//! Micro-benchmark: per-packet routing cost with and without the dense
+//! [`RouteTable`].
+//!
+//! Measures the two operations a relay performs for every data frame —
+//! the greedy shortest next hop and the full Theorem 3.8 disjoint-plan
+//! set — through the allocating `KautzId` API (`greedy_next_hop`,
+//! `disjoint_paths`) and through the precomputed table (`next_hop`,
+//! `disjoint_plans`). The README's Performance section records the
+//! resulting speedups; the acceptance bar is `RouteTable::next_hop` at
+//! least 10x faster than per-call `greedy_next_hop` on `K(4, 4)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kautz::disjoint::disjoint_paths;
+use kautz::routing::greedy_next_hop;
+use kautz::{KautzGraph, KautzId, RouteTable};
+use std::hint::black_box;
+
+fn pairs(graph: &KautzGraph, take: usize) -> Vec<(KautzId, KautzId)> {
+    let nodes: Vec<KautzId> = graph.nodes().collect();
+    let n = nodes.len();
+    let mut out = Vec::with_capacity(take);
+    // Deterministic spread of pairs across the graph.
+    for i in 0..take {
+        let u = &nodes[(i * 7) % n];
+        let v = &nodes[(i * 13 + n / 2) % n];
+        if u != v {
+            out.push((u.clone(), v.clone()));
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table");
+    for (d, k) in [(2u8, 3usize), (4, 4)] {
+        let graph = KautzGraph::new(d, k).expect("valid parameters");
+        let table = RouteTable::new(d, k).expect("valid parameters");
+        let sample = pairs(&graph, 64);
+        let indexed: Vec<(usize, usize)> = sample
+            .iter()
+            .map(|(u, v)| (u.to_index(), v.to_index()))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("greedy_next_hop", format!("K({d},{k})")),
+            &sample,
+            |b, sample| {
+                b.iter(|| {
+                    for (u, v) in sample {
+                        black_box(greedy_next_hop(u, v).expect("distinct"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("table_next_hop", format!("K({d},{k})")),
+            &indexed,
+            |b, indexed| {
+                b.iter(|| {
+                    for &(u, v) in indexed {
+                        black_box(table.next_hop(u, v).expect("distinct"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_paths", format!("K({d},{k})")),
+            &sample,
+            |b, sample| {
+                b.iter(|| {
+                    for (u, v) in sample {
+                        black_box(disjoint_paths(u, v).expect("distinct"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("table_disjoint_plans", format!("K({d},{k})")),
+            &indexed,
+            |b, indexed| {
+                b.iter(|| {
+                    for &(u, v) in indexed {
+                        black_box(table.disjoint_plans(u, v));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

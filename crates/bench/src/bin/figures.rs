@@ -116,7 +116,7 @@ fn main() {
         for result in &results {
             let path = format!("{out}/sweep_{:?}.json", result.sweep).to_lowercase();
             let mut f = std::fs::File::create(&path).expect("create json");
-            let json = serde_json::to_string_pretty(result).expect("serialize sweep");
+            let json = refer_bench::json::to_json(result);
             f.write_all(json.as_bytes()).expect("write json");
             eprintln!("wrote {path}");
         }

@@ -28,8 +28,8 @@ fn main() {
         let path = format!("{input}/{name}");
         match std::fs::read_to_string(&path) {
             Ok(json) => {
-                let sweep: SweepResult =
-                    serde_json::from_str(&json).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                let sweep: SweepResult = refer_bench::json::from_json(&json)
+                    .unwrap_or_else(|e| panic!("parse {path}: {e}"));
                 sweeps.push(sweep);
             }
             Err(_) => eprintln!("skipping {path} (not found)"),

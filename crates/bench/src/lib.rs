@@ -10,16 +10,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod svgplot;
 
 use refer::{ReferConfig, ReferProtocol};
 use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
-use serde::{Deserialize, Serialize};
 use wsan_sim::harness::{aggregate, AggregateSummary};
 use wsan_sim::{runner, RunSummary, SimConfig, SimDuration};
 
 /// The four systems of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum System {
     /// REFER (this paper).
     Refer,
@@ -59,7 +59,7 @@ pub fn run_system(cfg: &SimConfig, system: System) -> RunSummary {
 }
 
 /// Which parameter sweep a figure belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sweep {
     /// Figures 4-5: node speed drawn from `[0, x]` m/s, x in 1..=5; the
     /// plotted x-axis is the mean speed `x/2`.
@@ -108,7 +108,7 @@ impl Sweep {
 }
 
 /// The metric a figure plots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// QoS throughput, bytes/second.
     Throughput,
@@ -145,7 +145,7 @@ impl Metric {
 }
 
 /// One of the paper's evaluation figures.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Figure {
     /// Figure number in the paper (4..=11).
     pub id: u32,
@@ -205,7 +205,7 @@ pub fn bench_config(fig: &Figure) -> SimConfig {
 }
 
 /// One aggregated data point of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The simulation parameter value.
     pub x: f64,
@@ -216,7 +216,7 @@ pub struct SweepPoint {
 }
 
 /// A full sweep result (feeds several figures).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Which sweep.
     pub sweep: Sweep,
@@ -230,8 +230,13 @@ pub struct SweepResult {
 
 /// Runs a full sweep: every x value, every system, every seed.
 ///
-/// `progress` is invoked after each completed simulation with a
-/// human-readable label (the `figures` binary prints these).
+/// The seeds of each (x, system) batch run concurrently on scoped threads;
+/// every trial is an isolated simulation deterministically seeded by
+/// `cfg.seed`, so the per-seed summaries are bit-identical to a serial
+/// sweep and aggregate in seed order.
+///
+/// `progress` is invoked after each completed batch, once per simulation,
+/// with a human-readable label (the `figures` binary prints these).
 pub fn run_sweep(
     sweep: Sweep,
     seeds: &[u64],
@@ -242,12 +247,18 @@ pub fn run_sweep(
     for x in sweep.x_values() {
         let mut systems = Vec::new();
         for system in SYSTEMS {
-            let mut runs = Vec::new();
+            let mut runs: Vec<Option<RunSummary>> = (0..seeds.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, &seed) in runs.iter_mut().zip(seeds) {
+                    let mut cfg = base_config(scale);
+                    sweep.configure(&mut cfg, x);
+                    cfg.seed = seed;
+                    scope.spawn(move || *slot = Some(run_system(&cfg, system)));
+                }
+            });
+            let runs: Vec<RunSummary> =
+                runs.into_iter().map(|r| r.expect("every trial completes")).collect();
             for &seed in seeds {
-                let mut cfg = base_config(scale);
-                sweep.configure(&mut cfg, x);
-                cfg.seed = seed;
-                runs.push(run_system(&cfg, system));
                 progress(&format!("{sweep:?} x={x} {} seed={seed}", system.name()));
             }
             systems.push(aggregate(&runs));

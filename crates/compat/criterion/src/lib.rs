@@ -1,0 +1,299 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`bench_with_input`/`finish`,
+//! [`Bencher::iter`], [`BenchmarkId`] and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then
+//! timed over a fixed number of samples whose per-iteration wall-clock
+//! times are reported as median / mean / min on stdout. There are no HTML
+//! reports, no statistical regression analysis and no saved baselines —
+//! just stable, dependency-free numbers for relative comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measure_for: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) `cargo bench` CLI arguments; present so the
+    /// `criterion_main!` expansion matches upstream usage.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.warm_up, self.measure_for, &mut f);
+        report(&name.into(), &stats);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(
+            self.sample_size,
+            Duration::from_millis(300),
+            Duration::from_millis(1500),
+            &mut |b| f(b, input),
+        );
+        report(&format!("{}/{}", self.name, id.label), &stats);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(
+            self.sample_size,
+            Duration::from_millis(300),
+            Duration::from_millis(1500),
+            &mut f,
+        );
+        report(&format!("{}/{}", self.name, id.into_benchmark_id().label), &stats);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this shim prints
+    /// eagerly, so it is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts strings.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Per-iteration durations collected by the active `iter` call.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output via a black box.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // per-iteration cost so the timed phase can batch appropriately.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+
+        // Batch iterations so each sample takes roughly an equal share of
+        // the measurement budget; at least one iteration per sample.
+        let budget_ns = self.measure_for.as_nanos() as u64 / self.sample_size.max(1) as u64;
+        let iters_per_sample = (budget_ns / per_iter.max(1)).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+}
+
+/// Summary statistics for one benchmark.
+struct Stats {
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+}
+
+fn run_bench<F>(sample_size: usize, warm_up: Duration, measure_for: Duration, f: &mut F) -> Stats
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        warm_up,
+        measure_for,
+    };
+    f(&mut bencher);
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    let min = sorted.first().copied().unwrap_or_default();
+    let total: Duration = sorted.iter().sum();
+    let mean = if sorted.is_empty() {
+        Duration::ZERO
+    } else {
+        total / sorted.len() as u32
+    };
+    Stats {
+        median,
+        mean,
+        min,
+        samples: sorted.len(),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(label: &str, stats: &Stats) {
+    println!(
+        "bench {label:<50} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
+        fmt_duration(stats.median),
+        fmt_duration(stats.mean),
+        fmt_duration(stats.min),
+        stats.samples
+    );
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group_name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; this
+            // shim has no CLI, so arguments are accepted and ignored.
+            $($group();)+
+        }
+    };
+}

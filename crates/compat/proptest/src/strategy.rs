@@ -1,0 +1,254 @@
+//! Strategies: deterministic samplers for test inputs.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A source of test values. Unlike upstream proptest there is no value
+/// tree / shrinking: a strategy is simply a deterministic sampler.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters produced values; sampling retries until `f` accepts (with a
+    /// bounded number of attempts).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Boxes a strategy; used by `prop_oneof!` to give all branches one type.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    Box::new(strategy)
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let value = self.inner.sample(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields clones of one value, mirroring `Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Weighted union of boxed strategies; output of `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` branches.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        let total_weight = branches.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union {
+            branches,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, branch) in &self.branches {
+            if pick < *weight as u64 {
+                return branch.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("pick is always below the total weight")
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A range of collection sizes (from `usize`, `a..b` or `a..=b`).
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for the workspace's dormant optional `serde`
+//! dependency.
+//!
+//! The build environment has no access to crates.io. The `serde` feature of
+//! `kautz`, `wsan-sim` and `can-dht` is never enabled inside this
+//! workspace, so this crate only needs to exist for dependency resolution;
+//! it intentionally provides no derives or traits. Enabling those crates'
+//! `serde` features requires restoring the real `serde` dependency.
+
+#![forbid(unsafe_code)]

@@ -24,11 +24,12 @@ use crate::cells::{plan_cells, CellLayout};
 use crate::config::ReferConfig;
 use crate::embedding::EmbeddingPlan;
 use crate::maintenance::{battery_low, can_replace, link_endangered};
-use crate::routing::{route_choices, RouteHeader};
+use crate::routing::route_choices_indexed;
 use crate::tier::DhtTier;
-use kautz::KautzId;
+use kautz::{KautzId, RouteTable};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use wsan_sim::{Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Protocol, SimDuration};
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
@@ -121,6 +122,10 @@ struct CellState {
     corners: [NodeId; 3],
     /// KID -> current owner node.
     roster: BTreeMap<KautzId, NodeId>,
+    /// Dense mirror of `roster` indexed by [`kautz::KautzId::to_index`],
+    /// giving forwarding an O(1) owner lookup instead of a `BTreeMap`
+    /// walk. Kept in sync by `assign_kid` and the initial cell build.
+    roster_idx: Vec<Option<NodeId>>,
     /// Construction finished.
     ready: bool,
 }
@@ -178,6 +183,10 @@ pub struct ReferStats {
 pub struct ReferProtocol {
     rcfg: ReferConfig,
     plan: EmbeddingPlan,
+    /// Dense Theorem 3.8 tables for the cell graph `K(degree, 3)`, built
+    /// once at construction and shared with any consumer that routes over
+    /// the same graph (e.g. the bench harness or baseline overlays).
+    route_table: Arc<RouteTable>,
     layout: Option<CellLayout>,
     tier: Option<DhtTier>,
     /// Actuator node per layout index.
@@ -205,9 +214,13 @@ impl ReferProtocol {
     /// Creates a REFER instance with the given parameters.
     pub fn new(rcfg: ReferConfig) -> Self {
         let plan = EmbeddingPlan::for_degree(rcfg.degree);
+        let route_table = Arc::new(
+            RouteTable::new(rcfg.degree, 3).expect("cell graph degree within MAX_DEGREE"),
+        );
         ReferProtocol {
             rcfg,
             plan,
+            route_table,
             layout: None,
             tier: None,
             actuator_nodes: Vec::new(),
@@ -236,9 +249,17 @@ impl ReferProtocol {
         self.cells.get(cell).map(|c| &c.roster)
     }
 
+    /// The shared dense route table for the cell graph `K(degree, 3)`.
+    pub fn route_table(&self) -> &Arc<RouteTable> {
+        &self.route_table
+    }
+
     // ----- roster bookkeeping -------------------------------------------
 
     fn assign_kid(&mut self, cell: usize, kid: KautzId, node: NodeId) {
+        if let Some(idx) = self.route_table.index_of(&kid) {
+            self.cells[cell].roster_idx[idx] = Some(node);
+        }
         if let Some(prev) = self.cells[cell].roster.insert(kid.clone(), node) {
             self.remove_membership(prev, cell, &kid);
         }
@@ -323,10 +344,14 @@ impl ReferProtocol {
                     actuator_nodes[cell.corners[2]],
                 ];
                 let mut roster = BTreeMap::new();
+                let mut roster_idx = vec![None; self.route_table.node_count()];
                 for (kid, &node) in self.plan.actuator_kids.iter().zip(corners.iter()) {
                     roster.insert(kid.clone(), node);
+                    if let Some(idx) = self.route_table.index_of(kid) {
+                        roster_idx[idx] = Some(node);
+                    }
                 }
-                CellState { corners, roster, ready: false }
+                CellState { corners, roster, roster_idx, ready: false }
             })
             .collect();
         for (idx, cell) in self.cells.iter().enumerate() {
@@ -782,11 +807,20 @@ impl ReferProtocol {
         kid: KautzId,
         frame: DataFrame,
     ) {
+        // Both endpoints live in the cell graph the table was built for;
+        // a frame that does not (foreign degree) is undeliverable.
+        let (Some(at_idx), Some(dest_idx)) =
+            (self.route_table.index_of(&kid), self.route_table.index_of(&frame.dest_kid))
+        else {
+            ctx.drop_data(frame.data);
+            self.stats.drop_no_successor += 1;
+            return;
+        };
         // Section III-C2: a node forwards over "a path with the lowest
         // delay, which could be either a multi-hop path or direct path".
         // When the destination itself is in range and uncongested, the
         // direct path is the lowest-delay choice.
-        if let Some(&dest) = self.cells[frame.dest_cell].roster.get(&frame.dest_kid) {
+        if let Some(dest) = self.cells[frame.dest_cell].roster_idx[dest_idx] {
             if ctx.link_ok(node, dest) && !ctx.is_congested(dest) {
                 let size = ctx
                     .data_size_bits(frame.data)
@@ -796,9 +830,13 @@ impl ReferProtocol {
                 return;
             }
         }
-        let header =
-            RouteHeader { dest_kid: frame.dest_kid.clone(), forced_digit: frame.forced };
-        let choices = match route_choices(&kid, &header, ctx.rng()) {
+        let choices = match route_choices_indexed(
+            &self.route_table,
+            at_idx,
+            dest_idx,
+            frame.forced,
+            ctx.rng(),
+        ) {
             Ok(c) => c,
             Err(_) => {
                 ctx.drop_data(frame.data);
@@ -806,15 +844,11 @@ impl ReferProtocol {
                 return;
             }
         };
-        // Resolve successor KIDs to nodes up front so the roster borrow
-        // does not outlive the picking logic.
-        let resolved: Vec<(Option<NodeId>, Option<u8>)> = {
-            let roster = &self.cells[frame.dest_cell].roster;
-            choices
-                .iter()
-                .map(|c| (roster.get(&c.successor).copied(), c.forced_digit))
-                .collect()
-        };
+        let roster_idx = &self.cells[frame.dest_cell].roster_idx;
+        let resolved: Vec<(Option<NodeId>, Option<u8>)> = choices
+            .iter()
+            .map(|c| (roster_idx[c.successor as usize], c.forced_digit))
+            .collect();
         // First pass: live and uncongested; second pass: live.
         let pick = resolved
             .iter()
@@ -833,10 +867,7 @@ impl ReferProtocol {
             // Last resort, per Section III-C2's lowest-delay rule: if the
             // destination itself is directly reachable, skip the broken
             // overlay hop and deliver straight.
-            let direct = self.cells[frame.dest_cell]
-                .roster
-                .get(&frame.dest_kid)
-                .copied()
+            let direct = self.cells[frame.dest_cell].roster_idx[dest_idx]
                 .filter(|&d| ctx.link_ok(node, d));
             if let Some(dest) = direct {
                 let size = ctx
@@ -887,23 +918,30 @@ impl ReferProtocol {
                 return;
             };
             let my_kid = self.kid_in_cell(node, home_cell).expect("sensor membership");
-            let header = RouteHeader { dest_kid: owner_kid, forced_digit: None };
-            let choices = match route_choices(&my_kid, &header, ctx.rng()) {
+            let (Some(at_idx), Some(owner_idx)) =
+                (self.route_table.index_of(&my_kid), self.route_table.index_of(&owner_kid))
+            else {
+                ctx.drop_data(frame.data);
+                return;
+            };
+            let choices = match route_choices_indexed(
+                &self.route_table,
+                at_idx,
+                owner_idx,
+                None,
+                ctx.rng(),
+            ) {
                 Ok(c) => c,
                 Err(_) => {
                     ctx.drop_data(frame.data);
                     return;
                 }
             };
-            let pick = {
-                let roster = &self.cells[home_cell].roster;
-                choices.iter().find_map(|c| {
-                    roster
-                        .get(&c.successor)
-                        .copied()
-                        .filter(|&n| n != node && ctx.link_ok(node, n))
-                })
-            };
+            let roster_idx = &self.cells[home_cell].roster_idx;
+            let pick = choices.iter().find_map(|c| {
+                roster_idx[c.successor as usize]
+                    .filter(|&n| n != node && ctx.link_ok(node, n))
+            });
             let Some(next) = pick else {
                 ctx.drop_data(frame.data);
                 self.stats.drop_no_successor += 1;
@@ -1254,6 +1292,7 @@ mod tests {
         p.cells.push(CellState {
             corners: [NodeId(100), NodeId(101), NodeId(102)],
             roster: BTreeMap::new(),
+            roster_idx: vec![None; p.route_table.node_count()],
             ready: false,
         });
         let kid = KautzId::parse("010", 2).expect("valid");

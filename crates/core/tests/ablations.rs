@@ -25,8 +25,7 @@ fn maintenance_keeps_the_topology_alive_under_mobility() {
     };
     let without = {
         let cfg = mobile_cfg(21);
-        let mut rcfg = ReferConfig::default();
-        rcfg.maintenance_enabled = false;
+        let rcfg = ReferConfig { maintenance_enabled: false, ..Default::default() };
         let (s, p) = runner::run_owned(cfg, ReferProtocol::new(rcfg));
         assert_eq!(p.stats.replacements, 0, "ablated runs must not replace");
         s
@@ -43,8 +42,7 @@ fn maintenance_keeps_the_topology_alive_under_mobility() {
 fn ablated_maintenance_spends_less_on_control_but_loses_data() {
     let cfg = mobile_cfg(22);
     let (with_s, _) = runner::run_owned(cfg.clone(), ReferProtocol::new(ReferConfig::default()));
-    let mut rcfg = ReferConfig::default();
-    rcfg.maintenance_enabled = false;
+    let rcfg = ReferConfig { maintenance_enabled: false, ..Default::default() };
     let (without_s, _) = runner::run_owned(cfg, ReferProtocol::new(rcfg));
     // The ablation delivers less...
     assert!(without_s.delivery_ratio < with_s.delivery_ratio + 1e-9);
@@ -58,8 +56,7 @@ fn degree_three_cells_build_and_route() {
     // 36 vertices (3 actuators + 33 sensors), so give the deployment
     // enough sensors and let the embedding (queries + logical fallback)
     // fill all four cells.
-    let mut rcfg = ReferConfig::default();
-    rcfg.degree = 3;
+    let rcfg = ReferConfig { degree: 3, ..Default::default() };
     let mut cfg = SimConfig::smoke();
     cfg.sensors = 220;
     cfg.warmup = SimDuration::from_secs(20);
@@ -82,8 +79,7 @@ fn degree_choice_trades_construction_energy_for_path_diversity() {
     // Larger d embeds more sensors per cell (more construction energy) but
     // gives every relay more disjoint alternatives.
     let run = |degree: u8, seed: u64| {
-        let mut rcfg = ReferConfig::default();
-        rcfg.degree = degree;
+        let rcfg = ReferConfig { degree, ..Default::default() };
         let mut cfg = SimConfig::smoke();
         cfg.sensors = 220;
         cfg.warmup = SimDuration::from_secs(20);

@@ -90,8 +90,7 @@ fn construction_energy_is_separated_from_communication() {
 
 #[test]
 fn cross_cell_traffic_rides_the_can_tier() {
-    let mut rcfg = ReferConfig::default();
-    rcfg.cross_cell_fraction = 0.5;
+    let rcfg = ReferConfig { cross_cell_fraction: 0.5, ..Default::default() };
     let mut cfg = smoke_cfg(7);
     cfg.traffic.rate_bps = 40_000.0;
     let (summary, refer) = runner::run_owned(cfg, ReferProtocol::new(rcfg));

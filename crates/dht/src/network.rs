@@ -141,15 +141,15 @@ impl CanNetwork {
         // coordinate; the joiner takes the other. When the owner's
         // coordinate is not in this zone at all (a takeover zone), the
         // joiner takes the half containing *its* coordinate.
-        let (kept, given) = if half_a.contains(&owner_coord) {
-            (half_a, half_b)
+        let owner_keeps_a = if half_a.contains(&owner_coord) {
+            true
         } else if half_b.contains(&owner_coord) {
-            (half_b, half_a)
-        } else if half_a.contains(&c) {
-            (half_b, half_a)
+            false
         } else {
-            (half_a, half_b)
+            !half_a.contains(&c)
         };
+        let (kept, given) =
+            if owner_keeps_a { (half_a, half_b) } else { (half_b, half_a) };
         owner_node.zones[zone_idx] = kept;
         self.nodes.insert(id, CanNode { coord: c, zones: vec![given], neighbors: Vec::new() });
         self.rebuild_neighbors();

@@ -46,7 +46,7 @@ proptest! {
         let mut members = Vec::new();
         for step in &script {
             apply(&mut net, &mut members, step);
-            net.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            net.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 

@@ -19,6 +19,30 @@
 //!   (Proposition 3.4), so Proposition 3.7 forces it to append `v_{l+1}`
 //!   on its next hop instead, yielding a path of length `k + 2`;
 //! * every other successor starts a path of length `k + 1`.
+//!
+//! # Degenerate periodic pairs (erratum)
+//!
+//! The theorem's constructive paths are *not* always simple or disjoint as
+//! materialized: when `U`'s digit string is periodic and the overlap `l`
+//! is large (e.g. `U = 010`, `V = 102` in `K(2, 3)`), the first-digit
+//! path's digit schedule `u_1 ... u_k v_1 ... v_k` contains `U` itself as
+//! an interior window, so the greedy continuation walks straight back
+//! through the source (`010 -> 101 -> 010 -> 102`); the same fold-back
+//! can occur on a conflict path's tail after its forced hop. On `k >= 4`
+//! graphs, greedy shortcuts (the overlap jumping by more than one) can
+//! additionally merge a non-shortest path into a sibling's relay corridor.
+//!
+//! [`disjoint_paths`] repairs both defects: it materializes all `d` walks,
+//! keeps the provably simple shortest path untouched, and diverts every
+//! offending plan with an alternative [`PathPlan::forced_digit`] — the
+//! smallest digit whose continuation is a simple walk clear of the sibling
+//! paths — claiming the conflict bound `k + 2`. This restores pairwise
+//! internally-vertex-disjoint simple paths for every ordered pair of
+//! `K(2, 3)`, `K(3, 3)`, `K(3, 4)` and `K(4, 4)` (verified exhaustively in
+//! tests). Sole known exception: six `K(2, 4)` pairs (periodic sources
+//! such as `0120 -> 1202`) where all three alphabet digits re-fold, so no
+//! single-forced-digit detour exists and the first-digit walk still
+//! revisits its source.
 
 use crate::error::RoutingError;
 use crate::id::KautzId;
@@ -55,10 +79,12 @@ pub struct PathPlan {
     pub length: usize,
     /// Which case of Theorem 3.8 this path falls under.
     pub class: PathClass,
-    /// For [`PathClass::Conflict`] only: the digit the successor must append
-    /// on its next hop (always `v_{l+1}`) to avoid intersecting the shortest
-    /// path. `None` for all other classes — their relays use the plain
-    /// greedy protocol.
+    /// The digit the successor must append on its next hop instead of
+    /// following the greedy protocol. Set for every [`PathClass::Conflict`]
+    /// plan (normally `v_{l+1}`, Proposition 3.7) and for degenerate
+    /// periodic pairs whose standard continuation would revisit `U` (see
+    /// the module-level erratum). `None` otherwise — those relays use the
+    /// plain greedy protocol.
     pub forced_digit: Option<u8>,
 }
 
@@ -129,8 +155,88 @@ pub fn disjoint_paths(u: &KautzId, v: &KautzId) -> Result<Vec<PathPlan>, Routing
         };
         plans.push(PathPlan { successor, out_digit: alpha, length, class, forced_digit });
     }
+
+    // Degenerate periodic pairs (module-level erratum): the standard
+    // continuation can fold back through U itself, and greedy shortcuts
+    // can merge one path into a sibling's relay corridor. Process plans
+    // shortest-first (the unique shortest path is provably simple and is
+    // never diverted); divert each offender with the smallest forced digit
+    // whose walk is simple — preferring one clear of every sibling — for a
+    // detour within the conflict bound k + 2.
+    let mut walks: Vec<Vec<KautzId>> =
+        plans.iter().map(|p| walk(u, v, &p.successor, p.forced_digit)).collect();
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| (plans[i].length, plans[i].out_digit));
+    for rank in 0..order.len() {
+        let i = order[rank];
+        let settled = is_simple(&walks[i])
+            && order[..rank].iter().all(|&j| interiors_disjoint(&walks[i], &walks[j]));
+        if settled {
+            continue;
+        }
+        let candidates: Vec<(u8, Vec<KautzId>)> = (0..=u.degree())
+            .filter(|&b| b != plans[i].successor.last())
+            .map(|b| (b, walk(u, v, &plans[i].successor, Some(b))))
+            .filter(|(_, w)| is_simple(w))
+            .collect();
+        let found = candidates
+            .iter()
+            .find(|(_, w)| {
+                walks
+                    .iter()
+                    .enumerate()
+                    .all(|(j, other)| j == i || interiors_disjoint(w, other))
+            })
+            .or_else(|| {
+                // Settle for clearing only the higher-priority siblings (a
+                // self-loop or a collision with a shorter path is strictly
+                // worse than sharing a relay with a longer one).
+                candidates.iter().find(|(_, w)| {
+                    order[..rank].iter().all(|&j| interiors_disjoint(w, &walks[j]))
+                })
+            })
+            .cloned();
+        if let Some((beta, w)) = found {
+            plans[i].forced_digit = Some(beta);
+            plans[i].length = k + 2;
+            walks[i] = w;
+        }
+    }
+
     plans.sort_by_key(|p| (p.length, p.out_digit));
     Ok(plans)
+}
+
+/// Whether no interior (non-endpoint) vertex of `a` is an interior of `b`.
+fn interiors_disjoint(a: &[KautzId], b: &[KautzId]) -> bool {
+    a[1..a.len() - 1].iter().all(|x| !b[1..b.len() - 1].contains(x))
+}
+
+/// Materializes the walk `U -> successor -> (forced hop?) -> greedy ... -> V`
+/// exactly as REFER's relays execute it on the wire.
+fn walk(u: &KautzId, v: &KautzId, successor: &KautzId, forced_digit: Option<u8>) -> Vec<KautzId> {
+    let mut path = vec![u.clone(), successor.clone()];
+    if let Some(digit) = forced_digit {
+        if path.last().expect("non-empty") != v {
+            let forced = successor
+                .shift_append(digit)
+                .expect("forced digit differs from the successor's last digit");
+            path.push(forced);
+        }
+    }
+    while path.last().expect("non-empty") != v {
+        let next = greedy_next_hop(path.last().expect("non-empty"), v)
+            .expect("same-graph distinct pair");
+        path.push(next);
+        debug_assert!(path.len() <= 2 * v.k() + 4, "planned route diverged: {path:?} toward {v}");
+    }
+    path
+}
+
+/// Whether the walk never repeats a vertex (the paths of Theorem 3.8 are
+/// claimed to be simple; degenerate periodic pairs violate this).
+fn is_simple(path: &[KautzId]) -> bool {
+    path.iter().enumerate().all(|(i, p)| !path[..i].contains(p))
 }
 
 /// Materializes the full vertex sequence of a planned path: the first hop is
@@ -147,25 +253,7 @@ pub fn disjoint_paths(u: &KautzId, v: &KautzId) -> Result<Vec<PathPlan>, Routing
 /// are equal.
 pub fn plan_route(plan: &PathPlan, u: &KautzId, v: &KautzId) -> Result<Vec<KautzId>, RoutingError> {
     check_pair(u, v)?;
-    let mut path = vec![u.clone(), plan.successor.clone()];
-    if let Some(digit) = plan.forced_digit {
-        if path.last().expect("non-empty") != v {
-            let forced = plan
-                .successor
-                .shift_append(digit)
-                .expect("forced digit v_{l+1} differs from the conflict successor's last digit u_{k-l}");
-            path.push(forced);
-        }
-    }
-    while path.last().expect("non-empty") != v {
-        let next = greedy_next_hop(path.last().expect("non-empty"), v)?;
-        path.push(next);
-        debug_assert!(
-            path.len() <= 2 * v.k() + 4,
-            "planned route diverged: {path:?} toward {v}"
-        );
-    }
-    Ok(path)
+    Ok(walk(u, v, &plan.successor, plan.forced_digit))
 }
 
 /// The in-digit (Definition 3) of a materialized path: the first digit of
@@ -197,7 +285,7 @@ mod tests {
         let v = id("2301", 4);
         let plans = disjoint_paths(&u, &v).expect("routable");
         for plan in &plans {
-            let path = plan_route(&plan, &u, &v).expect("routable");
+            let path = plan_route(plan, &u, &v).expect("routable");
             let got = in_digit(&path).expect("paths have length >= 2");
             let expected = match plan.class {
                 PathClass::Shortest => 1,

@@ -17,6 +17,9 @@
 //! * [`disjoint`] — **Theorem 3.8**: the `d` vertex-disjoint `U -> V`
 //!   paths, their successors, lengths and the conflict-node rule
 //!   (Propositions 3.3–3.7), computed purely from the two identifiers.
+//! * [`table`] — [`RouteTable`]: dense precomputed successor / next-hop /
+//!   Theorem 3.8 tables giving allocation-free O(1) lookups for forwarding
+//!   hot paths.
 //! * [`brute`] — brute-force reference algorithms (BFS, DFTR-style route
 //!   generation) used to verify the theorem and as the ablation baseline.
 //! * [`props`] — Section III-A's feasibility results: degree/diameter
@@ -50,9 +53,11 @@ mod graph;
 mod id;
 pub mod props;
 pub mod routing;
+pub mod table;
 
 pub use disjoint::{disjoint_paths, PathClass, PathPlan};
 pub use error::{KautzIdError, RoutingError};
 pub use graph::{KautzGraph, Nodes};
 pub use id::KautzId;
 pub use routing::{greedy_next_hop, greedy_path};
+pub use table::{PlanSet, RouteTable, TablePlan};

@@ -106,11 +106,12 @@ impl Default for FaultConfig {
 }
 
 /// How link success depends on distance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkModel {
     /// Classic unit disk: frames within the range always arrive, frames
     /// beyond it never do (the paper's model).
+    #[default]
     UnitDisk,
     /// Log-distance shadowing approximation: delivery probability decays
     /// smoothly through the nominal range following a logistic curve of
@@ -149,18 +150,13 @@ impl LinkModel {
     }
 }
 
-impl Default for LinkModel {
-    fn default() -> Self {
-        LinkModel::UnitDisk
-    }
-}
-
 /// How sensors move between mobility ticks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MobilityModel {
     /// Random waypoint without pause (the paper's model): pick a uniform
     /// destination, walk to it at a uniform speed, repeat.
+    #[default]
     RandomWaypoint,
     /// Gauss-Markov: velocity evolves as an AR(1) process with memory
     /// `alpha` in `[0, 1]` (1 = straight-line ballistic, 0 = fully random
@@ -169,12 +165,6 @@ pub enum MobilityModel {
         /// Velocity memory coefficient.
         alpha: f64,
     },
-}
-
-impl Default for MobilityModel {
-    fn default() -> Self {
-        MobilityModel::RandomWaypoint
-    }
 }
 
 /// Radio/MAC timing model: per-hop service time plus a uniformly random

@@ -78,9 +78,14 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 
 impl Metrics {
     /// Produces the run summary for a measured window of `measured` length.
+    ///
+    /// When no traffic was offered in the measured window, the delivery
+    /// ratios are undefined and reported as [`f64::NAN`] — a run that
+    /// delivered 0 of 0 packets must not masquerade as a 0% (or any other)
+    /// delivery ratio when aggregated across seeds.
     pub fn summarize(&self, measured: SimDuration) -> RunSummary {
         let secs = measured.as_secs_f64().max(f64::EPSILON);
-        let offered = self.offered_packets.max(1) as f64;
+        let offered = self.offered_packets as f64;
         RunSummary {
             throughput_bps: self.qos_bytes as f64 / secs,
             mean_delay_s: if self.qos_packets > 0 {
@@ -111,13 +116,15 @@ mod tests {
 
     #[test]
     fn summary_divides_by_measured_window() {
-        let mut m = Metrics::default();
-        m.qos_bytes = 600_000;
-        m.qos_packets = 600;
-        m.qos_delay_sum = 60.0;
-        m.delivered_packets = 700;
-        m.delivered_delay_sum = 140.0;
-        m.offered_packets = 1000;
+        let m = Metrics {
+            qos_bytes: 600_000,
+            qos_packets: 600,
+            qos_delay_sum: 60.0,
+            delivered_packets: 700,
+            delivered_delay_sum: 140.0,
+            offered_packets: 1000,
+            ..Default::default()
+        };
         let s = m.summarize(SimDuration::from_secs(100));
         assert_eq!(s.throughput_bps, 6_000.0);
         assert_eq!(s.mean_delay_s, 0.1);
@@ -142,6 +149,8 @@ mod tests {
         let s = Metrics::default().summarize(SimDuration::from_secs(10));
         assert_eq!(s.throughput_bps, 0.0);
         assert_eq!(s.mean_delay_s, 0.0);
-        assert_eq!(s.qos_delivery_ratio, 0.0);
+        // 0 delivered of 0 offered is undefined, not a 0% delivery ratio.
+        assert!(s.qos_delivery_ratio.is_nan());
+        assert!(s.delivery_ratio.is_nan());
     }
 }

@@ -149,15 +149,16 @@ fn actuator_positions(cfg: &SimConfig, rng: &mut rand::rngs::StdRng) -> Vec<Poin
         ActuatorPlacement::Quincunx => {
             let w = cfg.area.width;
             let h = cfg.area.height;
+            // Center first: truncating to fewer than 5 actuators must keep
+            // the center (the best-covering single position), then corners.
             let mut pts = vec![
+                Point::new(0.50 * w, 0.50 * h),
                 Point::new(0.25 * w, 0.25 * h),
                 Point::new(0.75 * w, 0.25 * h),
                 Point::new(0.25 * w, 0.75 * h),
                 Point::new(0.75 * w, 0.75 * h),
-                Point::new(0.50 * w, 0.50 * h),
             ];
-            // More than 5 actuators: fill in uniformly at random; fewer:
-            // truncate (center actuator is kept last so 5 is the quincunx).
+            // More than 5 actuators: fill in uniformly at random.
             while pts.len() < cfg.actuators {
                 pts.push(Point::new(
                     rng.gen_range(0.0..=w),
@@ -355,5 +356,25 @@ fn gauss_markov_tick<Pl>(ctx: &mut Ctx<Pl>, alpha: f64) {
         }
         node.velocity = (vx, vy);
         node.position = Point::new(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quincunx_truncation_keeps_the_center() {
+        let mut cfg = SimConfig::smoke();
+        cfg.placement = ActuatorPlacement::Quincunx;
+        let center = Point::new(0.5 * cfg.area.width, 0.5 * cfg.area.height);
+        for count in 1..=7 {
+            cfg.actuators = count;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let pts = actuator_positions(&cfg, &mut rng);
+            assert_eq!(pts.len(), count);
+            assert!(pts.contains(&center), "{count} actuators must include the center");
+        }
     }
 }

@@ -14,8 +14,7 @@ use refer_wsan::refer::{ReferConfig, ReferProtocol};
 use refer_wsan::wsan_sim::{runner, SimConfig, SimDuration};
 
 fn main() {
-    let mut rcfg = ReferConfig::default();
-    rcfg.cross_cell_fraction = 0.5;
+    let rcfg = ReferConfig { cross_cell_fraction: 0.5, ..Default::default() };
 
     let mut cfg = SimConfig::paper();
     cfg.warmup = SimDuration::from_secs(20);
