@@ -77,7 +77,9 @@ pub fn discover<P: ControlPayload>(
             // one extra ring is enough to model that cost.
             continue;
         }
-        for n in ctx.neighbors(cur) {
+        // The receivers of that charged broadcast — the medium's outcome,
+        // not an oracle lookup (see [`Ctx::physical_neighbors`]).
+        for n in ctx.physical_neighbors(cur) {
             if seen.insert(n) {
                 parent.insert(n, cur);
                 depth.insert(n, d + 1);

@@ -18,7 +18,8 @@ use rand::seq::SliceRandom;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsan_sim::{
-    Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Point, Protocol,
+    Ctx, DataId, EnergyAccount, FailureView, FaultModel, Message, NodeId, NodeKind, Point,
+    Protocol,
 };
 
 /// Kautz-overlay parameters.
@@ -36,6 +37,10 @@ pub struct KautzOverlayConfig {
     pub flood_cooldown: wsan_sim::SimDuration,
     /// Maximum physical-path repairs per frame before giving up.
     pub max_repairs: u8,
+    /// How long an unacknowledged-frame suspicion lasts under
+    /// [`FaultModel::Discovered`] before the peer is given the benefit of
+    /// the doubt again.
+    pub suspicion_ttl: wsan_sim::SimDuration,
 }
 
 impl Default for KautzOverlayConfig {
@@ -46,6 +51,7 @@ impl Default for KautzOverlayConfig {
             route_scope: 16,
             flood_cooldown: wsan_sim::SimDuration::from_secs(1),
             max_repairs: 6,
+            suspicion_ttl: wsan_sim::SimDuration::from_secs(8),
         }
     }
 }
@@ -129,6 +135,11 @@ pub struct KautzOverlayProtocol {
     next_pending: u64,
     /// Last flood time per (node, target), for the cooldown.
     last_flood: BTreeMap<(NodeId, NodeId), wsan_sim::SimTime>,
+    /// Whether the run uses [`FaultModel::Discovered`].
+    discovered: bool,
+    /// Failure suspicions learned from unacknowledged frames (`Discovered`
+    /// runs only).
+    view: FailureView,
     /// Observable counters.
     pub stats: OverlayStats,
 }
@@ -140,6 +151,7 @@ impl KautzOverlayProtocol {
         let route_table = Arc::new(
             RouteTable::new(cfg.degree, 3).expect("cell graph degree within MAX_DEGREE"),
         );
+        let suspicion_ttl = cfg.suspicion_ttl;
         KautzOverlayProtocol {
             cfg,
             plan,
@@ -150,12 +162,55 @@ impl KautzOverlayProtocol {
             pending: BTreeMap::new(),
             next_pending: 0,
             last_flood: BTreeMap::new(),
+            discovered: false,
+            view: FailureView::new(suspicion_ttl),
             stats: OverlayStats::default(),
         }
     }
 
     fn is_member(&self, node: NodeId) -> bool {
         self.member_cells.contains_key(&node)
+    }
+
+    /// Whether `a` would pick `b` as a physical next hop: the link oracle
+    /// under [`FaultModel::Oracle`], local knowledge only (geometry + the
+    /// suspicion view) under [`FaultModel::Discovered`].
+    fn usable(&self, ctx: &Ctx<OvMsg>, a: NodeId, b: NodeId) -> bool {
+        if self.discovered {
+            a != b
+                && !ctx.self_faulty(a)
+                && !self.view.is_suspected(b, ctx.now())
+                && ctx.in_range(a, b)
+        } else {
+            ctx.link_ok(a, b)
+        }
+    }
+
+    /// Whether `node` is presumed alive in the current mode.
+    fn presumed_alive(&self, ctx: &Ctx<OvMsg>, node: NodeId) -> bool {
+        if self.discovered {
+            !self.view.is_suspected(node, ctx.now())
+        } else {
+            !ctx.is_faulty(node)
+        }
+    }
+
+    /// Sends a data frame; under `Discovered` it rides the link-layer
+    /// ACK/retransmit machinery and failures surface in `on_send_expired`.
+    fn send_data(
+        &mut self,
+        ctx: &mut Ctx<OvMsg>,
+        from: NodeId,
+        to: NodeId,
+        size: u32,
+        frame: OvFrame,
+    ) -> bool {
+        if self.discovered {
+            ctx.send_acked(from, to, size, EnergyAccount::Communication, OvMsg::Data(frame));
+            true
+        } else {
+            ctx.send(from, to, size, EnergyAccount::Communication, OvMsg::Data(frame))
+        }
     }
 
     fn kid_in_cell(&self, node: NodeId, cell: usize) -> Option<KautzId> {
@@ -277,7 +332,7 @@ impl KautzOverlayProtocol {
         let roster_idx = &self.cells[frame.cell].roster_idx;
         let pick = choices.iter().enumerate().find_map(|(i, c)| {
             let n = roster_idx[c.successor as usize]?;
-            if n == node || ctx.is_faulty(n) {
+            if n == node || !self.presumed_alive(ctx, n) {
                 return None;
             }
             Some((i, n, c.forced_digit))
@@ -331,9 +386,9 @@ impl KautzOverlayProtocol {
         let size = ctx
             .data_size_bits(frame.data)
             .unwrap_or(ctx.config().traffic.packet_bits);
-        if ctx.link_ok(node, next) {
+        if self.usable(ctx, node, next) {
             frame.pos += 1;
-            ctx.send(node, next, size, EnergyAccount::Communication, OvMsg::Data(frame));
+            self.send_data(ctx, node, next, size, frame);
             return;
         }
         // Physical hop broken: re-flood toward the overlay target and
@@ -362,7 +417,7 @@ impl KautzOverlayProtocol {
         frame.repairs += 1;
         // A previously repaired route for this pair may still be usable.
         if let Some(cached) = self.paths.get(&(node, target)) {
-            if cached.len() >= 2 && ctx.link_ok(node, cached[1]) {
+            if cached.len() >= 2 && self.usable(ctx, node, cached[1]) {
                 frame.path = cached.clone();
                 frame.pos = 0;
                 self.walk(ctx, node, frame);
@@ -375,7 +430,9 @@ impl KautzOverlayProtocol {
         if let Some(&last) = self.last_flood.get(&(node, target)) {
             if now.saturating_since(last) < self.cfg.flood_cooldown {
                 // A discovery for this pair just ran; retry shortly against
-                // its (cached) result instead of flooding again.
+                // its (cached) result instead of flooding again. The wait
+                // still consumes a repair: an unbounded budget lets frames
+                // cycle wait/expire indefinitely through rotating faults.
                 let id = self.next_pending;
                 self.next_pending += 1;
                 self.pending.insert(id, (node, frame));
@@ -419,7 +476,45 @@ impl Protocol for KautzOverlayProtocol {
     }
 
     fn on_init(&mut self, ctx: &mut Ctx<OvMsg>) {
+        self.discovered = matches!(ctx.config().faults.model, FaultModel::Discovered);
+        self.view = FailureView::new(self.cfg.suspicion_ttl);
         self.build_overlay(ctx);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<OvMsg>, _at: NodeId, peer: NodeId) {
+        if self.discovered {
+            self.view.contact(peer, ctx.now());
+        }
+    }
+
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<OvMsg>,
+        at: NodeId,
+        peer: NodeId,
+        payload: OvMsg,
+        _attempts: u32,
+    ) {
+        // Every retry toward `peer` went unacknowledged: suspect it and
+        // repair the physical path around it, the overlay's usual recovery.
+        if self.discovered && self.view.suspect(peer, ctx.now()) {
+            ctx.record_suspicion(peer);
+        }
+        let OvMsg::Data(frame) = payload else {
+            return;
+        };
+        if ctx.self_faulty(at) {
+            ctx.drop_data(frame.data);
+            self.stats.drops += 1;
+            return;
+        }
+        match frame.path.last().copied() {
+            Some(target) => self.repair_and_resume(ctx, at, target, frame),
+            None => {
+                ctx.drop_data(frame.data);
+                self.stats.drops += 1;
+            }
+        }
     }
 
     fn on_app_data(&mut self, ctx: &mut Ctx<OvMsg>, src: NodeId, data: DataId) {
@@ -434,7 +529,7 @@ impl Protocol for KautzOverlayProtocol {
             self.member_cells
                 .keys()
                 .copied()
-                .filter(|&m| ctx.link_ok(src, m))
+                .filter(|&m| self.usable(ctx, src, m))
                 .min_by(|&a, &b| {
                     ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
                 })
@@ -470,13 +565,16 @@ impl Protocol for KautzOverlayProtocol {
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-        if !ctx.send(src, access, size, EnergyAccount::Communication, OvMsg::Data(frame)) {
+        if !self.send_data(ctx, src, access, size, frame) {
             ctx.drop_data(data);
             self.stats.drops += 1;
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<OvMsg>, at: NodeId, msg: Message<OvMsg>) {
+        if self.discovered {
+            self.view.contact(msg.from, ctx.now());
+        }
         match msg.payload {
             OvMsg::Ctrl => {}
             OvMsg::Data(frame) => {
@@ -498,7 +596,7 @@ impl Protocol for KautzOverlayProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<OvMsg>, at: NodeId, tag: u64) {
         if let Some((node, frame)) = self.pending.remove(&tag) {
             debug_assert_eq!(node, at);
-            if ctx.is_faulty(node) {
+            if ctx.self_faulty(node) {
                 ctx.drop_data(frame.data);
                 self.stats.drops += 1;
                 return;

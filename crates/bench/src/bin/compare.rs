@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! cargo run -p refer-bench --release --bin compare -- \
-//!     [--scale 0.2] [--seed 17] [--mobility 3] [--faults 0] [--sensors 200]
+//!     [--scale 0.2] [--seed 17] [--mobility 3] [--faults 0] [--sensors 200] \
+//!     [--fault-model oracle|discovered]
 //! ```
 //!
 //! Prints one row per system with throughput, delay, energy split,
-//! delivery ratio and load-balance metrics. Useful for eyeballing a
-//! configuration before committing to a full sweep.
+//! delivery ratio and load-balance metrics, plus the robustness counters
+//! (retransmissions, detections, handovers, oracle consultations). Useful
+//! for eyeballing a configuration before committing to a full sweep.
 
 use refer_bench::{base_config, run_system, SYSTEMS};
+use wsan_sim::FaultModel;
 
 fn main() {
     let mut scale = 0.2;
@@ -17,6 +20,7 @@ fn main() {
     let mut mobility = 3.0;
     let mut faults = 0usize;
     let mut sensors = 200usize;
+    let mut fault_model = FaultModel::Oracle;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = || it.next().expect("flag needs a value");
@@ -26,27 +30,36 @@ fn main() {
             "--mobility" => mobility = next().parse().expect("float"),
             "--faults" => faults = next().parse().expect("integer"),
             "--sensors" => sensors = next().parse().expect("integer"),
+            "--fault-model" => {
+                fault_model = match next().as_str() {
+                    "oracle" => FaultModel::Oracle,
+                    "discovered" => FaultModel::Discovered,
+                    other => panic!("unknown fault model {other:?} (oracle|discovered)"),
+                };
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
 
     println!(
-        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty, scale {scale}, seed {seed}\n"
+        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty ({fault_model:?}), scale {scale}, seed {seed}\n"
     );
     println!(
-        "{:>15} {:>13} {:>9} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7}",
-        "system", "QoS thr(B/s)", "delay", "comm(J)", "constr(J)", "deliv", "hotspot", "fairness", "wall"
+        "{:>15} {:>13} {:>9} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>7}",
+        "system", "QoS thr(B/s)", "delay", "comm(J)", "constr(J)", "deliv", "hotspot", "fairness",
+        "retx", "detect", "handover", "oracle", "wall"
     );
     for system in SYSTEMS {
         let mut cfg = base_config(scale);
         cfg.mobility.max_speed = mobility;
         cfg.faults.count = faults;
+        cfg.faults.model = fault_model;
         cfg.sensors = sensors;
         cfg.seed = seed;
         let t = std::time::Instant::now();
         let s = run_system(&cfg, system);
         println!(
-            "{:>15} {:>13.0} {:>7.1}ms {:>12.0} {:>12.0} {:>6.1}% {:>8.0}J {:>9.2} {:>6.1}s",
+            "{:>15} {:>13.0} {:>7.1}ms {:>12.0} {:>12.0} {:>6.1}% {:>8.0}J {:>9.2} {:>7} {:>6} {:>8} {:>7} {:>6.1}s",
             system.name(),
             s.throughput_bps,
             s.mean_delay_s * 1e3,
@@ -55,6 +68,10 @@ fn main() {
             s.delivery_ratio * 100.0,
             s.hotspot_energy_j,
             s.energy_fairness,
+            s.retransmissions,
+            s.detections,
+            s.handovers,
+            s.oracle_queries,
             t.elapsed().as_secs_f64(),
         );
     }

@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! cargo run -p refer-bench --release --bin figures -- [--fig N|all] \
-//!     [--seeds 1,2,3] [--scale 0.25] [--out results/]
+//!     [--seeds 1,2,3] [--scale 0.25] [--out results/] \
+//!     [--fault-model oracle|discovered]
 //! ```
 //!
 //! Figures sharing a sweep (4-5 mobility, 6-7 faults, 8-11 size) reuse the
 //! same simulations. Output: one aligned text table per figure on stdout
-//! and a JSON dump per sweep under `--out`.
+//! and a JSON dump per sweep under `--out`. `--fault-model discovered`
+//! replaces the paper's idealized failure knowledge with link-layer
+//! ACK-based detection in every system.
 
-use refer_bench::{figure, render_figure, run_sweep, Figure, Sweep, SweepResult, FIGURES};
+use refer_bench::{figure, render_figure, run_sweep_with, Figure, Sweep, SweepResult, FIGURES};
 use std::collections::BTreeSet;
 use std::io::Write as _;
+use wsan_sim::FaultModel;
 
 struct Args {
     figs: Vec<u32>,
@@ -19,6 +23,7 @@ struct Args {
     scale: f64,
     out: Option<String>,
     quiet: bool,
+    fault_model: FaultModel,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +33,7 @@ fn parse_args() -> Args {
         scale: 0.25,
         out: Some("results".to_string()),
         quiet: false,
+        fault_model: FaultModel::Oracle,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +66,14 @@ fn parse_args() -> Args {
             }
             "--no-out" => args.out = None,
             "--quiet" => args.quiet = true,
+            "--fault-model" => {
+                args.fault_model = match it.next().expect("--fault-model needs a value").as_str()
+                {
+                    "oracle" => FaultModel::Oracle,
+                    "discovered" => FaultModel::Discovered,
+                    other => panic!("unknown fault model {other:?} (oracle|discovered)"),
+                };
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -91,7 +105,7 @@ fn main() {
         }
         let quiet = args.quiet;
         let t = std::time::Instant::now();
-        let result = run_sweep(sweep, &args.seeds, args.scale, |label| {
+        let result = run_sweep_with(sweep, &args.seeds, args.scale, args.fault_model, |label| {
             if !quiet {
                 eprintln!("  done: {label}");
             }

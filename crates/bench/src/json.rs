@@ -33,6 +33,14 @@ pub fn to_json(result: &SweepResult) -> String {
                 ("energy_total_j", agg.energy_total_j),
                 ("qos_delivery_ratio", agg.qos_delivery_ratio),
                 ("delivery_ratio", agg.delivery_ratio),
+                ("retransmissions", agg.retransmissions),
+                ("detections", agg.detections),
+                ("false_suspicions", agg.false_suspicions),
+                ("detection_latency_s", agg.detection_latency_s),
+                ("handovers", agg.handovers),
+                ("drop_no_access", agg.drop_no_access),
+                ("drop_no_route", agg.drop_no_route),
+                ("drop_hops", agg.drop_hops),
             ];
             for (s, (name, stat)) in stats.iter().enumerate() {
                 let comma = if s + 1 < stats.len() { "," } else { "" };
@@ -84,6 +92,16 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
                 energy_total_j: sobj.get_ci("energy_total_j")?,
                 qos_delivery_ratio: sobj.get_ci("qos_delivery_ratio")?,
                 delivery_ratio: sobj.get_ci("delivery_ratio")?,
+                // Robustness metrics were added after early dumps were
+                // written; absent fields load as zero stats.
+                retransmissions: sobj.get_ci_or_default("retransmissions")?,
+                detections: sobj.get_ci_or_default("detections")?,
+                false_suspicions: sobj.get_ci_or_default("false_suspicions")?,
+                detection_latency_s: sobj.get_ci_or_default("detection_latency_s")?,
+                handovers: sobj.get_ci_or_default("handovers")?,
+                drop_no_access: sobj.get_ci_or_default("drop_no_access")?,
+                drop_no_route: sobj.get_ci_or_default("drop_no_route")?,
+                drop_hops: sobj.get_ci_or_default("drop_hops")?,
             });
         }
         points.push(SweepPoint {
@@ -152,6 +170,10 @@ trait ObjectExt {
     fn get_f64(&self, key: &str) -> Result<f64, String>;
     fn get_array(&self, key: &str) -> Result<&Vec<Value>, String>;
     fn get_ci(&self, key: &str) -> Result<CiStat, String>;
+    /// Like [`ObjectExt::get_ci`] but a missing field yields the default
+    /// (all-zero) stat, so dumps written before the field existed still
+    /// load. A present-but-malformed field is still an error.
+    fn get_ci_or_default(&self, key: &str) -> Result<CiStat, String>;
 }
 
 impl ObjectExt for Vec<(String, Value)> {
@@ -187,6 +209,14 @@ impl ObjectExt for Vec<(String, Value)> {
             ci95: obj.get_f64("ci95")?,
             n: obj.get_f64("n")? as usize,
         })
+    }
+
+    fn get_ci_or_default(&self, key: &str) -> Result<CiStat, String> {
+        if self.iter().any(|(k, _)| k == key) {
+            self.get_ci(key)
+        } else {
+            Ok(CiStat::default())
+        }
     }
 }
 
@@ -404,6 +434,14 @@ mod tests {
             energy_total_j: CiStat { mean: 62.75, ci95: 6.0, n: 3 },
             qos_delivery_ratio: CiStat { mean: 0.9, ci95: 0.05, n: 3 },
             delivery_ratio: CiStat { mean: 0.95, ci95: 0.025, n: 3 },
+            retransmissions: CiStat { mean: 12.0, ci95: 2.0, n: 3 },
+            detections: CiStat { mean: 4.0, ci95: 1.0, n: 3 },
+            false_suspicions: CiStat { mean: 0.5, ci95: 0.25, n: 3 },
+            detection_latency_s: CiStat { mean: 1.5, ci95: 0.5, n: 3 },
+            handovers: CiStat { mean: 2.0, ci95: 0.5, n: 3 },
+            drop_no_access: CiStat { mean: 1.0, ci95: 0.0, n: 3 },
+            drop_no_route: CiStat { mean: 3.0, ci95: 1.0, n: 3 },
+            drop_hops: CiStat { mean: 0.0, ci95: 0.0, n: 3 },
         };
         SweepResult {
             sweep: Sweep::Faults,
@@ -440,6 +478,32 @@ mod tests {
         assert!(json.contains("null"));
         let parsed = from_json(&json).expect("parses");
         assert!(parsed.points[0].systems[0].mean_delay_s.mean.is_nan());
+    }
+
+    #[test]
+    fn loads_dumps_written_before_the_robustness_fields_existed() {
+        // A pre-robustness dump: only the original seven stats per system.
+        let json = r#"{
+          "sweep": "Faults",
+          "points": [
+            { "x": 2.0, "axis": 2.0, "systems": [
+              { "throughput_bps": { "mean": 1.0, "ci95": 0.0, "n": 2 },
+                "mean_delay_s": { "mean": 0.1, "ci95": 0.0, "n": 2 },
+                "energy_communication_j": { "mean": 5.0, "ci95": 0.0, "n": 2 },
+                "energy_construction_j": { "mean": 1.0, "ci95": 0.0, "n": 2 },
+                "energy_total_j": { "mean": 6.0, "ci95": 0.0, "n": 2 },
+                "qos_delivery_ratio": { "mean": 0.9, "ci95": 0.0, "n": 2 },
+                "delivery_ratio": { "mean": 0.95, "ci95": 0.0, "n": 2 } }
+            ] }
+          ],
+          "seeds": [1, 2],
+          "scale": 1.0
+        }"#;
+        let parsed = from_json(json).expect("old dumps still load");
+        let agg = &parsed.points[0].systems[0];
+        assert_eq!(agg.throughput_bps.mean, 1.0);
+        assert_eq!(agg.retransmissions, CiStat::default());
+        assert_eq!(agg.handovers, CiStat::default());
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod svgplot;
 use refer::{ReferConfig, ReferProtocol};
 use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
 use wsan_sim::harness::{aggregate, AggregateSummary};
-use wsan_sim::{runner, RunSummary, SimConfig, SimDuration};
+use wsan_sim::{runner, FaultModel, RunSummary, SimConfig, SimDuration};
 
 /// The four systems of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -241,6 +241,19 @@ pub fn run_sweep(
     sweep: Sweep,
     seeds: &[u64],
     scale: f64,
+    progress: impl FnMut(&str),
+) -> SweepResult {
+    run_sweep_with(sweep, seeds, scale, FaultModel::default(), progress)
+}
+
+/// [`run_sweep`] under an explicit fault model: `Oracle` reproduces the
+/// paper's idealized failure knowledge, `Discovered` makes every system
+/// detect failures from unacknowledged frames and heartbeats only.
+pub fn run_sweep_with(
+    sweep: Sweep,
+    seeds: &[u64],
+    scale: f64,
+    fault_model: FaultModel,
     mut progress: impl FnMut(&str),
 ) -> SweepResult {
     let mut points = Vec::new();
@@ -252,6 +265,7 @@ pub fn run_sweep(
                 for (slot, &seed) in runs.iter_mut().zip(seeds) {
                     let mut cfg = base_config(scale);
                     sweep.configure(&mut cfg, x);
+                    cfg.faults.model = fault_model;
                     cfg.seed = seed;
                     scope.spawn(move || *slot = Some(run_system(&cfg, system)));
                 }

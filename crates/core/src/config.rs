@@ -35,6 +35,14 @@ pub struct ReferConfig {
     /// ablation: under mobility the embedded topology decays and routing
     /// must fall back to alternates and direct hops.
     pub maintenance_enabled: bool,
+    /// How long a failure suspicion lasts without fresh evidence under
+    /// `FaultModel::Discovered` before the node gets the benefit of the
+    /// doubt again (the simulator's faults are transient).
+    pub suspicion_ttl: SimDuration,
+    /// A Kautz neighbor silent for longer than this since its last beacon
+    /// or frame is suspected of having failed (heartbeat detection);
+    /// should be a small multiple of `beacon_interval`.
+    pub heartbeat_timeout: SimDuration,
 }
 
 impl Default for ReferConfig {
@@ -50,6 +58,8 @@ impl Default for ReferConfig {
             ctrl_bits: 256,
             cross_cell_fraction: 0.0,
             maintenance_enabled: true,
+            suspicion_ttl: SimDuration::from_secs(8),
+            heartbeat_timeout: SimDuration::from_secs(12),
         }
     }
 }

@@ -43,7 +43,8 @@ pub fn battery_low(battery: f64, threshold: f64) -> bool {
 
 /// Picks the best replacement among candidates: the highest-battery
 /// candidate that can reach all neighbor positions. Returns the index into
-/// `candidates`.
+/// `candidates`. Candidates reporting a non-finite battery (a corrupt or
+/// unreadable gauge) are ignored rather than trusted or panicked over.
 pub fn select_replacement(
     candidates: &[(Point, f64)],
     neighbor_positions: &[Point],
@@ -52,8 +53,8 @@ pub fn select_replacement(
     candidates
         .iter()
         .enumerate()
-        .filter(|(_, (p, _))| can_replace(*p, neighbor_positions, range))
-        .max_by(|(_, (_, a)), (_, (_, b))| a.partial_cmp(b).expect("finite battery"))
+        .filter(|(_, (p, b))| b.is_finite() && can_replace(*p, neighbor_positions, range))
+        .max_by(|(_, (_, a)), (_, (_, b))| a.total_cmp(b))
         .map(|(i, _)| i)
 }
 
@@ -92,5 +93,18 @@ mod tests {
         ];
         assert_eq!(select_replacement(&candidates, &neighbors, 100.0), Some(1));
         assert_eq!(select_replacement(&[], &neighbors, 100.0), None);
+    }
+
+    #[test]
+    fn non_finite_batteries_are_skipped_not_panicked() {
+        let neighbors = [Point::new(0.0, 0.0)];
+        let candidates = [
+            (Point::new(50.0, 0.0), f64::NAN),      // broken gauge
+            (Point::new(60.0, 0.0), f64::INFINITY), // absurd reading
+            (Point::new(70.0, 0.0), 5.0),           // honest, low
+        ];
+        assert_eq!(select_replacement(&candidates, &neighbors, 100.0), Some(2));
+        let all_bad = [(Point::new(50.0, 0.0), f64::NAN)];
+        assert_eq!(select_replacement(&all_bad, &neighbors, 100.0), None);
     }
 }

@@ -23,14 +23,17 @@ use crate::addr::CellId;
 use crate::cells::{plan_cells, CellLayout};
 use crate::config::ReferConfig;
 use crate::embedding::EmbeddingPlan;
-use crate::maintenance::{battery_low, can_replace, link_endangered};
+use crate::maintenance::{battery_low, link_endangered, select_replacement};
 use crate::routing::route_choices_indexed;
 use crate::tier::DhtTier;
 use kautz::{KautzId, RouteTable};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use wsan_sim::{Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Protocol, SimDuration};
+use wsan_sim::{
+    Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, Message, NodeId, NodeKind,
+    Protocol, SimDuration,
+};
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
 const TAG_SHIFT: u64 = 48;
@@ -41,6 +44,7 @@ const KIND_READY: u64 = 4; // arg = cell
 const KIND_QPICK: u64 = 5; // arg = qid
 const KIND_BEACON: u64 = 6;
 const KIND_MAINT: u64 = 7;
+const KIND_PROBE: u64 = 8;
 
 fn tag(kind: u64, arg: u64) -> u64 {
     (kind << TAG_SHIFT) | arg
@@ -172,10 +176,16 @@ pub struct ReferStats {
     pub alt_path_switches: usize,
     /// Successful node replacements (Section III-B4).
     pub replacements: usize,
+    /// Replacements performed *for* a failed neighbor by a live member
+    /// (cell healing), a subset of `replacements`.
+    pub heals: usize,
     /// Packets delivered by this protocol's own accounting.
     pub delivered: u64,
     /// Inter-cell frames carried over the CAN tier.
     pub inter_cell_hops: u64,
+    /// Data frames diverted after an ACK-timeout expiry
+    /// (`FaultModel::Discovered` only).
+    pub expiry_diversions: u64,
 }
 
 /// The REFER protocol (see module docs).
@@ -204,6 +214,13 @@ pub struct ReferProtocol {
     forwarded_queries: BTreeSet<(NodeId, u64)>,
     timers_started: BTreeSet<NodeId>,
     next_qid: u64,
+    /// Whether the run uses `FaultModel::Discovered` (set at init).
+    discovered: bool,
+    /// Local failure suspicion (ACK timeouts + heartbeat silence) shared
+    /// across members — a stand-in for the per-node suspicion gossip of a
+    /// real deployment. Consulted instead of the fault oracle when
+    /// `discovered` is set.
+    view: FailureView,
     /// Observable counters.
     pub stats: ReferStats,
     /// Per-cell topology snapshots taken at construction completion.
@@ -217,6 +234,7 @@ impl ReferProtocol {
         let route_table = Arc::new(
             RouteTable::new(rcfg.degree, 3).expect("cell graph degree within MAX_DEGREE"),
         );
+        let rcfg_suspicion_ttl = rcfg.suspicion_ttl;
         ReferProtocol {
             rcfg,
             plan,
@@ -233,6 +251,8 @@ impl ReferProtocol {
             forwarded_queries: BTreeSet::new(),
             timers_started: BTreeSet::new(),
             next_qid: 0,
+            discovered: false,
+            view: FailureView::new(rcfg_suspicion_ttl),
             stats: ReferStats::default(),
             snapshots: Vec::new(),
         }
@@ -289,6 +309,62 @@ impl ReferProtocol {
             .iter()
             .find(|(c, _)| *c == cell)
             .map(|(_, k)| k.clone())
+    }
+
+    // ----- failure knowledge ---------------------------------------------
+
+    /// Whether `a` would pick `b` as a next hop: under the oracle model the
+    /// global link oracle; under `Discovered`, local knowledge only —
+    /// geometry (positions learned from beacons), own health, and the
+    /// suspicion view. The two agree whenever the view is accurate.
+    fn usable(&self, ctx: &Ctx<ReferMsg>, a: NodeId, b: NodeId) -> bool {
+        if self.discovered {
+            a != b
+                && !ctx.self_faulty(a)
+                && !self.view.is_suspected(b, ctx.now())
+                && ctx.in_range(a, b)
+        } else {
+            ctx.link_ok(a, b)
+        }
+    }
+
+    /// Whether `node` is presumed alive: the fault oracle under `Oracle`,
+    /// the suspicion view under `Discovered`.
+    fn presumed_alive(&self, ctx: &Ctx<ReferMsg>, node: NodeId) -> bool {
+        if self.discovered {
+            !self.view.is_suspected(node, ctx.now())
+        } else {
+            !ctx.is_faulty(node)
+        }
+    }
+
+    /// Sends a data frame. Under `Discovered` the frame rides the
+    /// link-layer ACK/retransmit machinery and failures surface
+    /// asynchronously in [`Protocol::on_send_expired`]; the call always
+    /// "succeeds" from the caller's perspective. Under `Oracle` this is a
+    /// plain [`Ctx::send`] whose boolean is the MAC-oracle outcome.
+    fn send_data(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        from: NodeId,
+        to: NodeId,
+        size: u32,
+        frame: DataFrame,
+    ) -> bool {
+        if self.discovered {
+            ctx.send_acked(from, to, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+            true
+        } else {
+            ctx.send(from, to, size, EnergyAccount::Communication, ReferMsg::Data(frame))
+        }
+    }
+
+    /// Raises a suspicion against `peer`, recording the detection metric
+    /// only for fresh incidents.
+    fn suspect(&mut self, ctx: &mut Ctx<ReferMsg>, peer: NodeId) {
+        if self.view.suspect(peer, ctx.now()) {
+            ctx.record_suspicion(peer);
+        }
     }
 
     // ----- construction --------------------------------------------------
@@ -377,6 +453,18 @@ impl ReferProtocol {
             ctx.set_timer(coordinator, SimDuration::from_millis(2_500), tag(KIND_STAGE2, cell as u64));
             ctx.set_timer(coordinator, SimDuration::from_millis(4_000), tag(KIND_STAGE3, cell as u64));
             ctx.set_timer(coordinator, SimDuration::from_millis(5_000), tag(KIND_READY, cell as u64));
+        }
+
+        // Section III-B4 duty cycle: every sensor that ends up sleeping
+        // wakes on this timer to probe a nearby member and register as a
+        // replacement candidate. Staggered so the probes do not synchronize.
+        if self.rcfg.maintenance_enabled {
+            let probe = self.rcfg.probe_interval.as_micros();
+            let sensors: Vec<NodeId> = ctx.sensor_ids().to_vec();
+            for s in sensors {
+                let stagger = SimDuration::from_micros(ctx.rng().gen_range(0..probe.max(1)));
+                ctx.set_timer(s, SimDuration::from_millis(6_000) + stagger, tag(KIND_PROBE, 0));
+            }
         }
     }
 
@@ -491,7 +579,7 @@ impl ReferProtocol {
                 .sensor_ids()
                 .iter()
                 .copied()
-                .filter(|&s| !ctx.is_faulty(s) && !self.is_member(s))
+                .filter(|&s| self.presumed_alive(ctx, s) && !self.is_member(s))
                 .filter(|&s| anchors.iter().all(|p| ctx.position(s).distance(p) <= range))
                 .max_by(|&a, &b| {
                     ctx.battery(a).partial_cmp(&ctx.battery(b)).expect("finite")
@@ -500,7 +588,7 @@ impl ReferProtocol {
                     ctx.sensor_ids()
                         .iter()
                         .copied()
-                        .filter(|&s| !ctx.is_faulty(s) && !self.is_member(s))
+                        .filter(|&s| self.presumed_alive(ctx, s) && !self.is_member(s))
                         .min_by(|&a, &b| {
                             ctx.position(a)
                                 .distance(&centroid)
@@ -576,7 +664,7 @@ impl ReferProtocol {
             .into_iter()
             .filter(|p| {
                 p.len() == needed
-                    && p.iter().all(|(n, _)| !self.is_member(*n) && !ctx.is_faulty(*n))
+                    && p.iter().all(|(n, _)| !self.is_member(*n) && self.presumed_alive(ctx, *n))
                     && p[0].0 != p[needed - 1].0
             })
             .max_by(|a, b| {
@@ -611,7 +699,7 @@ impl ReferProtocol {
     // ----- steady state ---------------------------------------------------
 
     fn on_beacon_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
-        if !ctx.is_faulty(node) && self.is_member(node) {
+        if !ctx.self_faulty(node) && self.is_member(node) {
             ctx.broadcast(node, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::Beacon);
         }
         if self.is_member(node) {
@@ -621,29 +709,141 @@ impl ReferProtocol {
         }
     }
 
+    /// The `(cell, neighbor KID, owner)` triples adjacent to `node` in the
+    /// Kautz graphs of every cell it belongs to.
+    fn kautz_neighbor_owners(&self, node: NodeId) -> Vec<(usize, KautzId, NodeId)> {
+        let mut out = Vec::new();
+        for (cell, kid) in self.member_cells.get(&node).cloned().unwrap_or_default() {
+            for nk in kid.successors().into_iter().chain(kid.predecessors()) {
+                if let Some(&owner) = self.cells[cell].roster.get(&nk) {
+                    if owner != node {
+                        out.push((cell, nk, owner));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Positions of the current owners of `kid`'s Kautz-graph neighbors in
+    /// `cell` (excluding `except`): the reachability constraint a
+    /// replacement for `kid` must satisfy.
+    fn neighbor_positions(
+        &self,
+        ctx: &Ctx<ReferMsg>,
+        cell: usize,
+        kid: &KautzId,
+        except: NodeId,
+    ) -> Vec<wsan_sim::Point> {
+        kid.successors()
+            .into_iter()
+            .chain(kid.predecessors())
+            .filter_map(|n| self.cells[cell].roster.get(&n))
+            .filter(|&&n| n != except)
+            .map(|&n| ctx.position(n))
+            .collect()
+    }
+
+    /// Heartbeat detection (`Discovered` only): a Kautz-graph neighbor that
+    /// has beaconed before but has now been silent past the heartbeat
+    /// timeout becomes suspected.
+    fn heartbeat_check(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+        let timeout = self.rcfg.heartbeat_timeout;
+        let now = ctx.now();
+        for (_, _, owner) in self.kautz_neighbor_owners(node) {
+            if matches!(ctx.kind(owner), NodeKind::Sensor) && self.view.stale(owner, now, timeout)
+            {
+                self.suspect(ctx, owner);
+            }
+        }
+    }
+
+    /// Section III-B4 healing: a live member that believes a Kautz-graph
+    /// neighbor is down hands that neighbor's KID to the best replacement
+    /// candidate, restoring the cell after fault rotations and battery
+    /// death. "Believes" is mode-appropriate: the fault oracle under
+    /// `Oracle`, the suspicion view under `Discovered`.
+    fn heal_neighbors(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+        let range = ctx.config().sensor_range;
+        for (cell, nk, owner) in self.kautz_neighbor_owners(node) {
+            if !matches!(ctx.kind(owner), NodeKind::Sensor) {
+                continue;
+            }
+            let down = if self.discovered {
+                self.view.is_suspected(owner, ctx.now())
+            } else {
+                ctx.is_faulty(owner)
+            };
+            if !down {
+                continue;
+            }
+            let neighbor_positions = self.neighbor_positions(ctx, cell, &nk, owner);
+            // Candidates that registered with the dead member, then ours:
+            // the healer heard both candidacies announced on the air.
+            let pool: Vec<NodeId> = self
+                .candidates
+                .get(&owner)
+                .into_iter()
+                .chain(self.candidates.get(&node))
+                .flatten()
+                .copied()
+                .filter(|&c| c != owner && self.presumed_alive(ctx, c) && !self.is_member(c))
+                .collect();
+            let scored: Vec<(wsan_sim::Point, f64)> =
+                pool.iter().map(|&c| (ctx.position(c), ctx.battery(c))).collect();
+            let Some(i) = select_replacement(&scored, &neighbor_positions, range) else {
+                continue;
+            };
+            let replacement = pool[i];
+            if !self.usable(ctx, node, replacement) {
+                continue;
+            }
+            if !ctx.send(
+                node,
+                replacement,
+                self.rcfg.ctrl_bits,
+                EnergyAccount::Communication,
+                ReferMsg::Replace,
+            ) {
+                continue;
+            }
+            ctx.broadcast(
+                node,
+                self.rcfg.ctrl_bits,
+                EnergyAccount::Communication,
+                ReferMsg::ReplaceNotice,
+            );
+            self.assign_kid(cell, nk.clone(), replacement);
+            self.stats.replacements += 1;
+            self.stats.heals += 1;
+            ctx.record_handover();
+            if self.timers_started.insert(replacement) {
+                ctx.set_timer(replacement, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
+                ctx.set_timer(replacement, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
+            }
+        }
+    }
+
     fn on_maintenance_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
         if !self.is_member(node) {
             self.timers_started.remove(&node);
             return;
         }
         ctx.set_timer(node, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
-        if !self.rcfg.maintenance_enabled
-            || ctx.is_faulty(node)
-            || matches!(ctx.kind(node), NodeKind::Actuator)
-        {
+        if !self.rcfg.maintenance_enabled || ctx.self_faulty(node) {
+            return;
+        }
+        if self.discovered {
+            self.heartbeat_check(ctx, node);
+        }
+        self.heal_neighbors(ctx, node);
+        if matches!(ctx.kind(node), NodeKind::Actuator) {
             return;
         }
         let memberships = self.member_cells.get(&node).cloned().unwrap_or_default();
         let range = ctx.config().sensor_range;
         for (cell, kid) in memberships {
-            let neighbor_positions: Vec<wsan_sim::Point> = kid
-                .successors()
-                .into_iter()
-                .chain(kid.predecessors())
-                .filter_map(|n| self.cells[cell].roster.get(&n))
-                .filter(|&&n| n != node)
-                .map(|&n| ctx.position(n))
-                .collect();
+            let neighbor_positions = self.neighbor_positions(ctx, cell, &kid, node);
             let endangered = neighbor_positions
                 .iter()
                 .any(|&p| link_endangered(ctx.position(node), p, range, self.rcfg.link_guard));
@@ -651,19 +851,19 @@ impl ReferProtocol {
             if !endangered && !weak {
                 continue;
             }
-            // Pick the best live candidate able to reach all neighbors.
-            let strict = self
+            // Pick the best live candidate able to reach all neighbors
+            // (Section III-B4's replacement rule).
+            let pool: Vec<NodeId> = self
                 .candidates
                 .get(&node)
                 .into_iter()
                 .flatten()
                 .copied()
-                .filter(|&c| {
-                    !ctx.is_faulty(c)
-                        && !self.is_member(c)
-                        && can_replace(ctx.position(c), &neighbor_positions, range)
-                })
-                .max_by(|&a, &b| ctx.battery(a).partial_cmp(&ctx.battery(b)).expect("finite"));
+                .filter(|&c| self.presumed_alive(ctx, c) && !self.is_member(c))
+                .collect();
+            let scored: Vec<(wsan_sim::Point, f64)> =
+                pool.iter().map(|&c| (ctx.position(c), ctx.battery(c))).collect();
+            let strict = select_replacement(&scored, &neighbor_positions, range).map(|i| pool[i]);
             // Best effort when no registered candidate qualifies: hand off
             // to the reachable sensor that best re-centers the KID among
             // its neighbors, provided it actually improves on us.
@@ -680,7 +880,7 @@ impl ReferProtocol {
                     .copied()
                     .filter(|&c| {
                         c != node
-                            && !ctx.is_faulty(c)
+                            && self.presumed_alive(ctx, c)
                             && !self.is_member(c)
                             && ctx.in_range(node, c)
                     })
@@ -707,10 +907,48 @@ impl ReferProtocol {
             self.remove_membership(node, cell, &kid);
             self.assign_kid(cell, kid.clone(), replacement);
             self.stats.replacements += 1;
+            ctx.record_handover();
             if self.timers_started.insert(replacement) {
                 ctx.set_timer(replacement, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
                 ctx.set_timer(replacement, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
             }
+        }
+    }
+
+    /// A sleeping sensor's wake-up: probe the best-known member to (re-)
+    /// register as a replacement candidate, then go back to sleep until the
+    /// next probe interval (Section III-B4's sleep/wait duty cycle).
+    fn on_probe_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+        if !self.rcfg.maintenance_enabled {
+            return;
+        }
+        ctx.set_timer(node, self.rcfg.probe_interval, tag(KIND_PROBE, 0));
+        if self.is_member(node) || ctx.self_faulty(node) {
+            return;
+        }
+        // Prefer a cached beacon source; fall back to the nearest member
+        // believed reachable.
+        let target = self
+            .access_cache
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|&m| self.is_member(m) && self.usable(ctx, node, m))
+            .or_else(|| {
+                self.member_cells
+                    .keys()
+                    .copied()
+                    .filter(|&m| self.usable(ctx, node, m))
+                    .min_by(|&a, &b| {
+                        ctx.distance(node, a)
+                            .partial_cmp(&ctx.distance(node, b))
+                            .expect("finite")
+                    })
+            });
+        if let Some(m) = target {
+            self.last_probe.insert(node, ctx.now().as_micros());
+            ctx.send(node, m, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::Probe);
         }
     }
 
@@ -778,7 +1016,7 @@ impl ReferProtocol {
     /// routes, or crosses cells via the CAN tier.
     fn forward(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, mut frame: DataFrame) {
         if frame.hops >= MAX_HOPS {
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::HopLimit);
             self.stats.drop_hops += 1;
             return;
         }
@@ -791,7 +1029,7 @@ impl ReferProtocol {
                     ctx.deliver_data(frame.data, node);
                     self.stats.delivered += 1;
                 } else {
-                    ctx.drop_data(frame.data);
+                    ctx.drop_data_reason(frame.data, DropReason::Other);
                 }
             }
             Some(kid) => self.forward_intra(ctx, node, kid, frame),
@@ -812,7 +1050,7 @@ impl ReferProtocol {
         let (Some(at_idx), Some(dest_idx)) =
             (self.route_table.index_of(&kid), self.route_table.index_of(&frame.dest_kid))
         else {
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             self.stats.drop_no_successor += 1;
             return;
         };
@@ -821,12 +1059,12 @@ impl ReferProtocol {
         // When the destination itself is in range and uncongested, the
         // direct path is the lowest-delay choice.
         if let Some(dest) = self.cells[frame.dest_cell].roster_idx[dest_idx] {
-            if ctx.link_ok(node, dest) && !ctx.is_congested(dest) {
+            if self.usable(ctx, node, dest) && !ctx.is_congested(dest) {
                 let size = ctx
                     .data_size_bits(frame.data)
                     .unwrap_or(ctx.config().traffic.packet_bits);
                 let out = DataFrame { forced: None, ..frame };
-                ctx.send(node, dest, size, EnergyAccount::Communication, ReferMsg::Data(out));
+                self.send_data(ctx, node, dest, size, out);
                 return;
             }
         }
@@ -839,7 +1077,7 @@ impl ReferProtocol {
         ) {
             Ok(c) => c,
             Err(_) => {
-                ctx.drop_data(frame.data);
+                ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                 self.stats.drop_no_successor += 1;
                 return;
             }
@@ -854,12 +1092,12 @@ impl ReferProtocol {
             .iter()
             .enumerate()
             .find(|(_, (n, _))| {
-                n.map(|n| n != node && ctx.link_ok(node, n) && !ctx.is_congested(n))
+                n.map(|n| n != node && self.usable(ctx, node, n) && !ctx.is_congested(n))
                     .unwrap_or(false)
             })
             .or_else(|| {
                 resolved.iter().enumerate().find(|(_, (n, _))| {
-                    n.map(|n| n != node && ctx.link_ok(node, n)).unwrap_or(false)
+                    n.map(|n| n != node && self.usable(ctx, node, n)).unwrap_or(false)
                 })
             })
             .map(|(idx, (n, forced))| (idx, n.expect("picked choices resolve"), *forced));
@@ -868,17 +1106,17 @@ impl ReferProtocol {
             // destination itself is directly reachable, skip the broken
             // overlay hop and deliver straight.
             let direct = self.cells[frame.dest_cell].roster_idx[dest_idx]
-                .filter(|&d| ctx.link_ok(node, d));
+                .filter(|&d| self.usable(ctx, node, d));
             if let Some(dest) = direct {
                 let size = ctx
                     .data_size_bits(frame.data)
                     .unwrap_or(ctx.config().traffic.packet_bits);
                 let out = DataFrame { forced: None, ..frame };
-                ctx.send(node, dest, size, EnergyAccount::Communication, ReferMsg::Data(out));
+                self.send_data(ctx, node, dest, size, out);
                 self.stats.alt_path_switches += 1;
                 return;
             }
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             self.stats.drop_no_successor += 1;
             return;
         };
@@ -889,20 +1127,20 @@ impl ReferProtocol {
             .data_size_bits(frame.data)
             .unwrap_or(ctx.config().traffic.packet_bits);
         let out = DataFrame { forced, ..frame };
-        ctx.send(node, next, size, EnergyAccount::Communication, ReferMsg::Data(out));
+        self.send_data(ctx, node, next, size, out);
     }
 
     /// Routing toward a different cell: first to this cell's tier owner,
     /// then actuator-to-actuator along the CAN path.
     fn forward_toward_cell(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, frame: DataFrame) {
         let Some(tier) = self.tier.as_ref() else {
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             self.stats.drop_no_successor += 1;
             return;
         };
         let memberships = self.member_cells.get(&node).cloned().unwrap_or_default();
         let Some((home_cell, _)) = memberships.first().cloned() else {
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             self.stats.drop_no_successor += 1;
             return;
         };
@@ -914,14 +1152,14 @@ impl ReferProtocol {
             let owner = tier.owner(CellId(home_cell as u32));
             let owner_node = self.actuator_nodes[owner];
             let Some(owner_kid) = self.kid_in_cell(owner_node, home_cell) else {
-                ctx.drop_data(frame.data);
+                ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                 return;
             };
             let my_kid = self.kid_in_cell(node, home_cell).expect("sensor membership");
             let (Some(at_idx), Some(owner_idx)) =
                 (self.route_table.index_of(&my_kid), self.route_table.index_of(&owner_kid))
             else {
-                ctx.drop_data(frame.data);
+                ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                 return;
             };
             let choices = match route_choices_indexed(
@@ -933,24 +1171,24 @@ impl ReferProtocol {
             ) {
                 Ok(c) => c,
                 Err(_) => {
-                    ctx.drop_data(frame.data);
+                    ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                     return;
                 }
             };
             let roster_idx = &self.cells[home_cell].roster_idx;
             let pick = choices.iter().find_map(|c| {
                 roster_idx[c.successor as usize]
-                    .filter(|&n| n != node && ctx.link_ok(node, n))
+                    .filter(|&n| n != node && self.usable(ctx, node, n))
             });
             let Some(next) = pick else {
-                ctx.drop_data(frame.data);
+                ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                 self.stats.drop_no_successor += 1;
                 return;
             };
             let size = ctx
                 .data_size_bits(frame.data)
                 .unwrap_or(ctx.config().traffic.packet_bits);
-            ctx.send(node, next, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+            self.send_data(ctx, node, next, size, frame);
             return;
         }
         // Actuator: hop along the CAN cell path.
@@ -961,7 +1199,7 @@ impl ReferProtocol {
             .unwrap_or(home_cell);
         let Some(path) = tier.route_cells(CellId(from_cell as u32), CellId(frame.dest_cell as u32))
         else {
-            ctx.drop_data(frame.data);
+            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             return;
         };
         let next_cell = if path.len() >= 2 { path[1] } else { CellId(frame.dest_cell as u32) };
@@ -976,20 +1214,20 @@ impl ReferProtocol {
             self.forward(ctx, node, f);
             return;
         }
-        if ctx.link_ok(node, next_owner) {
-            ctx.send(node, next_owner, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+        if self.usable(ctx, node, next_owner) {
+            self.send_data(ctx, node, next_owner, size, frame);
             return;
         }
         // Relay through any actuator in range of both.
         let relay = self.actuator_nodes.iter().copied().find(|&r| {
-            r != node && ctx.link_ok(node, r) && ctx.in_range(r, next_owner)
+            r != node && self.usable(ctx, node, r) && ctx.in_range(r, next_owner)
         });
         match relay {
             Some(r) => {
-                ctx.send(node, r, size, EnergyAccount::Communication, ReferMsg::Data(frame));
+                self.send_data(ctx, node, r, size, frame);
             }
             None => {
-                ctx.drop_data(frame.data);
+                ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                 self.stats.drop_no_successor += 1;
             }
         }
@@ -1011,12 +1249,70 @@ impl Protocol for ReferProtocol {
     }
 
     fn on_init(&mut self, ctx: &mut Ctx<ReferMsg>) {
+        self.discovered = matches!(ctx.config().faults.model, FaultModel::Discovered);
+        self.view = FailureView::new(self.rcfg.suspicion_ttl);
         self.start_construction(ctx);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<ReferMsg>, _at: NodeId, peer: NodeId) {
+        if self.discovered {
+            self.view.contact(peer, ctx.now());
+        }
+    }
+
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        at: NodeId,
+        peer: NodeId,
+        payload: ReferMsg,
+        _attempts: u32,
+    ) {
+        // All retries toward `peer` went unacknowledged: suspect it and, if
+        // the frame carried data, divert around the suspect while the hop
+        // budget allows.
+        if self.discovered {
+            self.suspect(ctx, peer);
+        }
+        let ReferMsg::Data(frame) = payload else {
+            return;
+        };
+        if ctx.self_faulty(at) {
+            ctx.drop_data_reason(frame.data, DropReason::Other);
+            return;
+        }
+        self.stats.expiry_diversions += 1;
+        if self.is_member(at) {
+            self.forward(ctx, at, frame);
+        } else {
+            // Non-member (source or access relay): re-enter via the nearest
+            // member still presumed reachable.
+            let next = self
+                .member_cells
+                .keys()
+                .copied()
+                .filter(|&m| self.usable(ctx, at, m))
+                .min_by(|&a, &b| {
+                    ctx.distance(at, a).partial_cmp(&ctx.distance(at, b)).expect("finite")
+                });
+            match next {
+                Some(m) => {
+                    let size = ctx
+                        .data_size_bits(frame.data)
+                        .unwrap_or(ctx.config().traffic.packet_bits);
+                    self.send_data(ctx, at, m, size, frame);
+                }
+                None => {
+                    ctx.drop_data_reason(frame.data, DropReason::NoRoute);
+                    self.stats.drop_no_successor += 1;
+                }
+            }
+        }
     }
 
     fn on_app_data(&mut self, ctx: &mut Ctx<ReferMsg>, src: NodeId, data: DataId) {
         if self.layout.is_none() {
-            ctx.drop_data(data);
+            ctx.drop_data_reason(data, DropReason::NoAccess);
             self.stats.drop_no_access += 1;
             return;
         }
@@ -1032,12 +1328,12 @@ impl Protocol for ReferProtocol {
                 .into_iter()
                 .flatten()
                 .copied()
-                .find(|&m| self.is_member(m) && ctx.link_ok(src, m));
+                .find(|&m| self.is_member(m) && self.usable(ctx, src, m));
             cached.or_else(|| {
                 self.member_cells
                     .keys()
                     .copied()
-                    .filter(|&m| ctx.link_ok(src, m))
+                    .filter(|&m| self.usable(ctx, src, m))
                     .min_by(|&a, &b| {
                         ctx.distance(src, a)
                             .partial_cmp(&ctx.distance(src, b))
@@ -1047,10 +1343,19 @@ impl Protocol for ReferProtocol {
         };
         // Two-hop access: no member in range, but a neighbor has one (the
         // neighbor learned it from beacons). Hand the packet to that relay;
-        // it enters the backbone on arrival.
+        // it enters the backbone on arrival. Under `Discovered` the
+        // neighborhood comes from beacon-learned geometry, not the oracle.
         if access.is_none() {
-            let relay = ctx
-                .neighbors(src)
+            let pool: Vec<NodeId> = if self.discovered {
+                ctx.sensor_ids()
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != src && ctx.in_range(src, n))
+                    .collect()
+            } else {
+                ctx.neighbors(src)
+            };
+            let relay = pool
                 .into_iter()
                 .filter(|&n| {
                     matches!(ctx.kind(n), NodeKind::Sensor)
@@ -1058,7 +1363,7 @@ impl Protocol for ReferProtocol {
                         && self
                             .member_cells
                             .keys()
-                            .any(|&m| ctx.link_ok(n, m))
+                            .any(|&m| self.usable(ctx, n, m))
                 })
                 .min_by(|&a, &b| {
                     ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
@@ -1068,7 +1373,7 @@ impl Protocol for ReferProtocol {
                     .member_cells
                     .keys()
                     .copied()
-                    .filter(|&m| ctx.link_ok(relay, m))
+                    .filter(|&m| self.usable(ctx, relay, m))
                     .min_by(|&a, &b| {
                         ctx.distance(relay, a)
                             .partial_cmp(&ctx.distance(relay, b))
@@ -1079,16 +1384,15 @@ impl Protocol for ReferProtocol {
                 let size =
                     ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
                 let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
-                if !ctx.send(src, relay, size, EnergyAccount::Communication, ReferMsg::Data(frame))
-                {
-                    ctx.drop_data(data);
+                if !self.send_data(ctx, src, relay, size, frame) {
+                    ctx.drop_data_reason(data, DropReason::NoAccess);
                     self.stats.drop_no_access += 1;
                 }
                 return;
             }
         }
         let Some(access) = access else {
-            ctx.drop_data(data);
+            ctx.drop_data_reason(data, DropReason::NoAccess);
             self.stats.drop_no_access += 1;
             return;
         };
@@ -1096,7 +1400,7 @@ impl Protocol for ReferProtocol {
         // Lowest-delay rule at the source too: a sensor standing next to
         // the destination actuator reports directly.
         if let Some(&dest) = self.cells[dest_cell].roster.get(&dest_kid) {
-            if ctx.link_ok(src, dest) && !ctx.is_congested(dest) {
+            if self.usable(ctx, src, dest) && !ctx.is_congested(dest) {
                 let size =
                     ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
                 let frame = DataFrame {
@@ -1106,7 +1410,7 @@ impl Protocol for ReferProtocol {
                     forced: None,
                     hops: 0,
                 };
-                if ctx.send(src, dest, size, EnergyAccount::Communication, ReferMsg::Data(frame)) {
+                if self.send_data(ctx, src, dest, size, frame) {
                     return;
                 }
             }
@@ -1117,13 +1421,18 @@ impl Protocol for ReferProtocol {
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-        if !ctx.send(src, access, size, EnergyAccount::Communication, ReferMsg::Data(frame)) {
-            ctx.drop_data(data);
+        if !self.send_data(ctx, src, access, size, frame) {
+            ctx.drop_data_reason(data, DropReason::NoAccess);
             self.stats.drop_no_access += 1;
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, msg: Message<ReferMsg>) {
+        if self.discovered {
+            // Any received frame is proof of life: refresh the sender's
+            // heartbeat and clear a standing suspicion.
+            self.view.contact(msg.from, ctx.now());
+        }
         match msg.payload {
             ReferMsg::Ctrl | ReferMsg::Assignment | ReferMsg::CellReady | ReferMsg::Replace
             | ReferMsg::ReplaceNotice => {
@@ -1191,7 +1500,7 @@ impl Protocol for ReferProtocol {
                     .get(&at)
                     .map(|&t| now.saturating_sub(t) >= self.rcfg.probe_interval.as_micros())
                     .unwrap_or(true);
-                if due && self.rcfg.maintenance_enabled && !ctx.is_faulty(at) {
+                if due && self.rcfg.maintenance_enabled && !ctx.self_faulty(at) {
                     self.last_probe.insert(at, now);
                     ctx.send(
                         at,
@@ -1218,7 +1527,7 @@ impl Protocol for ReferProtocol {
                         .member_cells
                         .keys()
                         .copied()
-                        .filter(|&m| ctx.link_ok(at, m))
+                        .filter(|&m| self.usable(ctx, at, m))
                         .min_by(|&a, &b| {
                             ctx.distance(at, a)
                                 .partial_cmp(&ctx.distance(at, b))
@@ -1226,16 +1535,10 @@ impl Protocol for ReferProtocol {
                         });
                     match next {
                         Some(m) => {
-                            ctx.send(
-                                at,
-                                m,
-                                msg.size_bits,
-                                EnergyAccount::Communication,
-                                ReferMsg::Data(frame),
-                            );
+                            self.send_data(ctx, at, m, msg.size_bits, frame);
                         }
                         None => {
-                            ctx.drop_data(frame.data);
+                            ctx.drop_data_reason(frame.data, DropReason::NoRoute);
                             self.stats.drop_no_successor += 1;
                         }
                     }
@@ -1254,6 +1557,7 @@ impl Protocol for ReferProtocol {
             KIND_QPICK => self.on_query_pick(ctx, arg, at),
             KIND_BEACON => self.on_beacon_timer(ctx, at),
             KIND_MAINT => self.on_maintenance_timer(ctx, at),
+            KIND_PROBE => self.on_probe_timer(ctx, at),
             _ => {}
         }
     }

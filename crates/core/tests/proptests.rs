@@ -1,9 +1,11 @@
 //! Property-based tests for REFER's pure components: the embedding, cell
-//! planning and routing decisions.
+//! planning, routing decisions and the Section III-B4 maintenance
+//! predicates.
 
 use proptest::prelude::*;
 use refer::cells::{plan_cells, quincunx};
 use refer::embedding::{logical_embed, physical_consistency, EmbeddingPlan, SensorCandidate};
+use refer::maintenance::{can_replace, link_endangered, select_replacement};
 use refer::routing::{route_choices, RouteHeader};
 use kautz::KautzId;
 use rand::rngs::StdRng;
@@ -103,6 +105,87 @@ proptest! {
             // The forced successor leads the list.
             let forced = u.shift_append(digit).expect("valid digit");
             prop_assert_eq!(&hops[0].successor, &forced);
+        }
+    }
+
+    #[test]
+    fn can_replace_is_monotone_in_range(
+        cand in (0.0..500.0f64, 0.0..500.0f64),
+        neighbors in prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..6),
+        range in 1.0..400.0f64,
+        extra in 0.0..200.0f64,
+    ) {
+        // Growing the radio range can never turn a feasible candidate
+        // infeasible: reachability of every neighbor is preserved.
+        let c = Point::new(cand.0, cand.1);
+        let ns: Vec<Point> = neighbors.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        if can_replace(c, &ns, range) {
+            prop_assert!(can_replace(c, &ns, range + extra));
+        }
+    }
+
+    #[test]
+    fn link_endangered_is_monotone_in_distance(
+        a in (0.0..500.0f64, 0.0..500.0f64),
+        b in (0.0..500.0f64, 0.0..500.0f64),
+        push in 1.0..100.0f64,
+        range in 10.0..400.0f64,
+        guard in 0.1..1.0f64,
+    ) {
+        // Moving the far endpoint radially away never un-endangers a link.
+        let pa = Point::new(a.0, a.1);
+        let pb = Point::new(b.0, b.1);
+        prop_assume!(pa.distance(&pb) > 1e-9);
+        if link_endangered(pa, pb, range, guard) {
+            let d = pa.distance(&pb);
+            let scale = (d + push) / d;
+            let farther = Point::new(
+                pa.x + (pb.x - pa.x) * scale,
+                pa.y + (pb.y - pa.y) * scale,
+            );
+            prop_assert!(link_endangered(pa, farther, range, guard));
+        }
+    }
+
+    #[test]
+    fn selected_replacement_is_feasible_and_best(
+        cands in prop::collection::vec(
+            ((0.0..300.0f64, 0.0..300.0f64), (0u8..8, 0.0..1000.0f64)), 0..12),
+        neighbors in prop::collection::vec((0.0..300.0f64, 0.0..300.0f64), 0..5),
+        range in 10.0..400.0f64,
+    ) {
+        // Whatever the inputs (including NaN/infinite batteries), the
+        // winner must satisfy `can_replace` with a finite battery no worse
+        // than any other feasible candidate — and never panic.
+        let scored: Vec<(Point, f64)> = cands
+            .iter()
+            .map(|&((x, y), (sel, e))| {
+                let battery = match sel {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    _ => e,
+                };
+                (Point::new(x, y), battery)
+            })
+            .collect();
+        let ns: Vec<Point> = neighbors.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        match select_replacement(&scored, &ns, range) {
+            Some(i) => {
+                let (p, e) = scored[i];
+                prop_assert!(e.is_finite());
+                prop_assert!(can_replace(p, &ns, range));
+                for &(q, f) in &scored {
+                    if f.is_finite() && can_replace(q, &ns, range) {
+                        prop_assert!(e >= f, "winner battery {e} < feasible {f}");
+                    }
+                }
+            }
+            None => {
+                for &(q, f) in &scored {
+                    prop_assert!(!(f.is_finite() && can_replace(q, &ns, range)));
+                }
+            }
         }
     }
 }

@@ -88,6 +88,26 @@ impl Default for MobilityConfig {
     }
 }
 
+/// How protocols learn about node failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultModel {
+    /// Protocols may consult the global fault oracle
+    /// ([`Ctx::is_faulty`](crate::Ctx::is_faulty) /
+    /// [`Ctx::link_ok`](crate::Ctx::link_ok)) at every hop: a perfect,
+    /// zero-latency failure detector. This overstates robustness but keeps
+    /// runs cheap and deterministic; it is the historical default.
+    #[default]
+    Oracle,
+    /// Failures must be *discovered*: protocols route on local suspicion
+    /// built from ACK timeouts ([`Ctx::send_acked`](crate::Ctx::send_acked))
+    /// and heartbeat silence, as in the paper's ns-2 setup. Oracle
+    /// consultations are counted in
+    /// [`RunSummary::oracle_queries`](crate::RunSummary::oracle_queries) so
+    /// tests can assert the data path stayed honest.
+    Discovered,
+}
+
 /// Fault injection: every `rotation`, the previous faulty set recovers and
 /// `count` random sensors break down (Section IV-B).
 #[derive(Debug, Clone, PartialEq)]
@@ -97,11 +117,22 @@ pub struct FaultConfig {
     pub count: usize,
     /// How often the faulty set is re-drawn.
     pub rotation: SimDuration,
+    /// How protocols are allowed to learn about the faulty set.
+    pub model: FaultModel,
+    /// When `true`, a sensor whose battery reaches zero breaks down
+    /// permanently (it is never recovered by fault rotation). Off by
+    /// default: the paper's figures do not kill depleted nodes.
+    pub battery_death: bool,
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { count: 0, rotation: SimDuration::from_secs(10) }
+        FaultConfig {
+            count: 0,
+            rotation: SimDuration::from_secs(10),
+            model: FaultModel::Oracle,
+            battery_death: false,
+        }
     }
 }
 
@@ -189,6 +220,17 @@ pub struct RadioConfig {
     pub max_queue: SimDuration,
     /// The distance/success link model.
     pub link: LinkModel,
+    /// Link-layer ACK timeout for [`Ctx::send_acked`](crate::Ctx::send_acked)
+    /// frames, counted from the moment the frame leaves the sender's radio
+    /// (so a long interface queue does not trigger spurious expiries).
+    pub ack_timeout: SimDuration,
+    /// Maximum number of *re*transmissions after the initial attempt of an
+    /// acknowledged frame before the sender gives up and reports the frame
+    /// expired.
+    pub max_retries: u32,
+    /// Exponential-backoff factor applied to `ack_timeout` per retry
+    /// (attempt `n` waits `ack_timeout * retry_backoff^n`).
+    pub retry_backoff: f64,
 }
 
 impl Default for RadioConfig {
@@ -200,6 +242,9 @@ impl Default for RadioConfig {
             receiver_occupancy: 1.0,
             max_queue: SimDuration::from_millis(1_500),
             link: LinkModel::UnitDisk,
+            ack_timeout: SimDuration::from_millis(10),
+            max_retries: 3,
+            retry_backoff: 2.0,
         }
     }
 }

@@ -4,19 +4,25 @@ use crate::config::SimConfig;
 use crate::energy::EnergyAccount;
 use crate::geometry::Point;
 use crate::message::{DataId, DataRecord, Message};
-use crate::metrics::Metrics;
+use crate::metrics::{DropReason, Metrics};
 use crate::node::{NodeId, NodeKind, NodeState};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// An event awaiting dispatch.
 #[derive(Debug)]
 pub(crate) enum EventKind<P> {
-    /// A frame arrives at a node.
-    Deliver { to: NodeId, msg: Message<P> },
+    /// A frame arrives at a node. `ack_id` links acknowledged frames
+    /// ([`Ctx::send_acked`]) back to their pending-ACK entry.
+    Deliver { to: NodeId, msg: Message<P>, ack_id: Option<u64> },
+    /// A link-layer acknowledgment reaches the original sender.
+    AckArrive { id: u64 },
+    /// The ACK timeout of a pending acknowledged frame fires.
+    AckExpire { id: u64 },
     /// A protocol timer fires.
     Timer { node: NodeId, tag: u64 },
     /// One application packet is emitted by a traffic source; `remaining`
@@ -53,6 +59,17 @@ impl<P> Ord for Scheduled<P> {
     }
 }
 
+/// An acknowledged frame awaiting its link-layer ACK (or retry/expiry).
+pub(crate) struct PendingAck<P> {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) size_bits: u32,
+    pub(crate) account: EnergyAccount,
+    pub(crate) payload: P,
+    /// Retransmissions performed so far (0 = only the initial attempt).
+    pub(crate) attempt: u32,
+}
+
 /// World state and protocol-facing API.
 ///
 /// A `Ctx` is handed to every [`Protocol`](crate::Protocol) hook. It owns
@@ -70,6 +87,11 @@ pub struct Ctx<P> {
     pub(crate) metrics: Metrics,
     pub(crate) data: HashMap<DataId, DataRecord>,
     pub(crate) next_data_id: u64,
+    pub(crate) pending_acks: HashMap<u64, PendingAck<P>>,
+    pub(crate) next_ack_id: u64,
+    /// Fault-oracle consultations made through the public API. A `Cell` so
+    /// the read-only query methods can stay `&self`.
+    pub(crate) oracle_queries: Cell<u64>,
     pub(crate) end: SimTime,
     /// Set during `Protocol::on_init`: construction traffic is exempt from
     /// interface-queue tail drop (all of it is conceptually spread over the
@@ -158,7 +180,21 @@ impl<P> Ctx<P> {
     }
 
     /// Whether `id` is currently broken down.
+    ///
+    /// This is the global fault *oracle*: perfect, zero-latency failure
+    /// knowledge no deployed node has about its peers. Calls are counted in
+    /// [`RunSummary::oracle_queries`](crate::RunSummary::oracle_queries);
+    /// under [`FaultModel::Discovered`](crate::config::FaultModel) protocols
+    /// should route on local suspicion instead (and use [`Ctx::self_faulty`]
+    /// for their *own* health, which every real node knows).
     pub fn is_faulty(&self, id: NodeId) -> bool {
+        self.oracle_queries.set(self.oracle_queries.get() + 1);
+        self.nodes[id.index()].faulty
+    }
+
+    /// Whether `id` itself is currently broken down: a node's knowledge of
+    /// its *own* health. Not counted as an oracle consultation.
+    pub fn self_faulty(&self, id: NodeId) -> bool {
         self.nodes[id.index()].faulty
     }
 
@@ -184,9 +220,16 @@ impl<P> Ctx<P> {
     }
 
     /// Whether a frame from `a` would currently reach `b`: both alive and
-    /// `b` inside `a`'s range. Models the sender's MAC-level link knowledge
-    /// (ACK feedback / signal strength).
+    /// `b` inside `a`'s range. Models an instantaneous perfect link probe,
+    /// so — like [`Ctx::is_faulty`] — it counts as an oracle consultation.
     pub fn link_ok(&self, a: NodeId, b: NodeId) -> bool {
+        self.oracle_queries.set(self.oracle_queries.get() + 1);
+        self.link_ok_internal(a, b)
+    }
+
+    /// The physical truth behind [`Ctx::link_ok`], used by the simulator
+    /// itself to decide frame outcomes (not an oracle consultation).
+    pub(crate) fn link_ok_internal(&self, a: NodeId, b: NodeId) -> bool {
         a != b
             && !self.nodes[a.index()].faulty
             && !self.nodes[b.index()].faulty
@@ -194,7 +237,20 @@ impl<P> Ctx<P> {
     }
 
     /// Alive nodes currently within `id`'s range (excluding itself).
+    /// Counts as an oracle consultation: a real node cannot enumerate its
+    /// *alive* neighbors without probing them.
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.oracle_queries.set(self.oracle_queries.get() + 1);
+        self.physical_neighbors(id)
+    }
+
+    /// The nodes a broadcast from `id` physically reaches right now: alive
+    /// and in range. This is the medium's behavior, not protocol knowledge
+    /// — a flood cannot traverse a dead node whether or not the sender
+    /// knows it is dead — so it is *not* counted as an oracle consultation.
+    /// Protocols may use it only to model physically-propagating control
+    /// waves (floods, discovery storms), never to pick unicast next hops.
+    pub fn physical_neighbors(&self, id: NodeId) -> Vec<NodeId> {
         let me = &self.nodes[id.index()];
         self.node_ids()
             .filter(|&other| {
@@ -247,7 +303,7 @@ impl<P> Ctx<P> {
         }
         self.charge_tx(from, account);
         self.metrics.frames_sent += 1;
-        if !self.link_ok(from, to) {
+        if !self.link_ok_internal(from, to) {
             self.metrics.frames_failed += 1;
             self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
             return false;
@@ -268,8 +324,115 @@ impl<P> Ctx<P> {
         self.record(|at| crate::trace::TraceEvent::Send { at, from, to, size_bits, account });
         let arrival = self.tx_schedule(from, to, size_bits);
         let msg = Message { from, size_bits, account, broadcast: false, payload };
-        self.push(arrival, EventKind::Deliver { to, msg });
+        self.push(arrival, EventKind::Deliver { to, msg, ack_id: None });
         true
+    }
+
+    /// Sends a unicast frame with link-layer acknowledgment.
+    ///
+    /// Unlike [`Ctx::send`], the caller learns the outcome asynchronously:
+    /// the frame is transmitted, and if no ACK returns within
+    /// `radio.ack_timeout` (scaled by `radio.retry_backoff` per attempt) it
+    /// is retransmitted up to `radio.max_retries` times — each retry
+    /// charged to the energy meter and the sender's interface queue. The
+    /// protocol hears [`Protocol::on_ack`](crate::Protocol::on_ack) when
+    /// the ACK arrives, or
+    /// [`Protocol::on_send_expired`](crate::Protocol::on_send_expired) with
+    /// the payload back once retries are exhausted. ACK frames themselves
+    /// are tiny MAC-level control frames: they occupy no queue slot and are
+    /// not billed to the energy ledgers.
+    ///
+    /// This is the transmission primitive for
+    /// [`FaultModel::Discovered`](crate::config::FaultModel) runs: it never
+    /// consults the fault oracle at send time.
+    pub fn send_acked(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size_bits: u32,
+        account: EnergyAccount,
+        payload: P,
+    ) where
+        P: Clone,
+    {
+        let id = self.next_ack_id;
+        self.next_ack_id += 1;
+        self.pending_acks
+            .insert(id, PendingAck { from, to, size_bits, account, payload, attempt: 0 });
+        self.transmit_attempt(id);
+    }
+
+    /// One physical transmission attempt of pending acknowledged frame
+    /// `id`, scheduling the matching ACK-timeout event.
+    pub(crate) fn transmit_attempt(&mut self, id: u64)
+    where
+        P: Clone,
+    {
+        let Some(p) = self.pending_acks.get(&id) else { return };
+        let (from, to, size_bits, account, attempt) =
+            (p.from, p.to, p.size_bits, p.account, p.attempt);
+        let timeout = self.ack_wait(attempt);
+        if !self.unbounded_queue && self.queue_delay(from) > self.cfg.radio.max_queue {
+            // Interface-queue overflow: this attempt is tail-dropped before
+            // transmission, but the ACK timeout still runs so the retry
+            // re-offers the frame once the queue (hopefully) drains.
+            self.metrics.frames_queue_dropped += 1;
+            self.record(|at| crate::trace::TraceEvent::QueueDrop { at, from });
+            let expire = self.now + self.service_time(size_bits) + timeout;
+            self.push(expire, EventKind::AckExpire { id });
+            return;
+        }
+        self.charge_tx(from, account);
+        self.metrics.frames_sent += 1;
+        let alive = from != to
+            && !self.nodes[from.index()].faulty
+            && !self.nodes[to.index()].faulty;
+        let prob = if alive {
+            self.cfg.radio.link.delivery_prob(self.distance(from, to), self.range(from))
+        } else {
+            0.0
+        };
+        let received = prob >= 1.0 || (prob > 0.0 && self.rng.gen_bool(prob.clamp(0.0, 1.0)));
+        if received {
+            self.record(|at| crate::trace::TraceEvent::Send { at, from, to, size_bits, account });
+            let arrival = self.tx_schedule(from, to, size_bits);
+            let payload =
+                self.pending_acks.get(&id).map(|p| p.payload.clone()).expect("pending present");
+            let msg = Message { from, size_bits, account, broadcast: false, payload };
+            self.push(arrival, EventKind::Deliver { to, msg, ack_id: Some(id) });
+            self.push(arrival + timeout, EventKind::AckExpire { id });
+        } else {
+            // The frame is lost on the air; the sender only learns via the
+            // missing ACK.
+            self.metrics.frames_failed += 1;
+            self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
+            let expire = self.now + self.service_time(size_bits) + timeout;
+            self.push(expire, EventKind::AckExpire { id });
+        }
+    }
+
+    /// ACK wait for a given retry count: `ack_timeout * backoff^attempt`.
+    fn ack_wait(&self, attempt: u32) -> SimDuration {
+        let base = self.cfg.radio.ack_timeout.as_secs_f64();
+        let factor = self.cfg.radio.retry_backoff.max(1.0).powi(attempt as i32);
+        SimDuration::from_secs_f64(base * factor)
+    }
+
+    /// Models the receiver's MAC sending a link-layer ACK for pending frame
+    /// `id` back from `from` to the original sender `to`. ACKs ride the
+    /// reverse link with its own loss probability, cost no metered energy
+    /// and occupy no interface queue (tiny control frames).
+    pub(crate) fn schedule_ack(&mut self, id: u64, from: NodeId, to: NodeId) {
+        if !self.pending_acks.contains_key(&id) {
+            return; // duplicate delivery of an already-acknowledged frame
+        }
+        let prob = self.cfg.radio.link.delivery_prob(self.distance(from, to), self.range(from));
+        let received = prob >= 1.0 || (prob > 0.0 && self.rng.gen_bool(prob.clamp(0.0, 1.0)));
+        if !received {
+            return;
+        }
+        let arrival = self.now + self.cfg.radio.mac_overhead + self.sample_jitter();
+        self.push(arrival, EventKind::AckArrive { id });
     }
 
     /// Broadcasts a frame from `from` to every alive node in range. Returns
@@ -294,7 +457,7 @@ impl<P> Ctx<P> {
         if self.nodes[from.index()].faulty {
             return 0;
         }
-        let receivers = self.neighbors(from);
+        let receivers = self.physical_neighbors(from);
         if receivers.is_empty() {
             return 0;
         }
@@ -306,7 +469,7 @@ impl<P> Ctx<P> {
             self.bump_receiver(to, arrival);
             let msg =
                 Message { from, size_bits, account, broadcast: true, payload: payload.clone() };
-            self.push(arrival, EventKind::Deliver { to, msg });
+            self.push(arrival, EventKind::Deliver { to, msg, ack_id: None });
         }
         let n = receivers.len();
         self.record(|at| crate::trace::TraceEvent::Broadcast { at, from, receivers: n, account });
@@ -358,12 +521,48 @@ impl<P> Ctx<P> {
 
     /// Records that the protocol gave up on `data`.
     pub fn drop_data(&mut self, data: DataId) {
+        self.drop_data_reason(data, DropReason::Other);
+    }
+
+    /// Records that the protocol gave up on `data`, with the reason bucket
+    /// exported in [`RunSummary`](crate::RunSummary) drop counters.
+    pub fn drop_data_reason(&mut self, data: DataId, reason: DropReason) {
         if let Some(record) = self.data.get(&data) {
             if record.delivered.is_none() && record.measured {
                 self.metrics.dropped_packets += 1;
+                match reason {
+                    DropReason::NoAccess => self.metrics.drop_no_access += 1,
+                    DropReason::NoRoute => self.metrics.drop_no_route += 1,
+                    DropReason::HopLimit => self.metrics.drop_hops += 1,
+                    DropReason::Other => {}
+                }
                 self.record(|at| crate::trace::TraceEvent::Dropped { at });
             }
         }
+    }
+
+    /// Records that a protocol just started suspecting `node` of having
+    /// failed. The simulator grades the suspicion against ground truth —
+    /// detection (with its breakdown→suspicion latency) or false suspicion
+    /// — without leaking that truth back to the caller.
+    pub fn record_suspicion(&mut self, node: NodeId) {
+        let state = &self.nodes[node.index()];
+        if state.faulty {
+            self.metrics.detections += 1;
+            if let Some(since) = state.fault_since_micros {
+                let lat = self.now.as_micros().saturating_sub(since);
+                self.metrics.detection_latency_sum_s += lat as f64 / 1e6;
+            }
+        } else {
+            self.metrics.false_suspicions += 1;
+        }
+        self.record(|at| crate::trace::TraceEvent::Suspected { at, node });
+    }
+
+    /// Records one Section III-B4 Kautz-ID handover (a maintenance
+    /// replacement of a cell member by a standby candidate).
+    pub fn record_handover(&mut self) {
+        self.metrics.handovers += 1;
     }
 
     /// The origin node of an application packet.
@@ -438,6 +637,22 @@ impl<P> Ctx<P> {
         if matches!(state.kind, NodeKind::Sensor) {
             self.metrics.energy.charge_tx(&model, account);
         }
+        self.deplete_check(node);
+    }
+
+    /// Battery death: a drained sensor breaks down for good (only when
+    /// `faults.battery_death` is set).
+    fn deplete_check(&mut self, node: NodeId) {
+        if !self.cfg.faults.battery_death {
+            return;
+        }
+        let now = self.now.as_micros();
+        let state = &mut self.nodes[node.index()];
+        if state.battery <= 0.0 && !state.faulty && matches!(state.kind, NodeKind::Sensor) {
+            state.faulty = true;
+            state.depleted = true;
+            state.fault_since_micros = Some(now);
+        }
     }
 
     /// Charges receive energy; invoked by the runner when a frame is
@@ -450,5 +665,6 @@ impl<P> Ctx<P> {
         if matches!(state.kind, NodeKind::Sensor) {
             self.metrics.energy.charge_rx(&model, account);
         }
+        self.deplete_check(node);
     }
 }

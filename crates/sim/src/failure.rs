@@ -1,0 +1,129 @@
+//! Local failure suspicion: the per-protocol view that replaces the global
+//! fault oracle under [`FaultModel::Discovered`](crate::config::FaultModel).
+//!
+//! A [`FailureView`] is a plain data structure protocols embed: it records
+//! when each peer was last *heard* (an ACK, a beacon, any received frame)
+//! and which peers are currently *suspected* (an ACK timeout, a missed
+//! heartbeat). Suspicions age out after a TTL so a transient fault — the
+//! simulator's rotating faulty set — does not blacklist a recovered node
+//! forever, and any later contact clears the suspicion immediately.
+//!
+//! Everything here is deterministic and derives only from information a
+//! deployed node could really have.
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A suspected-node set fed by ACK timeouts and heartbeat silence, cleared
+/// by contact, with TTL-based forgiveness.
+#[derive(Debug, Clone)]
+pub struct FailureView {
+    /// When each currently suspected node was suspected.
+    suspected: BTreeMap<NodeId, SimTime>,
+    /// When each node was last heard from (any received frame or ACK).
+    last_contact: BTreeMap<NodeId, SimTime>,
+    /// How long a suspicion lasts without fresh evidence.
+    ttl: SimDuration,
+}
+
+impl FailureView {
+    /// Creates an empty view whose suspicions expire after `ttl`.
+    pub fn new(ttl: SimDuration) -> Self {
+        FailureView { suspected: BTreeMap::new(), last_contact: BTreeMap::new(), ttl }
+    }
+
+    /// Evidence that `node` is alive right `now`: records the contact and
+    /// clears any standing suspicion.
+    pub fn contact(&mut self, node: NodeId, now: SimTime) {
+        self.last_contact.insert(node, now);
+        self.suspected.remove(&node);
+    }
+
+    /// Evidence that `node` may be down (ACK timeout, missed heartbeat).
+    /// Returns `true` when this is a *new* suspicion (callers use that to
+    /// record detection metrics exactly once per incident).
+    pub fn suspect(&mut self, node: NodeId, now: SimTime) -> bool {
+        if self.is_suspected(node, now) {
+            // Refresh the suspicion clock but report nothing new.
+            self.suspected.insert(node, now);
+            return false;
+        }
+        self.suspected.insert(node, now);
+        true
+    }
+
+    /// Whether `node` is currently suspected (suspicions older than the
+    /// TTL have expired).
+    pub fn is_suspected(&self, node: NodeId, now: SimTime) -> bool {
+        match self.suspected.get(&node) {
+            Some(&at) => now.saturating_since(at) <= self.ttl,
+            None => false,
+        }
+    }
+
+    /// When `node` was last heard from, if ever.
+    pub fn last_contact(&self, node: NodeId) -> Option<SimTime> {
+        self.last_contact.get(&node).copied()
+    }
+
+    /// Whether `node` has been silent for longer than `timeout` since its
+    /// last contact (nodes never heard from are not stale — there is no
+    /// evidence either way).
+    pub fn stale(&self, node: NodeId, now: SimTime, timeout: SimDuration) -> bool {
+        match self.last_contact.get(&node) {
+            Some(&at) => now.saturating_since(at) > timeout,
+            None => false,
+        }
+    }
+
+    /// Number of currently suspected nodes (including any whose TTL has
+    /// lapsed but which were never touched since).
+    pub fn suspected_len(&self) -> usize {
+        self.suspected.len()
+    }
+
+    /// Drops suspicion and contact state entirely (e.g. on a role change).
+    pub fn clear(&mut self) {
+        self.suspected.clear();
+        self.last_contact.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn suspicion_is_cleared_by_contact() {
+        let mut v = FailureView::new(SimDuration::from_secs(30));
+        assert!(v.suspect(NodeId(1), t(0)));
+        assert!(v.is_suspected(NodeId(1), t(1)));
+        v.contact(NodeId(1), t(2));
+        assert!(!v.is_suspected(NodeId(1), t(2)));
+    }
+
+    #[test]
+    fn repeated_suspicion_reports_new_only_once() {
+        let mut v = FailureView::new(SimDuration::from_secs(30));
+        assert!(v.suspect(NodeId(7), t(0)));
+        assert!(!v.suspect(NodeId(7), t(1)));
+        // After the TTL lapses the node gets the benefit of the doubt and
+        // a later timeout is a fresh incident.
+        assert!(!v.is_suspected(NodeId(7), t(40)));
+        assert!(v.suspect(NodeId(7), t(40)));
+    }
+
+    #[test]
+    fn staleness_requires_prior_contact() {
+        let mut v = FailureView::new(SimDuration::from_secs(30));
+        assert!(!v.stale(NodeId(3), t(100), SimDuration::from_secs(10)));
+        v.contact(NodeId(3), t(0));
+        assert!(!v.stale(NodeId(3), t(5), SimDuration::from_secs(10)));
+        assert!(v.stale(NodeId(3), t(11), SimDuration::from_secs(10)));
+    }
+}

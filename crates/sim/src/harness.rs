@@ -72,6 +72,22 @@ pub struct AggregateSummary {
     pub qos_delivery_ratio: CiStat,
     /// Any-delay delivery ratio.
     pub delivery_ratio: CiStat,
+    /// Link-layer retransmissions per run.
+    pub retransmissions: CiStat,
+    /// True failure detections per run.
+    pub detections: CiStat,
+    /// False suspicions per run.
+    pub false_suspicions: CiStat,
+    /// Mean breakdown→suspicion latency, seconds.
+    pub detection_latency_s: CiStat,
+    /// Section III-B4 Kautz-ID handovers per run.
+    pub handovers: CiStat,
+    /// Measured-window drops: no access member.
+    pub drop_no_access: CiStat,
+    /// Measured-window drops: no usable route/successor.
+    pub drop_no_route: CiStat,
+    /// Measured-window drops: hop budget exhausted.
+    pub drop_hops: CiStat,
 }
 
 /// Aggregates per-run summaries into means with 95% confidence intervals.
@@ -88,6 +104,14 @@ pub fn aggregate(runs: &[RunSummary]) -> AggregateSummary {
         energy_total_j: col(runs, |r| r.energy_communication_j + r.energy_construction_j),
         qos_delivery_ratio: col(runs, |r| r.qos_delivery_ratio),
         delivery_ratio: col(runs, |r| r.delivery_ratio),
+        retransmissions: col(runs, |r| r.retransmissions as f64),
+        detections: col(runs, |r| r.detections as f64),
+        false_suspicions: col(runs, |r| r.false_suspicions as f64),
+        detection_latency_s: col(runs, |r| r.mean_detection_latency_s),
+        handovers: col(runs, |r| r.handovers as f64),
+        drop_no_access: col(runs, |r| r.drop_no_access as f64),
+        drop_no_route: col(runs, |r| r.drop_no_route as f64),
+        drop_hops: col(runs, |r| r.drop_hops as f64),
     }
 }
 
@@ -120,6 +144,15 @@ mod tests {
             broadcasts_sent: 2,
             hotspot_energy_j: 12.0,
             energy_fairness: 0.8,
+            retransmissions: 3,
+            detections: 2,
+            false_suspicions: 1,
+            mean_detection_latency_s: 0.5,
+            handovers: 1,
+            drop_no_access: 0,
+            drop_no_route: 4,
+            drop_hops: 0,
+            oracle_queries: 0,
         };
         let agg = aggregate(&[run.clone(), run.clone(), run]);
         assert_eq!(agg.throughput_bps.mean, 100.0);

@@ -39,6 +39,7 @@
 pub mod config;
 mod ctx;
 mod energy;
+pub mod failure;
 pub mod flood;
 mod geometry;
 pub mod harness;
@@ -52,14 +53,15 @@ mod time;
 pub mod trace;
 
 pub use config::{
-    ActuatorPlacement, FaultConfig, LinkModel, MobilityConfig, MobilityModel, RadioConfig,
-    SensorPlacement, SimConfig, TrafficConfig,
+    ActuatorPlacement, FaultConfig, FaultModel, LinkModel, MobilityConfig, MobilityModel,
+    RadioConfig, SensorPlacement, SimConfig, TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
+pub use failure::FailureView;
 pub use geometry::{centroid, Area, Point};
 pub use message::{DataId, DataRecord, Message};
-pub use metrics::{jain_fairness, Metrics, RunSummary};
+pub use metrics::{jain_fairness, DropReason, Metrics, RunSummary};
 pub use node::{NodeId, NodeKind, NodeState};
 pub use protocol::Protocol;
 pub use time::{SimDuration, SimTime};

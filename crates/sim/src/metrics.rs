@@ -4,6 +4,22 @@
 use crate::energy::EnergyLedger;
 use crate::time::SimDuration;
 
+/// Why a protocol gave up on an application packet. Feeds the per-reason
+/// drop counters exported in [`RunSummary`]; protocols with richer internal
+/// stats map their reasons onto these buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DropReason {
+    /// No access member / first hop toward an actuator was available.
+    NoAccess,
+    /// Routing found no usable successor (all candidate next hops down).
+    NoRoute,
+    /// The packet exceeded the protocol's hop budget.
+    HopLimit,
+    /// Anything else (the legacy `drop_data` bucket).
+    Other,
+}
+
 /// Raw counters accumulated during a run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -30,6 +46,24 @@ pub struct Metrics {
     pub frames_failed: u64,
     /// Frames tail-dropped by interface-queue overflow.
     pub frames_queue_dropped: u64,
+    /// Link-layer retransmissions of acknowledged frames.
+    pub frames_retransmitted: u64,
+    /// Acknowledged frames abandoned after exhausting their retries.
+    pub frames_expired: u64,
+    /// Suspicions raised against nodes that really were faulty.
+    pub detections: u64,
+    /// Suspicions raised against nodes that were actually alive.
+    pub false_suspicions: u64,
+    /// Sum over true detections of (suspicion time - breakdown time), s.
+    pub detection_latency_sum_s: f64,
+    /// Kautz-ID handovers performed by maintenance (Section III-B4).
+    pub handovers: u64,
+    /// Measured-window drops for lack of an access member.
+    pub drop_no_access: u64,
+    /// Measured-window drops for lack of a usable route/successor.
+    pub drop_no_route: u64,
+    /// Measured-window drops on hop-budget exhaustion.
+    pub drop_hops: u64,
     /// Energy totals per account and mode.
     pub energy: EnergyLedger,
 }
@@ -63,6 +97,26 @@ pub struct RunSummary {
     /// Jain fairness index of per-sensor energy consumption in `(0, 1]`
     /// (1 = perfectly even load).
     pub energy_fairness: f64,
+    /// Link-layer retransmissions of acknowledged frames.
+    pub retransmissions: u64,
+    /// Suspicions raised against genuinely faulty nodes.
+    pub detections: u64,
+    /// Suspicions raised against nodes that were actually alive.
+    pub false_suspicions: u64,
+    /// Mean latency from breakdown to suspicion over true detections,
+    /// seconds (0 when none).
+    pub mean_detection_latency_s: f64,
+    /// Kautz-ID handovers performed by maintenance (Section III-B4).
+    pub handovers: u64,
+    /// Measured-window drops for lack of an access member.
+    pub drop_no_access: u64,
+    /// Measured-window drops for lack of a usable route/successor.
+    pub drop_no_route: u64,
+    /// Measured-window drops on hop-budget exhaustion.
+    pub drop_hops: u64,
+    /// Fault-oracle consultations (`is_faulty`/`link_ok`/`neighbors`) made
+    /// during the run: zero in an honest `FaultModel::Discovered` run.
+    pub oracle_queries: u64,
 }
 
 /// Jain's fairness index of a load vector: `(sum x)^2 / (n * sum x^2)`.
@@ -106,6 +160,19 @@ impl Metrics {
             broadcasts_sent: self.broadcasts_sent,
             hotspot_energy_j: 0.0,
             energy_fairness: 1.0,
+            retransmissions: self.frames_retransmitted,
+            detections: self.detections,
+            false_suspicions: self.false_suspicions,
+            mean_detection_latency_s: if self.detections > 0 {
+                self.detection_latency_sum_s / self.detections as f64
+            } else {
+                0.0
+            },
+            handovers: self.handovers,
+            drop_no_access: self.drop_no_access,
+            drop_no_route: self.drop_no_route,
+            drop_hops: self.drop_hops,
+            oracle_queries: 0,
         }
     }
 }

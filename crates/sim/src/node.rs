@@ -45,6 +45,13 @@ pub struct NodeState {
     pub range: f64,
     /// Whether the node is currently broken down (fault injection).
     pub faulty: bool,
+    /// When the current breakdown started (microseconds), if faulty.
+    /// Ground truth for grading suspicion latency; protocols never see it.
+    pub fault_since_micros: Option<u64>,
+    /// Whether the node broke down because its battery ran out
+    /// (`FaultConfig::battery_death`). Depleted nodes are never recovered
+    /// by fault rotation.
+    pub depleted: bool,
     /// Remaining battery, Joules. Purely informational for protocols
     /// (embedding prefers high-energy sensors); the simulator does not kill
     /// depleted nodes unless configured to.
@@ -70,6 +77,8 @@ impl NodeState {
             position,
             range,
             faulty: false,
+            fault_since_micros: None,
+            depleted: false,
             battery,
             consumed: 0.0,
             busy_until_micros: 0,

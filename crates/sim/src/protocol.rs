@@ -40,6 +40,30 @@ pub trait Protocol {
     /// [`Ctx::drop_data`] when it gives up).
     fn on_app_data(&mut self, ctx: &mut Ctx<Self::Payload>, src: NodeId, data: DataId);
 
+    /// A link-layer ACK for a frame sent via [`Ctx::send_acked`] arrived
+    /// back at `at`: the frame reached `peer`. Protocols running under
+    /// [`FaultModel::Discovered`](crate::config::FaultModel) use this as
+    /// evidence that `peer` is alive.
+    fn on_ack(&mut self, ctx: &mut Ctx<Self::Payload>, at: NodeId, peer: NodeId) {
+        let _ = (ctx, at, peer);
+    }
+
+    /// A frame sent via [`Ctx::send_acked`] from `at` to `peer` exhausted
+    /// its retries without an ACK after `attempts` transmissions. The
+    /// payload comes back so the protocol can divert it onto another path.
+    /// This is the local failure signal that replaces the fault oracle
+    /// under [`FaultModel::Discovered`](crate::config::FaultModel).
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<Self::Payload>,
+        at: NodeId,
+        peer: NodeId,
+        payload: Self::Payload,
+        attempts: u32,
+    ) {
+        let _ = (ctx, at, peer, payload, attempts);
+    }
+
     /// Fault rotation notice: `failed` just broke down and `recovered` came
     /// back. Most protocols ignore this (failures are *discovered* through
     /// link errors); it exists so tests can model perfect failure detectors.

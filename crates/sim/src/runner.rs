@@ -50,12 +50,26 @@ pub fn run<P: Protocol>(cfg: SimConfig, protocol: &mut P) -> RunSummary {
         debug_assert!(ev.at >= ctx.now, "event queue went backwards");
         ctx.now = ev.at;
         match ev.kind {
-            EventKind::Deliver { to, msg } => {
+            EventKind::Deliver { to, msg, ack_id } => {
                 if ctx.nodes[to.index()].faulty {
-                    continue; // receiver died in flight; frame lost
+                    continue; // receiver died in flight; frame lost, no ACK
                 }
                 ctx.charge_rx(to, msg.account);
+                // The receiver's MAC acks before the stack processes.
+                if let Some(id) = ack_id {
+                    ctx.schedule_ack(id, to, msg.from);
+                }
                 protocol.on_message(&mut ctx, to, msg);
+            }
+            EventKind::AckArrive { id } => {
+                if let Some(p) = ctx.pending_acks.remove(&id) {
+                    if !ctx.nodes[p.from.index()].faulty {
+                        protocol.on_ack(&mut ctx, p.from, p.to);
+                    }
+                }
+            }
+            EventKind::AckExpire { id } => {
+                ack_expire(&mut ctx, protocol, id);
             }
             EventKind::Timer { node, tag } => {
                 // Timers fire even on faulty nodes so periodic chains are
@@ -85,7 +99,38 @@ pub fn run<P: Protocol>(cfg: SimConfig, protocol: &mut P) -> RunSummary {
         .collect();
     summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
     summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
+    summary.oracle_queries = ctx.oracle_queries.get();
     summary
+}
+
+/// The ACK timeout of pending acknowledged frame `id` fired: retransmit
+/// with backoff, or give the payload back to the protocol once retries are
+/// exhausted. A stale timeout (the ACK arrived, or a retry superseded this
+/// attempt) is a no-op because the entry was removed or re-keyed by
+/// attempt count.
+fn ack_expire<P: Protocol>(ctx: &mut Ctx<P::Payload>, protocol: &mut P, id: u64) {
+    let Some((from, attempt)) = ctx.pending_acks.get(&id).map(|p| (p.from, p.attempt)) else {
+        return; // already acknowledged
+    };
+    if ctx.nodes[from.index()].faulty {
+        // The sender broke down while waiting; its MAC state is gone.
+        ctx.pending_acks.remove(&id);
+        return;
+    }
+    if attempt >= ctx.cfg.radio.max_retries {
+        let p = ctx.pending_acks.remove(&id).expect("pending present");
+        ctx.metrics.frames_expired += 1;
+        protocol.on_send_expired(ctx, p.from, p.to, p.payload, p.attempt + 1);
+        return;
+    }
+    let to = ctx.pending_acks.get(&id).map(|p| p.to).expect("pending present");
+    if let Some(p) = ctx.pending_acks.get_mut(&id) {
+        p.attempt += 1;
+    }
+    ctx.metrics.frames_retransmitted += 1;
+    let retry = attempt + 1;
+    ctx.record(move |at| crate::trace::TraceEvent::Retransmit { at, from, to, attempt: retry });
+    ctx.transmit_attempt(id);
 }
 
 /// Convenience: runs and also returns the protocol for post-hoc inspection
@@ -129,6 +174,9 @@ fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         metrics: crate::metrics::Metrics::default(),
         data: HashMap::new(),
         next_data_id: 0,
+        pending_acks: HashMap::new(),
+        next_ack_id: 0,
+        oracle_queries: std::cell::Cell::new(0),
         end,
         unbounded_queue: false,
         trace: None,
@@ -253,9 +301,15 @@ fn rotate_faults<P: Protocol>(
     protocol: &mut P,
     faulty_set: &mut Vec<NodeId>,
 ) {
-    let recovered = std::mem::take(faulty_set);
+    let recovered: Vec<NodeId> = std::mem::take(faulty_set)
+        .into_iter()
+        // Battery death is permanent: depleted nodes never recover.
+        .filter(|id| !ctx.nodes[id.index()].depleted)
+        .collect();
     for &id in &recovered {
-        ctx.nodes[id.index()].faulty = false;
+        let node = &mut ctx.nodes[id.index()];
+        node.faulty = false;
+        node.fault_since_micros = None;
     }
     let count = ctx.cfg.faults.count.min(ctx.sensors.len());
     let sensors = ctx.sensors.clone();
@@ -263,8 +317,13 @@ fn rotate_faults<P: Protocol>(
         .choose_multiple(&mut ctx.rng, count)
         .copied()
         .collect();
+    let now = ctx.now.as_micros();
     for &id in &failed {
-        ctx.nodes[id.index()].faulty = true;
+        let node = &mut ctx.nodes[id.index()];
+        if !node.faulty {
+            node.fault_since_micros = Some(now);
+        }
+        node.faulty = true;
     }
     *faulty_set = failed.clone();
     {

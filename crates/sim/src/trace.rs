@@ -77,6 +77,24 @@ pub enum TraceEvent {
         /// Nodes that just recovered.
         recovered: Vec<NodeId>,
     },
+    /// An acknowledged frame missed its ACK and was retransmitted.
+    Retransmit {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Retry number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A protocol started suspecting a node of having failed.
+    Suspected {
+        /// When.
+        at: SimTime,
+        /// The suspected node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -89,7 +107,9 @@ impl TraceEvent {
             | TraceEvent::Broadcast { at, .. }
             | TraceEvent::Delivered { at, .. }
             | TraceEvent::Dropped { at }
-            | TraceEvent::FaultRotation { at, .. } => *at,
+            | TraceEvent::FaultRotation { at, .. }
+            | TraceEvent::Retransmit { at, .. }
+            | TraceEvent::Suspected { at, .. } => *at,
         }
     }
 }
