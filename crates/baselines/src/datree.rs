@@ -12,7 +12,7 @@
 use crate::flood::{discover, ControlPayload};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wsan_sim::{
-    Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Protocol, SimDuration,
+    Ctx, DataId, EnergyAccount, HopReason, Message, NodeId, NodeKind, Protocol, SimDuration,
 };
 
 /// DaTree parameters.
@@ -43,6 +43,8 @@ pub enum DaTreeMsg {
         data: DataId,
         /// Source retransmission attempt counter.
         attempts: u8,
+        /// Transmissions taken so far (trace hop count).
+        hops: u32,
     },
 }
 
@@ -128,21 +130,24 @@ impl DaTreeProtocol {
     }
 
     /// Forwards `data` one hop up the tree from `node`, repairing and
-    /// triggering source retransmission on failure.
-    fn climb(&mut self, ctx: &mut Ctx<DaTreeMsg>, node: NodeId, data: DataId, attempts: u8) {
+    /// triggering source retransmission on failure; `hops` counts the
+    /// transmissions already taken.
+    fn climb(&mut self, ctx: &mut Ctx<DaTreeMsg>, node: NodeId, data: DataId, attempts: u8, hops: u32) {
         if matches!(ctx.kind(node), NodeKind::Actuator) {
-            ctx.deliver_data(data, node);
+            ctx.deliver_data_with_hops(data, node, hops);
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
         if let Some(p) = self.parent.get(&node).copied() {
-            if ctx.link_ok(node, p)
-                && ctx.send(node, p, size, EnergyAccount::Communication, DaTreeMsg::Data {
+            if ctx.link_ok(node, p) {
+                ctx.trace_hop(data, node, p, HopReason::TreeParent);
+                if ctx.send(node, p, size, EnergyAccount::Communication, DaTreeMsg::Data {
                     data,
                     attempts,
-                })
-            {
-                return;
+                    hops: hops + 1,
+                }) {
+                    return;
+                }
             }
         }
         // Parent link broken: broadcast toward the root for a new parent,
@@ -220,13 +225,13 @@ impl Protocol for DaTreeProtocol {
     }
 
     fn on_app_data(&mut self, ctx: &mut Ctx<DaTreeMsg>, src: NodeId, data: DataId) {
-        self.climb(ctx, src, data, 0);
+        self.climb(ctx, src, data, 0, 0);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<DaTreeMsg>, at: NodeId, msg: Message<DaTreeMsg>) {
         match msg.payload {
             DaTreeMsg::Ctrl => {}
-            DaTreeMsg::Data { data, attempts } => self.climb(ctx, at, data, attempts),
+            DaTreeMsg::Data { data, attempts, hops } => self.climb(ctx, at, data, attempts, hops),
         }
     }
 
@@ -237,7 +242,9 @@ impl Protocol for DaTreeProtocol {
                 ctx.drop_data(data);
                 return;
             }
-            self.climb(ctx, src, data, attempts);
+            // Source retransmission: the packet restarts its journey, so
+            // the hop count restarts with it.
+            self.climb(ctx, src, data, attempts, 0);
         }
     }
 }

@@ -11,7 +11,7 @@
 use crate::flood::{discover, ControlPayload};
 use std::collections::{BTreeMap, BTreeSet};
 use wsan_sim::{
-    Ctx, DataId, EnergyAccount, Message, NodeId, NodeKind, Protocol, SimDuration,
+    Ctx, DataId, EnergyAccount, HopReason, Message, NodeId, NodeKind, Protocol, SimDuration,
 };
 
 /// D-DEAR parameters.
@@ -55,6 +55,8 @@ pub enum DdearMsg {
         path_pos: Option<usize>,
         /// Source retransmission attempt counter.
         attempts: u8,
+        /// Transmissions taken so far (trace hop count).
+        hops: u32,
     },
 }
 
@@ -88,8 +90,9 @@ pub struct DdearProtocol {
     head_of: BTreeMap<NodeId, (NodeId, Option<NodeId>)>,
     /// Head -> path to its actuator (head first, actuator last).
     head_path: BTreeMap<NodeId, Vec<NodeId>>,
-    /// Pending retransmissions: tag -> (node to resume at, data, attempts).
-    pending: BTreeMap<u64, (NodeId, DataId, u8)>,
+    /// Pending retransmissions: tag -> (node to resume at, data, attempts,
+    /// transmissions already taken).
+    pending: BTreeMap<u64, (NodeId, DataId, u8, u32)>,
     next_pending: u64,
     /// Last rebuild time per head, for the cooldown.
     last_rebuild: BTreeMap<NodeId, wsan_sim::SimTime>,
@@ -232,7 +235,9 @@ impl DdearProtocol {
         }
     }
 
-    /// Forwards a data frame from `node`.
+    /// Forwards a data frame from `node`; `hops` counts the transmissions
+    /// already taken.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &mut self,
         ctx: &mut Ctx<DdearMsg>,
@@ -241,13 +246,15 @@ impl DdearProtocol {
         head: NodeId,
         path_pos: Option<usize>,
         attempts: u8,
+        hops: u32,
     ) {
         if matches!(ctx.kind(node), NodeKind::Actuator) {
-            ctx.deliver_data(data, node);
+            ctx.deliver_data_with_hops(data, node, hops);
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-        let frame = |head, path_pos, attempts| DdearMsg::Data { data, head, path_pos, attempts };
+        let frame =
+            |head, path_pos, attempts| DdearMsg::Data { data, head, path_pos, attempts, hops: hops + 1 };
 
         if node == head {
             // On the head: walk its actuator path.
@@ -258,13 +265,14 @@ impl DdearProtocol {
                 .copied()
                 .filter(|&n| ctx.link_ok(node, n));
             if let Some(next) = next {
+                ctx.trace_hop(data, node, next, HopReason::PathWalk);
                 ctx.send(node, next, size, EnergyAccount::Communication, frame(head, Some(1), attempts));
                 return;
             }
             // Path broken at the head: rebuild and retransmit from here.
             self.stats.path_repairs += 1;
             match self.rebuild_head_path(ctx, head, EnergyAccount::Communication) {
-                Some(latency) => self.schedule_retx(ctx, node, data, attempts, latency),
+                Some(latency) => self.schedule_retx(ctx, node, data, attempts, latency, hops),
                 None => {
                     ctx.drop_data(data);
                     self.stats.drops += 1;
@@ -282,6 +290,7 @@ impl DdearProtocol {
                 .copied()
                 .filter(|&n| ctx.link_ok(node, n));
             if let Some(next) = next {
+                ctx.trace_hop(data, node, next, HopReason::PathWalk);
                 ctx.send(
                     node,
                     next,
@@ -300,7 +309,7 @@ impl DdearProtocol {
                         ctx.drop_data(data);
                         return;
                     };
-                    self.schedule_retx(ctx, src, data, attempts, latency);
+                    self.schedule_retx(ctx, src, data, attempts, latency, 0);
                 }
                 None => {
                     ctx.drop_data(data);
@@ -331,6 +340,7 @@ impl DdearProtocol {
         let next = if node == next { my_head } else { next };
         if ctx.link_ok(node, next) {
             let pos = None;
+            ctx.trace_hop(data, node, next, HopReason::Gateway);
             ctx.send(node, next, size, EnergyAccount::Communication, frame(my_head, pos, attempts));
             return;
         }
@@ -342,6 +352,7 @@ impl DdearProtocol {
                 self.stats.head_reselects += 1;
                 let next = g.unwrap_or(h);
                 if ctx.link_ok(node, next) {
+                    ctx.trace_hop(data, node, next, HopReason::Recovery);
                     ctx.send(node, next, size, EnergyAccount::Communication, frame(h, None, attempts));
                 } else {
                     ctx.drop_data(data);
@@ -362,6 +373,7 @@ impl DdearProtocol {
         data: DataId,
         attempts: u8,
         delay: SimDuration,
+        hops: u32,
     ) {
         if attempts >= self.cfg.max_retx {
             ctx.drop_data(data);
@@ -370,7 +382,7 @@ impl DdearProtocol {
         }
         let id = self.next_pending;
         self.next_pending += 1;
-        self.pending.insert(id, (at, data, attempts + 1));
+        self.pending.insert(id, (at, data, attempts + 1, hops));
         self.stats.retransmissions += 1;
         ctx.set_timer(at, delay, id);
     }
@@ -402,22 +414,22 @@ impl Protocol for DdearProtocol {
                 }
             }
         };
-        self.forward(ctx, src, data, head, None, 0);
+        self.forward(ctx, src, data, head, None, 0, 0);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<DdearMsg>, at: NodeId, msg: Message<DdearMsg>) {
         match msg.payload {
             DdearMsg::Ctrl => {}
-            DdearMsg::Data { data, head, path_pos, attempts } => {
+            DdearMsg::Data { data, head, path_pos, attempts, hops } => {
                 // Reaching the head switches the frame onto the path leg.
                 let path_pos = if at == head { None } else { path_pos };
-                self.forward(ctx, at, data, head, path_pos, attempts);
+                self.forward(ctx, at, data, head, path_pos, attempts, hops);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<DdearMsg>, at: NodeId, tag: u64) {
-        if let Some((node, data, attempts)) = self.pending.remove(&tag) {
+        if let Some((node, data, attempts, hops)) = self.pending.remove(&tag) {
             debug_assert_eq!(node, at);
             if ctx.is_faulty(node) {
                 ctx.drop_data(data);
@@ -434,7 +446,7 @@ impl Protocol for DdearProtocol {
                     }
                 }
             };
-            self.forward(ctx, node, data, head, None, attempts);
+            self.forward(ctx, node, data, head, None, attempts, hops);
         }
     }
 }

@@ -18,8 +18,8 @@ use rand::seq::SliceRandom;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsan_sim::{
-    Ctx, DataId, EnergyAccount, FailureView, FaultModel, Message, NodeId, NodeKind, Point,
-    Protocol,
+    Ctx, DataId, EnergyAccount, FailureView, FaultModel, HopReason, Message, NodeId, NodeKind,
+    Point, Protocol,
 };
 
 /// Kautz-overlay parameters.
@@ -75,6 +75,8 @@ pub struct OvFrame {
     pub hops: u8,
     /// Physical-path repairs performed for this frame.
     pub repairs: u8,
+    /// Physical transmissions taken end to end (trace hop count).
+    pub tx: u32,
 }
 
 /// Kautz-overlay wire messages.
@@ -203,8 +205,11 @@ impl KautzOverlayProtocol {
         from: NodeId,
         to: NodeId,
         size: u32,
-        frame: OvFrame,
+        mut frame: OvFrame,
+        reason: HopReason,
     ) -> bool {
+        frame.tx += 1;
+        ctx.trace_hop(frame.data, from, to, reason);
         if self.discovered {
             ctx.send_acked(from, to, size, EnergyAccount::Communication, OvMsg::Data(frame));
             true
@@ -302,7 +307,7 @@ impl KautzOverlayProtocol {
         };
         if kid == frame.dest_kid {
             if matches!(ctx.kind(node), NodeKind::Actuator) {
-                ctx.deliver_data(frame.data, node);
+                ctx.deliver_data_with_hops(frame.data, node, frame.tx);
             } else {
                 ctx.drop_data(frame.data);
             }
@@ -388,7 +393,7 @@ impl KautzOverlayProtocol {
             .unwrap_or(ctx.config().traffic.packet_bits);
         if self.usable(ctx, node, next) {
             frame.pos += 1;
-            self.send_data(ctx, node, next, size, frame);
+            self.send_data(ctx, node, next, size, frame, HopReason::PathWalk);
             return;
         }
         // Physical hop broken: re-flood toward the overlay target and
@@ -559,13 +564,14 @@ impl Protocol for KautzOverlayProtocol {
             pos: 0,
             hops: 0,
             repairs: 0,
+            tx: 0,
         };
         if access == src {
             self.overlay_step(ctx, src, frame);
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-        if !self.send_data(ctx, src, access, size, frame) {
+        if !self.send_data(ctx, src, access, size, frame, HopReason::Access) {
             ctx.drop_data(data);
             self.stats.drops += 1;
         }

@@ -14,6 +14,25 @@
 use refer_bench::{base_config, run_system, SYSTEMS};
 use wsan_sim::FaultModel;
 
+/// Milliseconds with one decimal, or `—` when the quantity is undefined
+/// (NaN: no deliveries to take a percentile of).
+fn ms_or_dash(seconds: f64) -> String {
+    if seconds.is_finite() {
+        format!("{:.1}", seconds * 1e3)
+    } else {
+        "—".to_string()
+    }
+}
+
+/// Percentage with one decimal, or `—` when undefined (0 of 0 offered).
+fn pct_or_dash(ratio: f64) -> String {
+    if ratio.is_finite() {
+        format!("{:.1}%", ratio * 100.0)
+    } else {
+        "—".to_string()
+    }
+}
+
 fn main() {
     let mut scale = 0.2;
     let mut seed = 17u64;
@@ -45,9 +64,9 @@ fn main() {
         "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty ({fault_model:?}), scale {scale}, seed {seed}\n"
     );
     println!(
-        "{:>15} {:>13} {:>9} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>7}",
-        "system", "QoS thr(B/s)", "delay", "comm(J)", "constr(J)", "deliv", "hotspot", "fairness",
-        "retx", "detect", "handover", "oracle", "wall"
+        "{:>15} {:>13} {:>9} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>7}",
+        "system", "QoS thr(B/s)", "delay", "p50(ms)", "p95(ms)", "p99(ms)", "miss", "comm(J)",
+        "constr(J)", "deliv", "hotspot", "fairness", "retx", "detect", "handover", "oracle", "wall"
     );
     for system in SYSTEMS {
         let mut cfg = base_config(scale);
@@ -59,13 +78,17 @@ fn main() {
         let t = std::time::Instant::now();
         let s = run_system(&cfg, system);
         println!(
-            "{:>15} {:>13.0} {:>7.1}ms {:>12.0} {:>12.0} {:>6.1}% {:>8.0}J {:>9.2} {:>7} {:>6} {:>8} {:>7} {:>6.1}s",
+            "{:>15} {:>13.0} {:>7.1}ms {:>8} {:>8} {:>8} {:>6} {:>12.0} {:>12.0} {:>7} {:>8.0}J {:>9.2} {:>7} {:>6} {:>8} {:>7} {:>6.1}s",
             system.name(),
             s.throughput_bps,
             s.mean_delay_s * 1e3,
+            ms_or_dash(s.delay_p50_s),
+            ms_or_dash(s.delay_p95_s),
+            ms_or_dash(s.delay_p99_s),
+            pct_or_dash(s.deadline_miss_ratio),
             s.energy_communication_j,
             s.energy_construction_j,
-            s.delivery_ratio * 100.0,
+            pct_or_dash(s.delivery_ratio),
             s.hotspot_energy_j,
             s.energy_fairness,
             s.retransmissions,

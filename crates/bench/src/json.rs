@@ -12,10 +12,16 @@ use std::fmt::Write as _;
 use wsan_sim::harness::AggregateSummary;
 use wsan_sim::stats::CiStat;
 
+/// Version of the dump layout written by [`to_json`]. Bumped to 2 when the
+/// per-system delay/hop percentile stats were added; dumps without the
+/// field are treated as version 1 and keep loading.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Serializes a sweep result as pretty-printed JSON.
 pub fn to_json(result: &SweepResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"sweep\": \"{:?}\",", result.sweep);
     out.push_str("  \"points\": [\n");
     for (i, point) in result.points.iter().enumerate() {
@@ -41,6 +47,12 @@ pub fn to_json(result: &SweepResult) -> String {
                 ("drop_no_access", agg.drop_no_access),
                 ("drop_no_route", agg.drop_no_route),
                 ("drop_hops", agg.drop_hops),
+                ("delay_p50_s", agg.delay_p50_s),
+                ("delay_p95_s", agg.delay_p95_s),
+                ("delay_p99_s", agg.delay_p99_s),
+                ("deadline_miss_ratio", agg.deadline_miss_ratio),
+                ("hop_p50", agg.hop_p50),
+                ("hop_p99", agg.hop_p99),
             ];
             for (s, (name, stat)) in stats.iter().enumerate() {
                 let comma = if s + 1 < stats.len() { "," } else { "" };
@@ -72,6 +84,17 @@ pub fn to_json(result: &SweepResult) -> String {
 pub fn from_json(input: &str) -> Result<SweepResult, String> {
     let value = Parser::new(input).parse()?;
     let obj = value.as_object("top level")?;
+    // Dumps written before the field existed are version 1.
+    let version = if obj.iter().any(|(k, _)| k == "schema_version") {
+        obj.get_f64("schema_version")? as u64
+    } else {
+        1
+    };
+    if version > SCHEMA_VERSION {
+        return Err(format!(
+            "dump schema_version {version} is newer than supported {SCHEMA_VERSION}"
+        ));
+    }
     let sweep = match obj.get_str("sweep")? {
         "Mobility" => Sweep::Mobility,
         "Faults" => Sweep::Faults,
@@ -102,6 +125,13 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
                 drop_no_access: sobj.get_ci_or_default("drop_no_access")?,
                 drop_no_route: sobj.get_ci_or_default("drop_no_route")?,
                 drop_hops: sobj.get_ci_or_default("drop_hops")?,
+                // Percentile stats arrived with schema version 2.
+                delay_p50_s: sobj.get_ci_or_default("delay_p50_s")?,
+                delay_p95_s: sobj.get_ci_or_default("delay_p95_s")?,
+                delay_p99_s: sobj.get_ci_or_default("delay_p99_s")?,
+                deadline_miss_ratio: sobj.get_ci_or_default("deadline_miss_ratio")?,
+                hop_p50: sobj.get_ci_or_default("hop_p50")?,
+                hop_p99: sobj.get_ci_or_default("hop_p99")?,
             });
         }
         points.push(SweepPoint {
@@ -442,6 +472,12 @@ mod tests {
             drop_no_access: CiStat { mean: 1.0, ci95: 0.0, n: 3 },
             drop_no_route: CiStat { mean: 3.0, ci95: 1.0, n: 3 },
             drop_hops: CiStat { mean: 0.0, ci95: 0.0, n: 3 },
+            delay_p50_s: CiStat { mean: 0.08, ci95: 0.01, n: 3 },
+            delay_p95_s: CiStat { mean: 0.2, ci95: 0.02, n: 3 },
+            delay_p99_s: CiStat { mean: 0.35, ci95: 0.05, n: 3 },
+            deadline_miss_ratio: CiStat { mean: 0.1, ci95: 0.02, n: 3 },
+            hop_p50: CiStat { mean: 3.0, ci95: 0.5, n: 3 },
+            hop_p99: CiStat { mean: 7.0, ci95: 1.0, n: 3 },
         };
         SweepResult {
             sweep: Sweep::Faults,
@@ -504,6 +540,22 @@ mod tests {
         assert_eq!(agg.throughput_bps.mean, 1.0);
         assert_eq!(agg.retransmissions, CiStat::default());
         assert_eq!(agg.handovers, CiStat::default());
+        assert_eq!(agg.delay_p99_s, CiStat::default());
+        assert_eq!(agg.deadline_miss_ratio, CiStat::default());
+    }
+
+    #[test]
+    fn dumps_carry_the_schema_version() {
+        let json = to_json(&sample());
+        assert!(json.contains("\"schema_version\": 2"));
+        from_json(&json).expect("current dumps load");
+    }
+
+    #[test]
+    fn rejects_dumps_from_a_newer_schema() {
+        let json = to_json(&sample()).replace("\"schema_version\": 2", "\"schema_version\": 99");
+        let err = from_json(&json).expect_err("newer schema must not load silently");
+        assert!(err.contains("schema_version 99"));
     }
 
     #[test]

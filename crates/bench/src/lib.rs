@@ -49,12 +49,27 @@ impl System {
 
 /// Runs one simulation of `system` under `cfg`.
 pub fn run_system(cfg: &SimConfig, system: System) -> RunSummary {
+    run_system_with_sinks(cfg, system, Vec::new()).0
+}
+
+/// [`run_system`] with streaming trace sinks attached for the run; the
+/// sinks come back flushed (see
+/// [`runner::run_with_sinks`](wsan_sim::runner::run_with_sinks)).
+pub fn run_system_with_sinks(
+    cfg: &SimConfig,
+    system: System,
+    sinks: Vec<Box<dyn wsan_sim::TraceSink>>,
+) -> (RunSummary, Vec<Box<dyn wsan_sim::TraceSink>>) {
     let cfg = cfg.clone();
     match system {
-        System::Refer => runner::run(cfg, &mut ReferProtocol::new(ReferConfig::default())),
-        System::DaTree => runner::run(cfg, &mut DaTreeProtocol::default()),
-        System::Ddear => runner::run(cfg, &mut DdearProtocol::default()),
-        System::KautzOverlay => runner::run(cfg, &mut KautzOverlayProtocol::default()),
+        System::Refer => {
+            runner::run_with_sinks(cfg, &mut ReferProtocol::new(ReferConfig::default()), sinks)
+        }
+        System::DaTree => runner::run_with_sinks(cfg, &mut DaTreeProtocol::default(), sinks),
+        System::Ddear => runner::run_with_sinks(cfg, &mut DdearProtocol::default(), sinks),
+        System::KautzOverlay => {
+            runner::run_with_sinks(cfg, &mut KautzOverlayProtocol::default(), sinks)
+        }
     }
 }
 

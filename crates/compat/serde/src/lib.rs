@@ -1,10 +1,615 @@
-//! Offline placeholder for the workspace's dormant optional `serde`
-//! dependency.
+//! Offline mini-serde for the workspace's vendored `serde` dependency.
 //!
-//! The build environment has no access to crates.io. The `serde` feature of
-//! `kautz`, `wsan-sim` and `can-dht` is never enabled inside this
-//! workspace, so this crate only needs to exist for dependency resolution;
-//! it intentionally provides no derives or traits. Enabling those crates'
-//! `serde` features requires restoring the real `serde` dependency.
+//! The build environment has no access to crates.io, so this crate stands
+//! in for `serde`/`serde_json` where the workspace needs real (de)serial-
+//! ization — currently the observability subsystem's JSONL trace codec.
+//! It provides a dynamic [`Value`] tree, [`Serialize`]/[`Deserialize`]
+//! traits over it, and a compact JSON text codec in [`json`].
+//!
+//! It deliberately does **not** provide derive macros: the dormant
+//! `cfg_attr(feature = "serde", derive(...))` sites in `kautz`, `wsan-sim`
+//! and `can-dht` stay disabled (their `serde` features are never enabled
+//! inside this workspace). Consumers hand-write `to_value`/`from_value`
+//! conversions instead, which keeps the shim a few hundred auditable lines.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A dynamically typed serialization tree, the meeting point between
+/// [`Serialize`]/[`Deserialize`] impls and the [`json`] text codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (serialized without a decimal point).
+    U64(u64),
+    /// A signed integer (serialized without a decimal point).
+    I64(i64),
+    /// A float. Non-finite values serialize as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order is preserved so
+    /// encodings are deterministic).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is numeric and lossless.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) => u64::try_from(x).ok(),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is numeric and lossless.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) => i64::try_from(x).ok(),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float. `Null` reads back as NaN, mirroring how
+    /// non-finite floats are written.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(x) => Some(x as f64),
+            Value::I64(x) => Some(x as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a map (ordered key/value pairs).
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a serialization tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value.as_u64().ok_or_else(|| Error::msg("expected usize"))?;
+        usize::try_from(raw).map_err(Error::msg)
+    }
+}
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_i64().ok_or_else(|| Error::msg("expected i64"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::msg("expected f64"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::msg("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Compact JSON text codec over [`Value`]: single-line output (suitable for
+/// JSONL streams), full escape handling on input.
+pub mod json {
+    use super::{Error, Value};
+    use std::fmt::Write as _;
+
+    /// Encodes a value as compact (single-line) JSON.
+    pub fn to_string(value: &Value) -> String {
+        let mut out = String::new();
+        encode(value, &mut out);
+        out
+    }
+
+    fn encode(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // {:?} is the shortest representation that round-trips.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => encode_str(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode(item, out);
+                }
+                out.push(']');
+            }
+            Value::Map(fields) => {
+                out.push('{');
+                for (i, (key, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(key, out);
+                    out.push(':');
+                    encode(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn encode_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parses one JSON document (rejects trailing data).
+    pub fn from_str(input: &str) -> Result<Value, Error> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(Error::msg(format!("trailing data at byte {}", parser.pos)));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, Error> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| Error::msg("unexpected end of input"))
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), Error> {
+            if self.peek()? == byte {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::msg(format!("expected {:?} at byte {}", byte as char, self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek()? {
+                b'{' => self.map(),
+                b'[' => self.seq(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(Error::msg(format!("expected {text:?} at byte {}", self.pos)))
+            }
+        }
+
+        fn map(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Map(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Map(fields));
+                    }
+                    _ => {
+                        return Err(Error::msg(format!(
+                            "expected ',' or '}}' at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn seq(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => {
+                        return Err(Error::msg(format!(
+                            "expected ',' or ']' at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self
+                    .bytes
+                    .get(self.pos)
+                    .copied()
+                    .ok_or_else(|| Error::msg("unterminated string"))?
+                {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        let escape = self
+                            .bytes
+                            .get(self.pos)
+                            .copied()
+                            .ok_or_else(|| Error::msg("unterminated escape"))?;
+                        self.pos += 1;
+                        match escape {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                                let code = std::str::from_utf8(hex)
+                                    .ok()
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                                self.pos += 4;
+                                out.push(char::from_u32(code).ok_or_else(|| {
+                                    Error::msg(format!("invalid \\u{code:04x}"))
+                                })?);
+                            }
+                            other => {
+                                return Err(Error::msg(format!(
+                                    "unknown escape \\{}",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Consume one UTF-8 code point verbatim.
+                        let start = self.pos;
+                        self.pos += 1;
+                        while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::msg)?,
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(Error::msg(format!("expected a value at byte {start}")));
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::msg)?;
+            // Integers keep their exact type so u64 ids round-trip lossless.
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(x) = text.parse::<u64>() {
+                    return Ok(Value::U64(x));
+                }
+                if let Ok(x) = text.parse::<i64>() {
+                    return Ok(Value::I64(x));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::msg(format!("bad number at byte {start}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for value in [
+            Value::Null,
+            Value::Bool(true),
+            Value::U64(u64::MAX),
+            Value::I64(-42),
+            Value::F64(0.125),
+            Value::Str("he\"llo\n".to_string()),
+        ] {
+            let text = json::to_string(&value);
+            assert_eq!(json::from_str(&text).expect("parses"), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip_is_single_line() {
+        let value = Value::Map(vec![
+            ("id".to_string(), Value::U64(7)),
+            (
+                "xs".to_string(),
+                Value::Seq(vec![Value::F64(1.5), Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        let text = json::to_string(&value);
+        assert!(!text.contains('\n'), "JSONL lines must be single-line: {text}");
+        assert_eq!(text, r#"{"id":7,"xs":[1.5,null,false]}"#);
+        assert_eq!(json::from_str(&text).expect("parses"), value);
+    }
+
+    #[test]
+    fn non_finite_floats_write_null_and_read_nan() {
+        let text = json::to_string(&Value::F64(f64::NAN));
+        assert_eq!(text, "null");
+        let back = json::from_str(&text).expect("parses");
+        assert!(back.as_f64().expect("numeric").is_nan());
+    }
+
+    #[test]
+    fn typed_impls_round_trip() {
+        let xs: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).expect("vec"), xs);
+        let opt: Option<String> = Some("x".to_string());
+        assert_eq!(Option::<String>::from_value(&opt.to_value()).expect("opt"), opt);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).expect("none"), none);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn map_lookup_and_trailing_data() {
+        let v = json::from_str(r#"{"a": 1, "b": "x"}"#).expect("parses");
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert!(v.get("c").is_none());
+        assert!(json::from_str("{} trailing").is_err());
+    }
+}

@@ -31,8 +31,8 @@ use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsan_sim::{
-    Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, Message, NodeId, NodeKind,
-    Protocol, SimDuration,
+    Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, HopReason, Message, NodeId,
+    NodeKind, Protocol, SimDuration,
 };
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
@@ -350,7 +350,9 @@ impl ReferProtocol {
         to: NodeId,
         size: u32,
         frame: DataFrame,
+        reason: HopReason,
     ) -> bool {
+        ctx.trace_hop(frame.data, from, to, reason);
         if self.discovered {
             ctx.send_acked(from, to, size, EnergyAccount::Communication, ReferMsg::Data(frame));
             true
@@ -1026,7 +1028,7 @@ impl ReferProtocol {
             Some(kid) if kid == frame.dest_kid => {
                 // Arrived.
                 if matches!(ctx.kind(node), NodeKind::Actuator) {
-                    ctx.deliver_data(frame.data, node);
+                    ctx.deliver_data_with_hops(frame.data, node, u32::from(frame.hops));
                     self.stats.delivered += 1;
                 } else {
                     ctx.drop_data_reason(frame.data, DropReason::Other);
@@ -1064,7 +1066,7 @@ impl ReferProtocol {
                     .data_size_bits(frame.data)
                     .unwrap_or(ctx.config().traffic.packet_bits);
                 let out = DataFrame { forced: None, ..frame };
-                self.send_data(ctx, node, dest, size, out);
+                self.send_data(ctx, node, dest, size, out, HopReason::Direct);
                 return;
             }
         }
@@ -1112,7 +1114,7 @@ impl ReferProtocol {
                     .data_size_bits(frame.data)
                     .unwrap_or(ctx.config().traffic.packet_bits);
                 let out = DataFrame { forced: None, ..frame };
-                self.send_data(ctx, node, dest, size, out);
+                self.send_data(ctx, node, dest, size, out, HopReason::Detour);
                 self.stats.alt_path_switches += 1;
                 return;
             }
@@ -1127,7 +1129,8 @@ impl ReferProtocol {
             .data_size_bits(frame.data)
             .unwrap_or(ctx.config().traffic.packet_bits);
         let out = DataFrame { forced, ..frame };
-        self.send_data(ctx, node, next, size, out);
+        let reason = if idx > 0 { HopReason::Detour } else { HopReason::KautzNext };
+        self.send_data(ctx, node, next, size, out, reason);
     }
 
     /// Routing toward a different cell: first to this cell's tier owner,
@@ -1188,7 +1191,7 @@ impl ReferProtocol {
             let size = ctx
                 .data_size_bits(frame.data)
                 .unwrap_or(ctx.config().traffic.packet_bits);
-            self.send_data(ctx, node, next, size, frame);
+            self.send_data(ctx, node, next, size, frame, HopReason::KautzNext);
             return;
         }
         // Actuator: hop along the CAN cell path.
@@ -1215,7 +1218,7 @@ impl ReferProtocol {
             return;
         }
         if self.usable(ctx, node, next_owner) {
-            self.send_data(ctx, node, next_owner, size, frame);
+            self.send_data(ctx, node, next_owner, size, frame, HopReason::CellRelay);
             return;
         }
         // Relay through any actuator in range of both.
@@ -1224,7 +1227,7 @@ impl ReferProtocol {
         });
         match relay {
             Some(r) => {
-                self.send_data(ctx, node, r, size, frame);
+                self.send_data(ctx, node, r, size, frame, HopReason::CellRelay);
             }
             None => {
                 ctx.drop_data_reason(frame.data, DropReason::NoRoute);
@@ -1300,7 +1303,7 @@ impl Protocol for ReferProtocol {
                     let size = ctx
                         .data_size_bits(frame.data)
                         .unwrap_or(ctx.config().traffic.packet_bits);
-                    self.send_data(ctx, at, m, size, frame);
+                    self.send_data(ctx, at, m, size, frame, HopReason::Recovery);
                 }
                 None => {
                     ctx.drop_data_reason(frame.data, DropReason::NoRoute);
@@ -1384,7 +1387,7 @@ impl Protocol for ReferProtocol {
                 let size =
                     ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
                 let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
-                if !self.send_data(ctx, src, relay, size, frame) {
+                if !self.send_data(ctx, src, relay, size, frame, HopReason::Access) {
                     ctx.drop_data_reason(data, DropReason::NoAccess);
                     self.stats.drop_no_access += 1;
                 }
@@ -1410,7 +1413,7 @@ impl Protocol for ReferProtocol {
                     forced: None,
                     hops: 0,
                 };
-                if self.send_data(ctx, src, dest, size, frame) {
+                if self.send_data(ctx, src, dest, size, frame, HopReason::Direct) {
                     return;
                 }
             }
@@ -1421,7 +1424,7 @@ impl Protocol for ReferProtocol {
             return;
         }
         let size = ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-        if !self.send_data(ctx, src, access, size, frame) {
+        if !self.send_data(ctx, src, access, size, frame, HopReason::Access) {
             ctx.drop_data_reason(data, DropReason::NoAccess);
             self.stats.drop_no_access += 1;
         }
@@ -1535,7 +1538,7 @@ impl Protocol for ReferProtocol {
                         });
                     match next {
                         Some(m) => {
-                            self.send_data(ctx, at, m, msg.size_bits, frame);
+                            self.send_data(ctx, at, m, msg.size_bits, frame, HopReason::Access);
                         }
                         None => {
                             ctx.drop_data_reason(frame.data, DropReason::NoRoute);

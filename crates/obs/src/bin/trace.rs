@@ -1,0 +1,399 @@
+//! `trace` — forensics CLI over simulator trace streams.
+//!
+//! ```text
+//! trace record  --out trace.jsonl [--system refer] [--scale 0.05] [--seed 1]
+//!               [--sensors N] [--faults N] [--mobility F]
+//!               [--fault-model oracle|discovered]
+//! trace packet  <id> --in trace.jsonl      # one packet's full causal chain
+//! trace node    <id> --in trace.jsonl      # packets that crossed a node
+//! trace summary --in trace.jsonl           # counts, drops by reason, digest
+//! trace diff    <a.jsonl> <b.jsonl>        # compare two traces
+//! trace verify  [--system refer] [--scale 0.05] [--seeds 3] [--faults N]
+//!               [--fault-model oracle|discovered]
+//! ```
+//!
+//! `verify` proves determinism twice over: the multiset digest of all
+//! events from serial per-seed runs must equal the digest from the same
+//! runs on parallel threads, and recording the same seed twice must give
+//! byte-identical JSONL. A mismatch exits nonzero.
+
+use refer_bench::{base_config, run_system_with_sinks, System};
+use refer_obs::{
+    from_jsonl_line, fnv1a64, EventHash, HashingSink, JsonlSink, PacketLedger, SharedBuf,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use wsan_sim::trace::TraceEvent;
+use wsan_sim::{DataId, FaultModel, NodeId, SimConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    let result = match cmd.as_str() {
+        "record" => cmd_record(rest),
+        "packet" => cmd_packet(rest),
+        "node" => cmd_node(rest),
+        "summary" => cmd_summary(rest),
+        "diff" => cmd_diff(rest),
+        "verify" => cmd_verify(rest),
+        other => return usage(&format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => usage(&msg),
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage:\n  \
+         trace record  --out FILE [--system S] [--scale F] [--seed N] [--sensors N]\n                \
+         [--faults N] [--mobility F] [--fault-model oracle|discovered]\n  \
+         trace packet  <id> --in FILE\n  \
+         trace node    <id> --in FILE\n  \
+         trace summary --in FILE\n  \
+         trace diff    <a> <b>\n  \
+         trace verify  [--system S] [--scale F] [--seeds N] [--faults N]\n                \
+         [--fault-model oracle|discovered]\n\
+         systems: refer (default), datree, ddear, kautz"
+    );
+    ExitCode::from(2)
+}
+
+/// Splits raw args into positionals and `--flag value` pairs.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, BTreeMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn parse_system(name: &str) -> Result<System, String> {
+    match name {
+        "refer" => Ok(System::Refer),
+        "datree" => Ok(System::DaTree),
+        "ddear" => Ok(System::Ddear),
+        "kautz" | "kautz-overlay" => Ok(System::KautzOverlay),
+        other => Err(format!("unknown system `{other}` (refer, datree, ddear, kautz)")),
+    }
+}
+
+fn parse_fault_model(name: &str) -> Result<FaultModel, String> {
+    match name {
+        "oracle" => Ok(FaultModel::Oracle),
+        "discovered" => Ok(FaultModel::Discovered),
+        other => Err(format!("unknown fault model `{other}` (oracle, discovered)")),
+    }
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+    }
+}
+
+/// The scenario shared by `record` and `verify`, from the common flags.
+fn scenario(flags: &BTreeMap<String, String>) -> Result<(SimConfig, System), String> {
+    let system = parse_system(flags.get("system").map_or("refer", String::as_str))?;
+    let scale = flag(flags, "scale", 0.05)?;
+    let mut cfg = base_config(scale);
+    cfg.seed = flag(flags, "seed", 1u64)?;
+    cfg.sensors = flag(flags, "sensors", cfg.sensors)?;
+    cfg.faults.count = flag(flags, "faults", cfg.faults.count)?;
+    cfg.mobility.max_speed = flag(flags, "mobility", cfg.mobility.max_speed)?;
+    if let Some(raw) = flags.get("fault-model") {
+        cfg.faults.model = parse_fault_model(raw)?;
+    }
+    Ok((cfg, system))
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let out = flags.get("out").ok_or("record needs --out FILE")?;
+    let (cfg, system) = scenario(&flags)?;
+
+    let sink = JsonlSink::create(std::path::Path::new(out))
+        .map_err(|e| format!("cannot create {out}: {e}"))?;
+    let (hasher, hash) = HashingSink::new();
+    let (summary, _sinks) =
+        run_system_with_sinks(&cfg, system, vec![Box::new(sink), Box::new(hasher)]);
+
+    println!(
+        "recorded {} events from {} seed {} ({} sensors, {} faulty, {:.0}s simulated) to {out}",
+        hash.get().count,
+        system.name(),
+        cfg.seed,
+        cfg.sensors,
+        cfg.faults.count,
+        cfg.duration.as_secs_f64(),
+    );
+    println!(
+        "delivery {:.1}%  p50 {}  p95 {}  p99 {}  deadline-miss {}",
+        summary.delivery_ratio * 100.0,
+        ms(summary.delay_p50_s),
+        ms(summary.delay_p95_s),
+        ms(summary.delay_p99_s),
+        pct(summary.deadline_miss_ratio),
+    );
+    println!("digest {}", hash.get().digest());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn ms(seconds: f64) -> String {
+    if seconds.is_finite() {
+        format!("{:.1}ms", seconds * 1e3)
+    } else {
+        "—".to_string()
+    }
+}
+
+fn pct(ratio: f64) -> String {
+    if ratio.is_finite() {
+        format!("{:.1}%", ratio * 100.0)
+    } else {
+        "—".to_string()
+    }
+}
+
+/// Loads a JSONL trace: the raw lines and their parsed events.
+fn load(path: &str) -> Result<(Vec<String>, Vec<TraceEvent>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = Vec::new();
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event =
+            from_jsonl_line(line).map_err(|e| format!("{path}:{}: {}", i + 1, e.0))?;
+        lines.push(line.to_string());
+        events.push(event);
+    }
+    Ok((lines, events))
+}
+
+fn cmd_packet(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    let [id] = positional.as_slice() else {
+        return Err("packet needs exactly one <id>".to_string());
+    };
+    let id: u64 = id.parse().map_err(|_| format!("bad packet id `{id}`"))?;
+    let path = flags.get("in").ok_or("packet needs --in FILE")?;
+    let (_, events) = load(path)?;
+    let ledger = PacketLedger::from_events(events);
+    match ledger.packet(DataId(id)) {
+        Some(record) => {
+            print!("{}", record.describe());
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("packet {id} not in trace ({} packets seen)", ledger.len());
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_node(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    let [id] = positional.as_slice() else {
+        return Err("node needs exactly one <id>".to_string());
+    };
+    let id: u32 = id.parse().map_err(|_| format!("bad node id `{id}`"))?;
+    let path = flags.get("in").ok_or("node needs --in FILE")?;
+    let (_, events) = load(path)?;
+    let ledger = PacketLedger::from_events(events);
+    let visiting = ledger.visiting(NodeId(id));
+    println!("node {id}: {} packets crossed it", visiting.len());
+    for record in visiting {
+        let outcome = match &record.outcome {
+            refer_obs::Outcome::Delivered { delay_s, .. } => {
+                format!("delivered after {}", ms(*delay_s))
+            }
+            refer_obs::Outcome::Dropped { reason, .. } => {
+                format!("dropped ({})", refer_obs::codec::drop_reason_str(*reason))
+            }
+            refer_obs::Outcome::InFlight => "in flight".to_string(),
+        };
+        println!(
+            "  packet {:>6}  {} traced hops  {outcome}",
+            record.packet.0,
+            record.hops.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-kind counts, ledger stats and the stream digest of one trace.
+struct TraceReport {
+    by_kind: BTreeMap<&'static str, u64>,
+    hash: EventHash,
+    ledger: PacketLedger,
+}
+
+fn report(path: &str) -> Result<TraceReport, String> {
+    let (lines, events) = load(path)?;
+    let mut by_kind = BTreeMap::new();
+    for event in &events {
+        *by_kind.entry(event.kind()).or_insert(0u64) += 1;
+    }
+    let mut hash = EventHash::new();
+    for line in &lines {
+        hash.update(line);
+    }
+    Ok(TraceReport { by_kind, hash, ledger: PacketLedger::from_events(events) })
+}
+
+fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let path = flags.get("in").ok_or("summary needs --in FILE")?;
+    let r = report(path)?;
+    println!("{path}: {} events, digest {}", r.hash.count, r.hash.digest());
+    for (kind, n) in &r.by_kind {
+        println!("  {kind:<14} {n}");
+    }
+    let stats = r.ledger.stats();
+    println!(
+        "packets: {} total, {} delivered, {} dropped, {} in flight, {} traced hops",
+        stats.packets, stats.delivered, stats.dropped, stats.in_flight, stats.hops
+    );
+    let drops = r.ledger.drops_by_reason();
+    if !drops.is_empty() {
+        let rendered: Vec<String> =
+            drops.iter().map(|(reason, n)| format!("{reason} {n}")).collect();
+        println!("drops by reason: {}", rendered.join(", "));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    if let Some((name, _)) = flags.first_key_value() {
+        return Err(format!("diff takes no --{name}"));
+    }
+    let [a, b] = positional.as_slice() else {
+        return Err("diff needs exactly two files".to_string());
+    };
+    let ra = report(a)?;
+    let rb = report(b)?;
+    if ra.hash == rb.hash {
+        println!("traces match: {} events, digest {}", ra.hash.count, ra.hash.digest());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("traces DIFFER");
+    println!("  {a}: {} events, digest {}", ra.hash.count, ra.hash.digest());
+    println!("  {b}: {} events, digest {}", rb.hash.count, rb.hash.digest());
+    let kinds: std::collections::BTreeSet<&'static str> =
+        ra.by_kind.keys().chain(rb.by_kind.keys()).copied().collect();
+    for kind in kinds {
+        let na = ra.by_kind.get(kind).copied().unwrap_or(0);
+        let nb = rb.by_kind.get(kind).copied().unwrap_or(0);
+        if na != nb {
+            println!("  {kind:<14} {na} vs {nb}");
+        }
+    }
+    let (sa, sb) = (ra.ledger.stats(), rb.ledger.stats());
+    if sa != sb {
+        println!(
+            "  packets        {}/{}/{} vs {}/{}/{} (delivered/dropped/in-flight)",
+            sa.delivered, sa.dropped, sa.in_flight, sb.delivered, sb.dropped, sb.in_flight
+        );
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let (positional, flags) = parse_args(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let (cfg, system) = scenario(&flags)?;
+    let seeds: u64 = flag(&flags, "seeds", 3)?;
+    let seeds: Vec<u64> = (1..=seeds).collect();
+
+    // Serial pass: one traced run per seed, digests merged.
+    let mut serial = EventHash::new();
+    for &seed in &seeds {
+        let mut cfg = cfg.clone();
+        cfg.seed = seed;
+        let (sink, hash) = HashingSink::new();
+        run_system_with_sinks(&cfg, system, vec![Box::new(sink)]);
+        serial.merge(&hash.get());
+    }
+
+    // Parallel pass: same runs on scoped threads.
+    let mut handles = Vec::new();
+    std::thread::scope(|scope| {
+        for &seed in &seeds {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            let (sink, hash) = HashingSink::new();
+            handles.push(hash);
+            scope.spawn(move || run_system_with_sinks(&cfg, system, vec![Box::new(sink)]));
+        }
+    });
+    let mut parallel = EventHash::new();
+    for hash in &handles {
+        parallel.merge(&hash.get());
+    }
+
+    let order_ok = serial == parallel;
+    println!(
+        "serial/parallel event multiset: {} ({} events, digest {})",
+        if order_ok { "IDENTICAL" } else { "MISMATCH" },
+        serial.count,
+        serial.digest()
+    );
+    if !order_ok {
+        println!("  serial   {}", serial.digest());
+        println!("  parallel {}", parallel.digest());
+    }
+
+    // Record/replay pass: same seed twice must stream identical bytes.
+    let record = record_bytes(&cfg, system);
+    let replay = record_bytes(&cfg, system);
+    let replay_ok = record == replay;
+    println!(
+        "record/replay JSONL: {} ({} bytes, fnv1a {:016x})",
+        if replay_ok { "BIT-IDENTICAL" } else { "MISMATCH" },
+        record.len(),
+        fnv1a64(&record)
+    );
+
+    if order_ok && replay_ok {
+        println!("verify PASSED");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("verify FAILED");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Runs the scenario once, streaming the trace to an in-memory buffer.
+fn record_bytes(cfg: &SimConfig, system: System) -> Vec<u8> {
+    let buf = SharedBuf::new();
+    let sink = JsonlSink::new(buf.clone());
+    run_system_with_sinks(cfg, system, vec![Box::new(sink)]);
+    buf.bytes()
+}

@@ -1,0 +1,415 @@
+//! Packet lifecycle ledger: folds a trace event stream into per-packet
+//! causal chains for forensics.
+//!
+//! Feed any iterator of [`TraceEvent`]s (from a [`VecSink`](crate::sink::VecSink),
+//! a parsed JSONL file, whatever) into [`PacketLedger::from_events`] and
+//! query the result: what happened to packet X, which packets crossed
+//! node Y, what was in flight during a time window. Each record tells the
+//! packet's whole story — origin, every forwarding decision with its
+//! queueing delay and routing reason, and how it ended.
+
+use crate::codec::drop_reason_str;
+use std::collections::BTreeMap;
+use wsan_sim::trace::{HopReason, TraceEvent};
+use wsan_sim::{DataId, DropReason, NodeId, SimTime};
+
+/// One forwarding step in a packet's chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopRecord {
+    /// When the frame was handed to the radio.
+    pub at: SimTime,
+    /// Forwarding node.
+    pub from: NodeId,
+    /// Chosen next hop.
+    pub to: NodeId,
+    /// The routing decision behind the choice.
+    pub reason: HopReason,
+    /// Sender's radio backlog when the frame was queued, seconds.
+    pub queue_s: f64,
+}
+
+/// How a packet's story ended (so far).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Reached an actuator.
+    Delivered {
+        /// When.
+        at: SimTime,
+        /// Receiving actuator.
+        node: NodeId,
+        /// End-to-end delay, seconds.
+        delay_s: f64,
+        /// Transmissions end to end as counted by the protocol (0 =
+        /// unreported).
+        hops: u32,
+    },
+    /// The protocol gave up.
+    Dropped {
+        /// When.
+        at: SimTime,
+        /// Why.
+        reason: DropReason,
+    },
+    /// Neither delivered nor dropped by the end of the trace.
+    InFlight,
+}
+
+/// The full causal chain of one application packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketRecord {
+    /// The packet.
+    pub packet: DataId,
+    /// Originating sensor, if the trace caught the origin event.
+    pub origin: Option<NodeId>,
+    /// Emission time, if the trace caught the origin event.
+    pub created: Option<SimTime>,
+    /// Whether the packet counts toward metrics (emitted after warmup).
+    pub measured: bool,
+    /// Forwarding steps in trace order.
+    pub hops: Vec<HopRecord>,
+    /// How the story ended.
+    pub outcome: Outcome,
+}
+
+impl PacketRecord {
+    fn new(packet: DataId) -> Self {
+        PacketRecord {
+            packet,
+            origin: None,
+            created: None,
+            measured: false,
+            hops: Vec::new(),
+            outcome: Outcome::InFlight,
+        }
+    }
+
+    /// Every node the packet touched, in order of first appearance:
+    /// origin, then each hop's endpoints, then the delivering actuator.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let push = |n: NodeId, out: &mut Vec<NodeId>| {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        };
+        if let Some(o) = self.origin {
+            push(o, &mut out);
+        }
+        for h in &self.hops {
+            push(h.from, &mut out);
+            push(h.to, &mut out);
+        }
+        if let Outcome::Delivered { node, .. } = self.outcome {
+            push(node, &mut out);
+        }
+        out
+    }
+
+    /// Earliest known event time for the packet.
+    pub fn first_at(&self) -> Option<SimTime> {
+        self.created
+            .into_iter()
+            .chain(self.hops.first().map(|h| h.at))
+            .chain(self.end_at())
+            .min()
+    }
+
+    /// When the packet's story ended, if it did.
+    pub fn end_at(&self) -> Option<SimTime> {
+        match self.outcome {
+            Outcome::Delivered { at, .. } | Outcome::Dropped { at, .. } => Some(at),
+            Outcome::InFlight => None,
+        }
+    }
+
+    /// Latest known event time for the packet.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.end_at()
+            .into_iter()
+            .chain(self.hops.last().map(|h| h.at))
+            .chain(self.created)
+            .max()
+    }
+
+    /// A human-readable rendering of the chain, one line per step, used
+    /// by `trace packet`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let id = self.packet.0;
+        match (self.origin, self.created) {
+            (Some(origin), Some(at)) => {
+                let tag = if self.measured { "" } else { " (warmup)" };
+                out.push_str(&format!(
+                    "packet {id}: origin {} at {}us{tag}\n",
+                    origin.0,
+                    at.as_micros()
+                ));
+            }
+            _ => out.push_str(&format!("packet {id}: origin not in trace\n")),
+        }
+        for (i, h) in self.hops.iter().enumerate() {
+            out.push_str(&format!(
+                "  hop {:>2}  {}us  {} -> {}  [{}]  queue {:.1}ms\n",
+                i + 1,
+                h.at.as_micros(),
+                h.from.0,
+                h.to.0,
+                h.reason.as_str(),
+                h.queue_s * 1e3
+            ));
+        }
+        match &self.outcome {
+            Outcome::Delivered { at, node, delay_s, hops } => out.push_str(&format!(
+                "  DELIVERED at node {} at {}us, delay {:.1}ms, {hops} transmissions\n",
+                node.0,
+                at.as_micros(),
+                delay_s * 1e3
+            )),
+            Outcome::Dropped { at, reason } => out.push_str(&format!(
+                "  DROPPED at {}us: {}\n",
+                at.as_micros(),
+                drop_reason_str(*reason)
+            )),
+            Outcome::InFlight => out.push_str("  still in flight at end of trace\n"),
+        }
+        out
+    }
+}
+
+/// Aggregate counts over a ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Packets seen.
+    pub packets: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Packets dropped.
+    pub dropped: usize,
+    /// Packets still in flight at end of trace.
+    pub in_flight: usize,
+    /// Total forwarding steps observed.
+    pub hops: usize,
+}
+
+/// Per-packet causal chains folded from a trace event stream.
+#[derive(Debug, Clone, Default)]
+pub struct PacketLedger {
+    records: BTreeMap<u64, PacketRecord>,
+}
+
+impl PacketLedger {
+    /// Folds an event stream. Events not tied to a packet (sends, faults,
+    /// suspicions) are ignored; everything else lands in its packet's
+    /// record in stream order.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        let mut ledger = PacketLedger::default();
+        for event in events {
+            ledger.fold(event);
+        }
+        ledger
+    }
+
+    fn entry(&mut self, packet: DataId) -> &mut PacketRecord {
+        self.records.entry(packet.0).or_insert_with(|| PacketRecord::new(packet))
+    }
+
+    /// Folds one event into the ledger.
+    pub fn fold(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::PacketOrigin { at, packet, origin, measured } => {
+                let rec = self.entry(packet);
+                rec.origin = Some(origin);
+                rec.created = Some(at);
+                rec.measured = measured;
+            }
+            TraceEvent::Hop { at, packet, from, to, reason, queue_s } => {
+                self.entry(packet).hops.push(HopRecord { at, from, to, reason, queue_s });
+            }
+            TraceEvent::Delivered { at, packet, node, delay_s, hops } => {
+                self.entry(packet).outcome = Outcome::Delivered { at, node, delay_s, hops };
+            }
+            TraceEvent::Dropped { at, packet, reason } => {
+                self.entry(packet).outcome = Outcome::Dropped { at, reason };
+            }
+            _ => {}
+        }
+    }
+
+    /// The record for one packet.
+    pub fn packet(&self, id: DataId) -> Option<&PacketRecord> {
+        self.records.get(&id.0)
+    }
+
+    /// All records, by packet id.
+    pub fn packets(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.values()
+    }
+
+    /// Number of packets seen.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no packet was seen.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Packets whose chain touches `node` (as origin, hop endpoint or
+    /// delivering actuator).
+    pub fn visiting(&self, node: NodeId) -> Vec<&PacketRecord> {
+        self.packets().filter(|r| r.nodes().contains(&node)).collect()
+    }
+
+    /// Packets alive during `[from, to]` — any known event inside the
+    /// window, or a chain spanning it.
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> Vec<&PacketRecord> {
+        self.packets()
+            .filter(|r| match (r.first_at(), r.last_at()) {
+                (Some(first), Some(last)) => first <= to && last >= from,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Dropped packets, with their drop reason.
+    pub fn dropped(&self) -> impl Iterator<Item = (&PacketRecord, DropReason)> {
+        self.packets().filter_map(|r| match r.outcome {
+            Outcome::Dropped { reason, .. } => Some((r, reason)),
+            _ => None,
+        })
+    }
+
+    /// Aggregate counts.
+    pub fn stats(&self) -> LedgerStats {
+        let mut stats = LedgerStats { packets: self.len(), ..LedgerStats::default() };
+        for r in self.packets() {
+            stats.hops += r.hops.len();
+            match r.outcome {
+                Outcome::Delivered { .. } => stats.delivered += 1,
+                Outcome::Dropped { .. } => stats.dropped += 1,
+                Outcome::InFlight => stats.in_flight += 1,
+            }
+        }
+        stats
+    }
+
+    /// Drop counts by reason name, for `trace summary`.
+    pub fn drops_by_reason(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for (_, reason) in self.dropped() {
+            *out.entry(drop_reason_str(reason)).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PacketOrigin { at: t(100), packet: DataId(1), origin: NodeId(5), measured: true },
+            TraceEvent::Hop {
+                at: t(110),
+                packet: DataId(1),
+                from: NodeId(5),
+                to: NodeId(8),
+                reason: HopReason::Access,
+                queue_s: 0.0,
+            },
+            TraceEvent::Hop {
+                at: t(900),
+                packet: DataId(1),
+                from: NodeId(8),
+                to: NodeId(13),
+                reason: HopReason::KautzNext,
+                queue_s: 0.002,
+            },
+            TraceEvent::Delivered {
+                at: t(2000),
+                packet: DataId(1),
+                node: NodeId(13),
+                delay_s: 0.0019,
+                hops: 3,
+            },
+            TraceEvent::PacketOrigin { at: t(500), packet: DataId(2), origin: NodeId(6), measured: false },
+            TraceEvent::Dropped { at: t(700), packet: DataId(2), reason: DropReason::NoRoute },
+            TraceEvent::PacketOrigin { at: t(5000), packet: DataId(3), origin: NodeId(7), measured: true },
+            // Unrelated events the ledger must ignore.
+            TraceEvent::QueueDrop { at: t(650), from: NodeId(9) },
+            TraceEvent::Suspected { at: t(660), node: NodeId(9) },
+        ]
+    }
+
+    #[test]
+    fn folds_full_chain_with_outcome() {
+        let ledger = PacketLedger::from_events(sample_events());
+        assert_eq!(ledger.len(), 3);
+
+        let rec = ledger.packet(DataId(1)).expect("packet 1");
+        assert_eq!(rec.origin, Some(NodeId(5)));
+        assert_eq!(rec.created, Some(t(100)));
+        assert!(rec.measured);
+        assert_eq!(rec.hops.len(), 2);
+        assert_eq!(rec.hops[0].reason, HopReason::Access);
+        assert_eq!(rec.hops[1].to, NodeId(13));
+        assert!(matches!(rec.outcome, Outcome::Delivered { node: NodeId(13), hops: 3, .. }));
+        assert_eq!(rec.nodes(), vec![NodeId(5), NodeId(8), NodeId(13)]);
+    }
+
+    #[test]
+    fn dropped_and_in_flight_outcomes() {
+        let ledger = PacketLedger::from_events(sample_events());
+        let dropped = ledger.packet(DataId(2)).expect("packet 2");
+        assert!(matches!(dropped.outcome, Outcome::Dropped { reason: DropReason::NoRoute, .. }));
+        assert!(!dropped.measured);
+        let pending = ledger.packet(DataId(3)).expect("packet 3");
+        assert_eq!(pending.outcome, Outcome::InFlight);
+
+        let stats = ledger.stats();
+        assert_eq!(stats.packets, 3);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.in_flight, 1);
+        assert_eq!(stats.hops, 2);
+        assert_eq!(ledger.drops_by_reason().get("no-route"), Some(&1));
+    }
+
+    #[test]
+    fn node_and_window_queries() {
+        let ledger = PacketLedger::from_events(sample_events());
+        let via_8: Vec<u64> = ledger.visiting(NodeId(8)).iter().map(|r| r.packet.0).collect();
+        assert_eq!(via_8, vec![1]);
+        let via_6: Vec<u64> = ledger.visiting(NodeId(6)).iter().map(|r| r.packet.0).collect();
+        assert_eq!(via_6, vec![2]);
+
+        // Window [600, 1000]us: packet 1 spans it, packet 2 ends inside
+        // it, packet 3 starts after it.
+        let ids: Vec<u64> = ledger.in_window(t(600), t(1000)).iter().map(|r| r.packet.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn describe_tells_the_whole_story() {
+        let ledger = PacketLedger::from_events(sample_events());
+        let text = ledger.packet(DataId(1)).expect("packet 1").describe();
+        assert!(text.contains("origin 5"));
+        assert!(text.contains("[access]"));
+        assert!(text.contains("[kautz-next]"));
+        assert!(text.contains("DELIVERED at node 13"));
+
+        let dropped = ledger.packet(DataId(2)).expect("packet 2").describe();
+        assert!(dropped.contains("(warmup)"));
+        assert!(dropped.contains("DROPPED"));
+        assert!(dropped.contains("no-route"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Streaming [`TraceSink`] implementations.
+//!
+//! A sink is handed to the runner by value (`Box<dyn TraceSink>`), runs on
+//! whatever thread executes the simulation, and is returned flushed when
+//! the run completes. Sinks that produce a *result* (counts, a hash, a
+//! captured event list) publish it into a shared handle at
+//! [`TraceSink::flush`] time, so the caller keeps a cheap clone of the
+//! handle and never needs to downcast the returned box.
+
+use crate::codec::to_jsonl_line;
+use crate::hash::EventHash;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use wsan_sim::trace::{TraceEvent, TraceSink};
+
+/// Streams events as JSONL to any writer: one event per line, bounded
+/// memory no matter how many events the run produces.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    /// Events written so far.
+    pub written: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Wrap files in a `BufWriter` — the sink writes one
+    /// small line per event.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, written: 0 }
+    }
+}
+
+impl JsonlSink<io::BufWriter<std::fs::File>> {
+    /// Creates a sink streaming to a fresh file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(JsonlSink::new(io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        let line = to_jsonl_line(event);
+        // A full disk mid-simulation has no useful recovery; surface it.
+        self.writer.write_all(line.as_bytes()).expect("trace sink write");
+        self.writer.write_all(b"\n").expect("trace sink write");
+        self.written += 1;
+    }
+
+    fn flush(&mut self) {
+        self.writer.flush().expect("trace sink flush");
+    }
+}
+
+/// A byte buffer shared between a [`JsonlSink`] and the caller, for
+/// in-memory record/replay comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the bytes written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.0.lock().expect("buffer lock").clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Per-kind event counts published by a [`CountingSink`].
+#[derive(Debug, Clone, Default)]
+pub struct EventCounts {
+    /// Event kind name -> occurrences.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Total events observed.
+    pub total: u64,
+}
+
+/// Caller-side handle to a [`CountingSink`]'s result.
+#[derive(Debug, Clone, Default)]
+pub struct CountsHandle(Arc<Mutex<EventCounts>>);
+
+impl CountsHandle {
+    /// The counts published at flush time.
+    pub fn get(&self) -> EventCounts {
+        self.0.lock().expect("counts lock").clone()
+    }
+}
+
+/// Counts events by kind; constant memory, no serialization cost.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: EventCounts,
+    handle: CountsHandle,
+}
+
+impl CountingSink {
+    /// Creates a sink and returns it with the handle its result will be
+    /// published through.
+    pub fn new() -> (Self, CountsHandle) {
+        let sink = CountingSink::default();
+        let handle = sink.handle.clone();
+        (sink, handle)
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        *self.counts.by_kind.entry(event.kind()).or_insert(0) += 1;
+        self.counts.total += 1;
+    }
+
+    fn flush(&mut self) {
+        *self.handle.0.lock().expect("counts lock") = self.counts.clone();
+    }
+}
+
+/// Caller-side handle to a [`HashingSink`]'s digest.
+#[derive(Debug, Clone, Default)]
+pub struct HashHandle(Arc<Mutex<EventHash>>);
+
+impl HashHandle {
+    /// The digest published at flush time.
+    pub fn get(&self) -> EventHash {
+        *self.0.lock().expect("hash lock")
+    }
+}
+
+/// Folds every event's JSONL line into an order-independent
+/// [`EventHash`]; constant memory.
+#[derive(Debug, Default)]
+pub struct HashingSink {
+    hash: EventHash,
+    handle: HashHandle,
+}
+
+impl HashingSink {
+    /// Creates a sink and the handle its digest will be published through.
+    pub fn new() -> (Self, HashHandle) {
+        let sink = HashingSink::default();
+        let handle = sink.handle.clone();
+        (sink, handle)
+    }
+}
+
+impl TraceSink for HashingSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.hash.update(&to_jsonl_line(event));
+    }
+
+    fn flush(&mut self) {
+        *self.handle.0.lock().expect("hash lock") = self.hash;
+    }
+}
+
+/// Caller-side handle to a [`VecSink`]'s captured events.
+#[derive(Debug, Clone, Default)]
+pub struct EventsHandle(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl EventsHandle {
+    /// Takes the captured events out of the handle.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.0.lock().expect("events lock"))
+    }
+}
+
+/// Captures every event in memory (unbounded — test- and forensics-sized
+/// runs only; use [`JsonlSink`] for anything large).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+    handle: EventsHandle,
+}
+
+impl VecSink {
+    /// Creates a sink and the handle the events will be published through.
+    pub fn new() -> (Self, EventsHandle) {
+        let sink = VecSink::default();
+        let handle = sink.handle.clone();
+        (sink, handle)
+    }
+}
+
+impl TraceSink for VecSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn flush(&mut self) {
+        *self.handle.0.lock().expect("events lock") = std::mem::take(&mut self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_sim::{DataId, DropReason, SimTime};
+
+    fn ev(us: u64) -> TraceEvent {
+        TraceEvent::Dropped {
+            at: SimTime::from_micros(us),
+            packet: DataId(us),
+            reason: DropReason::Other,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.on_event(&ev(1));
+        sink.on_event(&ev(2));
+        TraceSink::flush(&mut sink);
+        let text = String::from_utf8(buf.bytes()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"Dropped":"#));
+        assert_eq!(sink.written, 2);
+    }
+
+    #[test]
+    fn counting_sink_publishes_on_flush() {
+        let (mut sink, handle) = CountingSink::new();
+        sink.on_event(&ev(1));
+        sink.on_event(&ev(2));
+        assert_eq!(handle.get().total, 0, "published only at flush");
+        sink.flush();
+        let counts = handle.get();
+        assert_eq!(counts.total, 2);
+        assert_eq!(counts.by_kind.get("Dropped"), Some(&2));
+    }
+
+    #[test]
+    fn hashing_sink_matches_manual_hash() {
+        let (mut sink, handle) = HashingSink::new();
+        sink.on_event(&ev(7));
+        sink.flush();
+        let mut manual = EventHash::new();
+        manual.update(&to_jsonl_line(&ev(7)));
+        assert_eq!(handle.get(), manual);
+    }
+
+    #[test]
+    fn vec_sink_captures_events() {
+        let (mut sink, handle) = VecSink::new();
+        sink.on_event(&ev(3));
+        sink.flush();
+        assert_eq!(handle.take(), vec![ev(3)]);
+        assert!(handle.take().is_empty());
+    }
+}

@@ -99,6 +99,10 @@ pub struct Ctx<P> {
     pub(crate) unbounded_queue: bool,
     /// Optional event trace (None = tracing disabled, zero cost).
     pub(crate) trace: Option<crate::trace::TraceLog>,
+    /// Streaming trace sinks attached for this run
+    /// ([`runner::run_with_sinks`](crate::runner::run_with_sinks)); empty =
+    /// no streaming consumers, zero cost.
+    pub(crate) sinks: Vec<Box<dyn crate::trace::TraceSink>>,
 }
 
 impl<P> Ctx<P> {
@@ -134,11 +138,33 @@ impl<P> Ctx<P> {
         self.trace.as_mut().map(crate::trace::TraceLog::drain).unwrap_or_default()
     }
 
+    /// Attaches a streaming trace sink for the rest of the run. The sink
+    /// observes every subsequent event in simulation order; the runner
+    /// flushes and returns it when the run completes
+    /// ([`runner::run_with_sinks`](crate::runner::run_with_sinks)).
+    pub fn add_trace_sink(&mut self, sink: Box<dyn crate::trace::TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any trace consumer (bounded log or streaming sink) is
+    /// attached. Protocols can skip building expensive event payloads when
+    /// this is false.
+    #[inline]
+    pub fn tracing_active(&self) -> bool {
+        self.trace.is_some() || !self.sinks.is_empty()
+    }
+
     #[inline]
     pub(crate) fn record(&mut self, make: impl FnOnce(SimTime) -> crate::trace::TraceEvent) {
+        if self.trace.is_none() && self.sinks.is_empty() {
+            return; // tracing disabled: two loads and a branch, no event built
+        }
+        let event = make(self.now);
+        for sink in &mut self.sinks {
+            sink.on_event(&event);
+        }
         if let Some(log) = self.trace.as_mut() {
-            let at = self.now;
-            log.push(make(at));
+            log.push(event);
         }
     }
 
@@ -484,9 +510,37 @@ impl<P> Ctx<P> {
 
     // ----- application data ---------------------------------------------
 
+    /// Records one forwarding decision for application packet `packet`:
+    /// `from` chose `to` as the next hop for `reason`. Free when tracing is
+    /// disabled; protocols call this next to the `send`/`send_acked` that
+    /// carries the packet, so traces can reconstruct per-packet causal
+    /// chains with the routing rationale.
+    pub fn trace_hop(
+        &mut self,
+        packet: DataId,
+        from: NodeId,
+        to: NodeId,
+        reason: crate::trace::HopReason,
+    ) {
+        if self.trace.is_none() && self.sinks.is_empty() {
+            return;
+        }
+        let queue_s = self.queue_delay(from).as_secs_f64();
+        self.record(|at| crate::trace::TraceEvent::Hop { at, packet, from, to, reason, queue_s });
+    }
+
     /// Records that application packet `data` reached an actuator at `at`.
     /// Only the first delivery of each packet counts toward metrics.
     pub fn deliver_data(&mut self, data: DataId, at: NodeId) {
+        self.deliver_data_with_hops(data, at, 0);
+    }
+
+    /// [`Ctx::deliver_data`] with the protocol's end-to-end transmission
+    /// count (1 = the origin reached an actuator directly). Feeds the
+    /// hop-count histogram behind
+    /// [`RunSummary::hop_p50`](crate::RunSummary::hop_p50); pass 0 when the
+    /// protocol does not track hops.
+    pub fn deliver_data_with_hops(&mut self, data: DataId, at: NodeId, hops: u32) {
         debug_assert!(
             matches!(self.nodes[at.index()].kind, NodeKind::Actuator),
             "data must be delivered to an actuator"
@@ -500,22 +554,29 @@ impl<P> Ctx<P> {
             return;
         }
         record.delivered = Some(now);
-        if !record.measured {
-            return;
-        }
         let delay = now - record.created;
-        self.metrics.delivered_packets += 1;
-        self.metrics.delivered_delay_sum += delay.as_secs_f64();
-        if delay <= qos {
-            self.metrics.qos_packets += 1;
-            self.metrics.qos_bytes += u64::from(record.size_bits) / 8;
-            self.metrics.qos_delay_sum += delay.as_secs_f64();
+        // Metrics only count measured packets; the trace still records
+        // warmup deliveries so forensics see every packet's fate.
+        if record.measured {
+            self.metrics.delivered_packets += 1;
+            self.metrics.delivered_delay_sum += delay.as_secs_f64();
+            self.metrics.delay_hist.record(delay.as_micros());
+            if hops > 0 {
+                self.metrics.hop_hist.record(u64::from(hops));
+            }
+            if delay <= qos {
+                self.metrics.qos_packets += 1;
+                self.metrics.qos_bytes += u64::from(record.size_bits) / 8;
+                self.metrics.qos_delay_sum += delay.as_secs_f64();
+            }
         }
         let node = at;
         self.record(|t| crate::trace::TraceEvent::Delivered {
             at: t,
+            packet: data,
             node,
             delay_s: delay.as_secs_f64(),
+            hops,
         });
     }
 
@@ -528,15 +589,17 @@ impl<P> Ctx<P> {
     /// exported in [`RunSummary`](crate::RunSummary) drop counters.
     pub fn drop_data_reason(&mut self, data: DataId, reason: DropReason) {
         if let Some(record) = self.data.get(&data) {
-            if record.delivered.is_none() && record.measured {
-                self.metrics.dropped_packets += 1;
-                match reason {
-                    DropReason::NoAccess => self.metrics.drop_no_access += 1,
-                    DropReason::NoRoute => self.metrics.drop_no_route += 1,
-                    DropReason::HopLimit => self.metrics.drop_hops += 1,
-                    DropReason::Other => {}
+            if record.delivered.is_none() {
+                if record.measured {
+                    self.metrics.dropped_packets += 1;
+                    match reason {
+                        DropReason::NoAccess => self.metrics.drop_no_access += 1,
+                        DropReason::NoRoute => self.metrics.drop_no_route += 1,
+                        DropReason::HopLimit => self.metrics.drop_hops += 1,
+                        DropReason::Other => {}
+                    }
                 }
-                self.record(|at| crate::trace::TraceEvent::Dropped { at });
+                self.record(|at| crate::trace::TraceEvent::Dropped { at, packet: data, reason });
             }
         }
     }

@@ -59,7 +59,8 @@ impl Protocol for FloodProtocol {
             return; // duplicate suppression
         }
         if matches!(ctx.kind(at), NodeKind::Actuator) {
-            ctx.deliver_data(msg.payload.data, at);
+            let hops = u32::from(self.ttl - msg.payload.ttl) + 1;
+            ctx.deliver_data_with_hops(msg.payload.data, at, hops);
             return;
         }
         if msg.payload.ttl == 0 {

@@ -88,12 +88,29 @@ pub struct AggregateSummary {
     pub drop_no_route: CiStat,
     /// Measured-window drops: hop budget exhausted.
     pub drop_hops: CiStat,
+    /// Median end-to-end delay, seconds (mean of per-seed p50s).
+    pub delay_p50_s: CiStat,
+    /// 95th-percentile end-to-end delay, seconds.
+    pub delay_p95_s: CiStat,
+    /// 99th-percentile end-to-end delay, seconds.
+    pub delay_p99_s: CiStat,
+    /// Fraction of delivered packets that missed the QoS deadline.
+    pub deadline_miss_ratio: CiStat,
+    /// Median end-to-end hop count.
+    pub hop_p50: CiStat,
+    /// 99th-percentile end-to-end hop count.
+    pub hop_p99: CiStat,
 }
 
 /// Aggregates per-run summaries into means with 95% confidence intervals.
+///
+/// Undefined per-seed values (NaN: the delivery ratio or delay tail of a
+/// run that delivered nothing) are excluded from that column's statistic
+/// rather than poisoning the mean; the stat's `n` reflects the seeds that
+/// actually defined the quantity.
 pub fn aggregate(runs: &[RunSummary]) -> AggregateSummary {
     fn col(runs: &[RunSummary], f: impl Fn(&RunSummary) -> f64) -> CiStat {
-        let xs: Vec<f64> = runs.iter().map(f).collect();
+        let xs: Vec<f64> = runs.iter().map(f).filter(|x| x.is_finite()).collect();
         ci95(&xs)
     }
     AggregateSummary {
@@ -112,6 +129,12 @@ pub fn aggregate(runs: &[RunSummary]) -> AggregateSummary {
         drop_no_access: col(runs, |r| r.drop_no_access as f64),
         drop_no_route: col(runs, |r| r.drop_no_route as f64),
         drop_hops: col(runs, |r| r.drop_hops as f64),
+        delay_p50_s: col(runs, |r| r.delay_p50_s),
+        delay_p95_s: col(runs, |r| r.delay_p95_s),
+        delay_p99_s: col(runs, |r| r.delay_p99_s),
+        deadline_miss_ratio: col(runs, |r| r.deadline_miss_ratio),
+        hop_p50: col(runs, |r| r.hop_p50),
+        hop_p99: col(runs, |r| r.hop_p99),
     }
 }
 
@@ -153,11 +176,36 @@ mod tests {
             drop_no_route: 4,
             drop_hops: 0,
             oracle_queries: 0,
+            delay_p50_s: 0.08,
+            delay_p95_s: 0.2,
+            delay_p99_s: 0.3,
+            deadline_miss_ratio: 0.1,
+            hop_p50: 3.0,
+            hop_p99: 7.0,
         };
         let agg = aggregate(&[run.clone(), run.clone(), run]);
         assert_eq!(agg.throughput_bps.mean, 100.0);
         assert_eq!(agg.throughput_bps.ci95, 0.0);
         assert_eq!(agg.energy_total_j.mean, 55.0);
         assert_eq!(agg.qos_delivery_ratio.n, 3);
+        assert_eq!(agg.delay_p99_s.mean, 0.3);
+        assert_eq!(agg.hop_p50.n, 3);
+    }
+
+    #[test]
+    fn aggregate_excludes_nan_columns_per_seed() {
+        let defined =
+            RunSummary { delivery_ratio: 0.5, delay_p50_s: 0.1, ..RunSummary::default() };
+        let undefined = RunSummary {
+            delivery_ratio: f64::NAN,
+            delay_p50_s: f64::NAN,
+            ..RunSummary::default()
+        };
+        let agg = aggregate(&[defined, undefined]);
+        assert_eq!(agg.delivery_ratio.n, 1);
+        assert_eq!(agg.delivery_ratio.mean, 0.5);
+        assert_eq!(agg.delay_p50_s.n, 1);
+        assert_eq!(agg.delay_p50_s.mean, 0.1);
+        assert_eq!(agg.throughput_bps.n, 2);
     }
 }

@@ -1,0 +1,221 @@
+//! Log-bucketed (HDR-style) histograms for latency and hop-count tails.
+//!
+//! A [`LogHistogram`] records non-negative integer values (microseconds,
+//! hop counts) into buckets whose width grows with magnitude: 16 linear
+//! sub-buckets per power-of-two octave, bounding the relative quantile
+//! error at 1/16 ≈ 6.25% while using a fixed ~1 KB of memory regardless of
+//! how many values are recorded. Quantiles report the *lower edge* of the
+//! containing bucket, so values recorded exactly at bucket edges are
+//! recovered exactly — which is what the boundary tests assert.
+
+/// Sub-buckets per octave: values below `SUBBUCKETS` are exact.
+const SUBBUCKETS: u64 = 16;
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = 4;
+/// Total bucket count covering the full `u64` range: one exact octave for
+/// values below [`SUBBUCKETS`] plus 16 sub-buckets for each of the 60
+/// higher octaves.
+const NUM_BUCKETS: usize = (SUBBUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A fixed-memory log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    /// Bucket counters, allocated lazily on the first record.
+    counts: Vec<u64>,
+    /// Total number of recorded values.
+    total: u64,
+}
+
+/// The bucket index of `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (value >> shift) & (SUBBUCKETS - 1);
+    (SUBBUCKETS as usize) * (msb - SUB_BITS + 1) as usize + sub as usize
+}
+
+/// The smallest value that maps to bucket `index` (the bucket's lower edge).
+fn bucket_lower_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBBUCKETS {
+        return index;
+    }
+    let octave = index / SUBBUCKETS; // 1 = values in [16, 32), 2 = [32, 64), ...
+    let sub = index % SUBBUCKETS;
+    (SUBBUCKETS + sub) << (octave - 1)
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the lower edge of the bucket
+    /// containing the value of that rank; `None` when empty. The relative
+    /// error versus the true quantile is below 1/16.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(bucket_lower_edge(index));
+            }
+        }
+        // Unreachable while counters are consistent; fall back to the top.
+        Some(bucket_lower_edge(NUM_BUCKETS - 1))
+    }
+
+    /// The `q`-quantile as fractional seconds of a microsecond-valued
+    /// histogram; NaN when empty (so empty runs aggregate like the NaN
+    /// delivery ratios: excluded, not zero).
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile(q).map_or(f64::NAN, |micros| micros as f64 / 1e6)
+    }
+
+    /// Merges another histogram's counts into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUBBUCKETS {
+            h.record(v);
+        }
+        // {0..15}: rank(0.5 * 16) = 8th smallest = 7.
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn bucket_edges_round_trip_exactly() {
+        // Every bucket's lower edge must map back to that bucket, and
+        // recording a value at an edge must recover it exactly.
+        for index in 0..NUM_BUCKETS {
+            let edge = bucket_lower_edge(index);
+            assert_eq!(bucket_index(edge), index, "edge {edge} of bucket {index}");
+            let mut h = LogHistogram::new();
+            h.record(edge);
+            assert_eq!(h.quantile(0.5), Some(edge));
+        }
+    }
+
+    #[test]
+    fn boundary_neighbours_stay_in_adjacent_buckets() {
+        // One below an edge belongs to the previous bucket; the edge itself
+        // starts a new one.
+        for index in 1..NUM_BUCKETS {
+            let edge = bucket_lower_edge(index);
+            assert_eq!(bucket_index(edge - 1), index - 1, "below edge {edge}");
+        }
+    }
+
+    #[test]
+    fn known_distribution_p50_p99_exact_on_edges() {
+        // 100 values, all exact bucket edges (multiples of 1<<shift within
+        // an octave are edges; small values always are).
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            // 1..=15 exact; 16..=31 exact (sub-bucket width 1); 32..=100:
+            // round down to the even edge so every recorded value is an edge.
+            let edge = bucket_lower_edge(bucket_index(v));
+            h.record(edge);
+        }
+        // Every recorded value equals its bucket edge, so quantiles are the
+        // true order statistics of the recorded multiset.
+        let recorded: Vec<u64> = (1..=100u64).map(|v| bucket_lower_edge(bucket_index(v))).collect();
+        let mut sorted = recorded.clone();
+        sorted.sort_unstable();
+        assert_eq!(h.quantile(0.5), Some(sorted[49]));
+        assert_eq!(h.quantile(0.99), Some(sorted[98]));
+        assert_eq!(h.quantile(1.0), Some(sorted[99]));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        let value = 1_000_003u64; // not a bucket edge
+        h.record(value);
+        let approx = h.quantile(0.5).expect("non-empty") as f64;
+        let err = (value as f64 - approx) / value as f64;
+        assert!((0.0..1.0 / 16.0).contains(&err), "error {err}");
+    }
+
+    #[test]
+    fn quantile_secs_of_empty_is_nan() {
+        let h = LogHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.quantile_secs(0.5).is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(500_000);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile(0.0), Some(5));
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        // p100 lands in the top bucket; p0 stays at the bottom edge.
+        assert!(h.quantile(1.0).expect("non-empty") > h.quantile(0.0).expect("non-empty"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod failure;
 pub mod flood;
 mod geometry;
 pub mod harness;
+pub mod hist;
 mod message;
 mod metrics;
 mod node;
@@ -60,8 +61,10 @@ pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
 pub use failure::FailureView;
 pub use geometry::{centroid, Area, Point};
+pub use hist::LogHistogram;
 pub use message::{DataId, DataRecord, Message};
 pub use metrics::{jain_fairness, DropReason, Metrics, RunSummary};
 pub use node::{NodeId, NodeKind, NodeState};
 pub use protocol::Protocol;
 pub use time::{SimDuration, SimTime};
+pub use trace::{HopReason, TraceEvent, TraceLog, TraceSink};

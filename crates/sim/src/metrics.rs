@@ -2,6 +2,7 @@
 //! supporting counters.
 
 use crate::energy::EnergyLedger;
+use crate::hist::LogHistogram;
 use crate::time::SimDuration;
 
 /// Why a protocol gave up on an application packet. Feeds the per-reason
@@ -66,10 +67,15 @@ pub struct Metrics {
     pub drop_hops: u64,
     /// Energy totals per account and mode.
     pub energy: EnergyLedger,
+    /// End-to-end delays of all measured deliveries, microseconds.
+    pub delay_hist: LogHistogram,
+    /// End-to-end hop counts of measured deliveries whose protocol
+    /// reported them (transmissions, so a direct delivery is 1).
+    pub hop_hist: LogHistogram,
 }
 
 /// The per-run summary the figure harness consumes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunSummary {
     /// QoS throughput, bytes per second of measured time (Figures 4, 7).
@@ -117,6 +123,59 @@ pub struct RunSummary {
     /// Fault-oracle consultations (`is_faulty`/`link_ok`/`neighbors`) made
     /// during the run: zero in an honest `FaultModel::Discovered` run.
     pub oracle_queries: u64,
+    /// Median end-to-end delay over all measured deliveries, seconds
+    /// (log-bucketed, relative error < 1/16). NaN when nothing was
+    /// delivered — an empty tail must not masquerade as a zero one.
+    pub delay_p50_s: f64,
+    /// 95th-percentile end-to-end delay, seconds (NaN when no deliveries).
+    pub delay_p95_s: f64,
+    /// 99th-percentile end-to-end delay, seconds (NaN when no deliveries).
+    pub delay_p99_s: f64,
+    /// Fraction of *delivered* packets that missed the QoS deadline — the
+    /// real-time tail the mean hides. NaN when nothing was delivered.
+    pub deadline_miss_ratio: f64,
+    /// Median end-to-end hop count of deliveries whose protocol reported
+    /// hops (NaN when none did).
+    pub hop_p50: f64,
+    /// 99th-percentile end-to-end hop count (NaN when none reported).
+    pub hop_p99: f64,
+}
+
+/// Bitwise float equality, so the NaN tails of a run that delivered
+/// nothing compare equal to themselves and determinism assertions like
+/// `serial == parallel` keep holding.
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        fn f(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        f(self.throughput_bps, other.throughput_bps)
+            && f(self.mean_delay_s, other.mean_delay_s)
+            && f(self.energy_communication_j, other.energy_communication_j)
+            && f(self.energy_construction_j, other.energy_construction_j)
+            && f(self.qos_delivery_ratio, other.qos_delivery_ratio)
+            && f(self.delivery_ratio, other.delivery_ratio)
+            && f(self.mean_delay_all_s, other.mean_delay_all_s)
+            && self.frames_sent == other.frames_sent
+            && self.broadcasts_sent == other.broadcasts_sent
+            && f(self.hotspot_energy_j, other.hotspot_energy_j)
+            && f(self.energy_fairness, other.energy_fairness)
+            && self.retransmissions == other.retransmissions
+            && self.detections == other.detections
+            && self.false_suspicions == other.false_suspicions
+            && f(self.mean_detection_latency_s, other.mean_detection_latency_s)
+            && self.handovers == other.handovers
+            && self.drop_no_access == other.drop_no_access
+            && self.drop_no_route == other.drop_no_route
+            && self.drop_hops == other.drop_hops
+            && self.oracle_queries == other.oracle_queries
+            && f(self.delay_p50_s, other.delay_p50_s)
+            && f(self.delay_p95_s, other.delay_p95_s)
+            && f(self.delay_p99_s, other.delay_p99_s)
+            && f(self.deadline_miss_ratio, other.deadline_miss_ratio)
+            && f(self.hop_p50, other.hop_p50)
+            && f(self.hop_p99, other.hop_p99)
+    }
 }
 
 /// Jain's fairness index of a load vector: `(sum x)^2 / (n * sum x^2)`.
@@ -173,6 +232,16 @@ impl Metrics {
             drop_no_route: self.drop_no_route,
             drop_hops: self.drop_hops,
             oracle_queries: 0,
+            delay_p50_s: self.delay_hist.quantile_secs(0.50),
+            delay_p95_s: self.delay_hist.quantile_secs(0.95),
+            delay_p99_s: self.delay_hist.quantile_secs(0.99),
+            deadline_miss_ratio: if self.delivered_packets > 0 {
+                1.0 - self.qos_packets as f64 / self.delivered_packets as f64
+            } else {
+                f64::NAN
+            },
+            hop_p50: self.hop_hist.quantile(0.50).map_or(f64::NAN, |h| h as f64),
+            hop_p99: self.hop_hist.quantile(0.99).map_or(f64::NAN, |h| h as f64),
         }
     }
 }
@@ -198,6 +267,27 @@ mod tests {
         assert_eq!(s.mean_delay_all_s, 0.2);
         assert_eq!(s.qos_delivery_ratio, 0.6);
         assert_eq!(s.delivery_ratio, 0.7);
+        // 600 of 700 deliveries made the deadline.
+        assert!((s.deadline_miss_ratio - 100.0 / 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_delay_percentiles_from_the_histogram() {
+        let mut m = Metrics { delivered_packets: 4, qos_packets: 4, ..Default::default() };
+        // Exact bucket edges: 1 ms, 2 ms, 3 ms, 4 ms (all below 16 * 1024 us
+        // octave granularity concerns? they are edges of their buckets).
+        for micros in [1_000u64, 2_000, 3_000, 4_000] {
+            m.delay_hist.record(micros);
+            m.hop_hist.record(micros / 1_000);
+        }
+        let s = m.summarize(SimDuration::from_secs(10));
+        // p50 of 4 samples = 2nd smallest; bucket lower edges are within
+        // 1/16 below the recorded values.
+        let p50 = s.delay_p50_s;
+        assert!(p50 > 0.002 * (1.0 - 1.0 / 16.0) && p50 <= 0.002, "p50 {p50}");
+        assert!(s.delay_p99_s >= s.delay_p50_s);
+        assert_eq!(s.hop_p50, 2.0);
+        assert_eq!(s.deadline_miss_ratio, 0.0);
     }
 
     #[test]
@@ -219,5 +309,10 @@ mod tests {
         // 0 delivered of 0 offered is undefined, not a 0% delivery ratio.
         assert!(s.qos_delivery_ratio.is_nan());
         assert!(s.delivery_ratio.is_nan());
+        // Likewise the tail of an empty run is undefined, not zero.
+        assert!(s.delay_p50_s.is_nan());
+        assert!(s.delay_p99_s.is_nan());
+        assert!(s.deadline_miss_ratio.is_nan());
+        assert!(s.hop_p50.is_nan());
     }
 }

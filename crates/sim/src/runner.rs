@@ -21,8 +21,24 @@ use std::collections::HashMap;
 ///
 /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
 pub fn run<P: Protocol>(cfg: SimConfig, protocol: &mut P) -> RunSummary {
+    run_with_sinks(cfg, protocol, Vec::new()).0
+}
+
+/// [`run`] with streaming trace sinks attached for the whole run.
+///
+/// Every sink observes every [`TraceEvent`](crate::trace::TraceEvent) in
+/// simulation order as it happens — no intermediate buffer, so a traced
+/// million-event run holds only what the sinks themselves retain. The
+/// sinks are flushed and handed back with the summary so callers can
+/// recover their state (file handles, counters, hashes).
+pub fn run_with_sinks<P: Protocol>(
+    cfg: SimConfig,
+    protocol: &mut P,
+    sinks: Vec<Box<dyn crate::trace::TraceSink>>,
+) -> (RunSummary, Vec<Box<dyn crate::trace::TraceSink>>) {
     cfg.validate();
     let mut ctx = build_ctx::<P::Payload>(cfg);
+    ctx.sinks = sinks;
     ctx.unbounded_queue = true;
     protocol.on_init(&mut ctx);
     ctx.unbounded_queue = false;
@@ -100,7 +116,11 @@ pub fn run<P: Protocol>(cfg: SimConfig, protocol: &mut P) -> RunSummary {
     summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
     summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
     summary.oracle_queries = ctx.oracle_queries.get();
-    summary
+    let mut sinks = std::mem::take(&mut ctx.sinks);
+    for sink in &mut sinks {
+        sink.flush();
+    }
+    (summary, sinks)
 }
 
 /// The ACK timeout of pending acknowledged frame `id` fired: retransmit
@@ -180,6 +200,7 @@ fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         end,
         unbounded_queue: false,
         trace: None,
+        sinks: Vec::new(),
     }
 }
 
@@ -288,6 +309,12 @@ fn emit_packet<P: Protocol>(
         if measured {
             ctx.metrics.offered_packets += 1;
         }
+        ctx.record(|at| crate::trace::TraceEvent::PacketOrigin {
+            at,
+            packet: id,
+            origin: node,
+            measured,
+        });
         protocol.on_app_data(ctx, node, id);
     }
     if remaining > 0 {

@@ -1,19 +1,104 @@
-//! Optional event tracing: a bounded in-memory log of what happened on
-//! the (simulated) air, for debugging protocols and building timelines.
+//! Optional event tracing: what happened on the (simulated) air, for
+//! debugging protocols, building timelines and packet forensics.
 //!
-//! Tracing is off by default and costs nothing when disabled. Enable it
-//! with [`Ctx::enable_trace`](crate::Ctx::enable_trace); drain the log
-//! afterwards with [`Ctx::take_trace`](crate::Ctx::take_trace) (or from
-//! the protocol during the run).
+//! Tracing is off by default and costs nothing when disabled. Two
+//! consumers exist:
+//!
+//! * the bounded in-memory [`TraceLog`], enabled with
+//!   [`Ctx::enable_trace`](crate::Ctx::enable_trace) and drained with
+//!   [`Ctx::take_trace`](crate::Ctx::take_trace);
+//! * streaming [`TraceSink`]s attached via
+//!   [`runner::run_with_sinks`](crate::runner::run_with_sinks), which see
+//!   every event as it happens (no buffer, bounded memory at any event
+//!   count) — the `refer-obs` crate builds JSONL, counting and hashing
+//!   sinks on this trait.
 
 use crate::energy::EnergyAccount;
+use crate::message::DataId;
+use crate::metrics::DropReason;
 use crate::node::NodeId;
 use crate::time::SimTime;
 
+/// Why a protocol forwarded a packet to a particular next hop, carried in
+/// [`TraceEvent::Hop`] so a trace explains *routing decisions*, not just
+/// frame movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopReason {
+    /// Source (or relay) handing the packet to an access member / first
+    /// hop toward an actuator.
+    Access,
+    /// The primary Kautz successor on the shortest overlay path.
+    KautzNext,
+    /// An alternate successor after the primary was unusable (failed,
+    /// congested or suspected) — REFER's Section III-C2 detour.
+    Detour,
+    /// Direct transmission to the destination (it was in range).
+    Direct,
+    /// An inter-cell relay leg between actuators (CAN routing).
+    CellRelay,
+    /// A cluster-gateway leg (D-DEAR's mesh backbone).
+    Gateway,
+    /// A climb toward the tree parent (DaTree).
+    TreeParent,
+    /// A precomputed physical path walk under an overlay edge
+    /// (Kautz-overlay).
+    PathWalk,
+    /// A recovery action: path repair, re-attach or source retransmit.
+    Recovery,
+    /// Anything else.
+    Other,
+}
+
+impl HopReason {
+    /// Stable lowercase name used by trace codecs and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HopReason::Access => "access",
+            HopReason::KautzNext => "kautz-next",
+            HopReason::Detour => "detour",
+            HopReason::Direct => "direct",
+            HopReason::CellRelay => "cell-relay",
+            HopReason::Gateway => "gateway",
+            HopReason::TreeParent => "tree-parent",
+            HopReason::PathWalk => "path-walk",
+            HopReason::Recovery => "recovery",
+            HopReason::Other => "other",
+        }
+    }
+}
+
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TraceEvent {
+    /// A traffic source emitted an application packet (the start of the
+    /// packet's causal chain).
+    PacketOrigin {
+        /// When.
+        at: SimTime,
+        /// The application packet.
+        packet: DataId,
+        /// The originating sensor.
+        origin: NodeId,
+        /// Whether the packet counts toward metrics (emitted after warmup).
+        measured: bool,
+    },
+    /// A protocol forwarded an application packet one hop, with the
+    /// routing decision behind the choice.
+    Hop {
+        /// When.
+        at: SimTime,
+        /// The application packet being forwarded.
+        packet: DataId,
+        /// Forwarding node.
+        from: NodeId,
+        /// Chosen next hop.
+        to: NodeId,
+        /// Why this next hop was chosen.
+        reason: HopReason,
+        /// The forwarding node's radio backlog when the frame was queued,
+        /// seconds (the per-hop queueing delay component).
+        queue_s: f64,
+    },
     /// A unicast frame was accepted by the sender's radio.
     Send {
         /// When.
@@ -58,15 +143,24 @@ pub enum TraceEvent {
     Delivered {
         /// When.
         at: SimTime,
+        /// The application packet.
+        packet: DataId,
         /// Receiving actuator.
         node: NodeId,
         /// End-to-end delay, seconds.
         delay_s: f64,
+        /// Transmissions the packet took end to end as counted by the
+        /// protocol (0 = the protocol did not report hop counts).
+        hops: u32,
     },
     /// The protocol gave up on an application packet.
     Dropped {
         /// When.
         at: SimTime,
+        /// The application packet.
+        packet: DataId,
+        /// Why the protocol gave up.
+        reason: DropReason,
     },
     /// The faulty set rotated.
     FaultRotation {
@@ -101,16 +195,57 @@ impl TraceEvent {
     /// The simulated time of the event.
     pub fn at(&self) -> SimTime {
         match self {
-            TraceEvent::Send { at, .. }
+            TraceEvent::PacketOrigin { at, .. }
+            | TraceEvent::Hop { at, .. }
+            | TraceEvent::Send { at, .. }
             | TraceEvent::SendFailed { at, .. }
             | TraceEvent::QueueDrop { at, .. }
             | TraceEvent::Broadcast { at, .. }
             | TraceEvent::Delivered { at, .. }
-            | TraceEvent::Dropped { at }
+            | TraceEvent::Dropped { at, .. }
             | TraceEvent::FaultRotation { at, .. }
             | TraceEvent::Retransmit { at, .. }
             | TraceEvent::Suspected { at, .. } => *at,
         }
+    }
+
+    /// The event's kind as a stable name (the JSONL tag used by codecs and
+    /// per-kind counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PacketOrigin { .. } => "PacketOrigin",
+            TraceEvent::Hop { .. } => "Hop",
+            TraceEvent::Send { .. } => "Send",
+            TraceEvent::SendFailed { .. } => "SendFailed",
+            TraceEvent::QueueDrop { .. } => "QueueDrop",
+            TraceEvent::Broadcast { .. } => "Broadcast",
+            TraceEvent::Delivered { .. } => "Delivered",
+            TraceEvent::Dropped { .. } => "Dropped",
+            TraceEvent::FaultRotation { .. } => "FaultRotation",
+            TraceEvent::Retransmit { .. } => "Retransmit",
+            TraceEvent::Suspected { .. } => "Suspected",
+        }
+    }
+}
+
+/// A streaming consumer of trace events.
+///
+/// Sinks are attached for one run via
+/// [`runner::run_with_sinks`](crate::runner::run_with_sinks) and observe
+/// every event in simulation order as it happens, so memory stays bounded
+/// no matter how many events a run produces. `Send` is required so traced
+/// runs can execute on the multi-seed harness's worker threads.
+pub trait TraceSink: Send {
+    /// Observes one event.
+    fn on_event(&mut self, event: &TraceEvent);
+
+    /// Called once when the run completes; flush buffers / publish state.
+    fn flush(&mut self) {}
+}
+
+impl TraceSink for TraceLog {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.push(event.clone());
     }
 }
 
@@ -172,7 +307,11 @@ mod tests {
     use super::*;
 
     fn ev(us: u64) -> TraceEvent {
-        TraceEvent::Dropped { at: SimTime::from_micros(us) }
+        TraceEvent::Dropped {
+            at: SimTime::from_micros(us),
+            packet: DataId(0),
+            reason: DropReason::Other,
+        }
     }
 
     #[test]

@@ -91,8 +91,11 @@ fn main() {
                 TraceEvent::Broadcast { at, from, receivers, .. } => {
                     println!("  {at}  {from} broadcast to {receivers} receivers")
                 }
-                TraceEvent::Delivered { at, node, delay_s } => {
-                    println!("  {at}  delivered at {node} after {:.1} ms", delay_s * 1e3)
+                TraceEvent::Delivered { at, node, delay_s, hops, .. } => {
+                    println!(
+                        "  {at}  delivered at {node} after {:.1} ms ({hops} hops)",
+                        delay_s * 1e3
+                    )
                 }
                 other => println!("  {}  {other:?}", other.at()),
             }
