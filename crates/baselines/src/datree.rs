@@ -110,10 +110,14 @@ impl DaTreeProtocol {
             self.root_of.insert(a, a);
             queue.push_back(a);
         }
+        // One scratch buffer for the whole wave: the expansion refills it
+        // per node instead of allocating per hop.
+        let mut frontier: Vec<NodeId> = Vec::new();
         while let Some(cur) = queue.pop_front() {
             ctx.broadcast(cur, self.cfg.ctrl_bits, EnergyAccount::Construction, DaTreeMsg::Ctrl);
             let root = self.root_of[&cur];
-            for n in ctx.neighbors(cur) {
+            ctx.neighbors_into(cur, &mut frontier);
+            for &n in &frontier {
                 // A node only adopts a parent it can actually transmit to:
                 // hearing an actuator's long-range broadcast does not give a
                 // short-range sensor an uplink (asymmetric ranges).

@@ -127,6 +127,14 @@ impl DdearProtocol {
             ctx.broadcast(s, self.cfg.ctrl_bits, EnergyAccount::Construction, DdearMsg::Ctrl);
             ctx.broadcast(s, self.cfg.ctrl_bits, EnergyAccount::Construction, DdearMsg::Ctrl);
         }
+        // Nothing moves or fails during construction, so every node's
+        // neighbor set is computed exactly once for the whole placement
+        // round; the greedy election and the membership pass below both
+        // walk this table instead of re-querying per iteration.
+        let mut table: Vec<Vec<NodeId>> = vec![Vec::new(); ctx.node_count()];
+        for id in ctx.node_ids() {
+            ctx.neighbors_into(id, &mut table[id.index()]);
+        }
         // Greedy election: highest-battery first, skip anything already
         // within two hops of a head.
         let mut order = sensors.clone();
@@ -146,7 +154,7 @@ impl DdearProtocol {
             }
             self.heads.insert(s);
             covered.insert(s);
-            covered.extend(ctx.neighbors(s));
+            covered.extend(table[s.index()].iter().copied());
         }
         self.stats.heads = self.heads.len();
         // Membership: nearest head within 2 hops (gateway = common
@@ -155,7 +163,7 @@ impl DdearProtocol {
             if self.heads.contains(&s) {
                 continue;
             }
-            self.attach_member(ctx, s);
+            self.attach_member_using(ctx, s, Some(&table));
         }
         // Heads discover their actuator paths.
         let heads: Vec<NodeId> = self.heads.iter().copied().collect();
@@ -164,8 +172,31 @@ impl DdearProtocol {
         }
     }
 
+    /// Runtime (re-)attachment: the topology may have changed since
+    /// construction, so neighborhoods are queried fresh.
     fn attach_member(&mut self, ctx: &Ctx<DdearMsg>, s: NodeId) -> Option<(NodeId, Option<NodeId>)> {
-        let neighbors: BTreeSet<NodeId> = ctx.neighbors(s).into_iter().collect();
+        self.attach_member_using(ctx, s, None)
+    }
+
+    /// Attaches `s` to its nearest head within two hops. With `table`
+    /// (construction), neighbor sets come from the per-round precomputed
+    /// lists; without it (runtime re-attachment), they are queried live.
+    /// Neighbor lists are in ascending `NodeId` order either way, so both
+    /// paths scan gateways identically.
+    fn attach_member_using(
+        &mut self,
+        ctx: &Ctx<DdearMsg>,
+        s: NodeId,
+        table: Option<&[Vec<NodeId>]>,
+    ) -> Option<(NodeId, Option<NodeId>)> {
+        let fresh;
+        let neighbors: &[NodeId] = match table {
+            Some(t) => &t[s.index()],
+            None => {
+                fresh = ctx.neighbors(s);
+                &fresh
+            }
+        };
         // Direct head?
         let direct = neighbors
             .iter()
@@ -179,10 +210,18 @@ impl DdearProtocol {
             return Some((h, None));
         }
         // Head two hops away through a gateway.
-        for g in &neighbors {
-            let via = ctx
-                .neighbors(*g)
-                .into_iter()
+        let mut fresh_g = Vec::new();
+        for g in neighbors {
+            let g_neighbors: &[NodeId] = match table {
+                Some(t) => &t[g.index()],
+                None => {
+                    ctx.neighbors_into(*g, &mut fresh_g);
+                    &fresh_g
+                }
+            };
+            let via = g_neighbors
+                .iter()
+                .copied()
                 .filter(|n| self.heads.contains(n))
                 .min_by(|&a, &b| {
                     ctx.distance(s, a).partial_cmp(&ctx.distance(s, b)).expect("finite")

@@ -59,6 +59,9 @@ pub fn discover<P: ControlPayload>(
     let mut depth: BTreeMap<NodeId, usize> = BTreeMap::new();
     let mut seen: BTreeSet<NodeId> = BTreeSet::new();
     let mut queue = VecDeque::new();
+    // One neighbor buffer for the whole BFS: each expansion refills it
+    // instead of allocating a fresh Vec per hop.
+    let mut frontier: Vec<NodeId> = Vec::new();
     let mut broadcasts = 0usize;
     seen.insert(from);
     depth.insert(from, 0);
@@ -79,7 +82,8 @@ pub fn discover<P: ControlPayload>(
         }
         // The receivers of that charged broadcast — the medium's outcome,
         // not an oracle lookup (see [`Ctx::physical_neighbors`]).
-        for n in ctx.physical_neighbors(cur) {
+        ctx.physical_neighbors_into(cur, &mut frontier);
+        for &n in &frontier {
             if seen.insert(n) {
                 parent.insert(n, cur);
                 depth.insert(n, d + 1);

@@ -1,0 +1,334 @@
+//! `perfbench` — wall-clock benchmark of the spatial grid neighbor index
+//! against the reference linear scan.
+//!
+//! ```text
+//! perfbench [--quick] [--out results/BENCH_4.json]
+//! ```
+//!
+//! Three workloads, each run once per network size under the grid index
+//! and once under the linear scan:
+//!
+//! * **neighbor queries** — repeated whole-network `physical_neighbors`
+//!   sweeps inside a live simulation (microbenchmark of the index itself);
+//! * **flood** — an end-to-end broadcast-heavy flooding run;
+//! * **faulty sweep** — an end-to-end REFER run with rotating faults.
+//!
+//! Every workload doubles as a correctness check: the neighbor lists (and
+//! for the end-to-end runs, the entire `RunSummary`) must be identical
+//! between the two indexes, and any divergence fails the process. Results
+//! are dumped as JSON (`--out`, default `results/BENCH_4.json`).
+//!
+//! `--quick` drops the largest size and shortens the microbenchmark so CI
+//! can run the divergence check in seconds; the headline speedups come
+//! from the full run.
+
+use refer_bench::{base_config, run_system, System};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use wsan_sim::flood::FloodProtocol;
+use wsan_sim::{
+    runner, Area, Ctx, DataId, Message, NeighborIndex, NodeId, Protocol, RunSummary,
+    SensorPlacement, SimConfig, SimDuration,
+};
+
+/// Schema version of the dump written by `perfbench` (kept in lockstep
+/// with the sweep dumps in `refer_bench::json`).
+const SCHEMA_VERSION: u64 = 2;
+
+/// Network sizes exercised by the full benchmark.
+const SIZES: [usize; 3] = [100, 400, 1600];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "results/BENCH_4.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage("--out needs a value"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let sizes: &[usize] = if quick { &SIZES[..2] } else { &SIZES };
+    let sweeps = if quick { 5 } else { 20 };
+    let mut diverged = false;
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!("perfbench: grid vs linear scan, sizes {sizes:?}{}", if quick { " (quick)" } else { "" });
+    for &n in sizes {
+        let mut row = Row { n, ..Row::default() };
+
+        let (grid_q, grid_lists) = time_queries(n, NeighborIndex::Grid, sweeps);
+        let (scan_q, scan_lists) = time_queries(n, NeighborIndex::LinearScan, sweeps);
+        if grid_lists != scan_lists {
+            eprintln!("n={n}: neighbor lists DIVERGE between grid and linear scan");
+            diverged = true;
+        }
+        row.query_grid_ns = grid_q;
+        row.query_scan_ns = scan_q;
+        report("neighbor query", n, grid_q, scan_q, "ns/query");
+
+        let flood_reps = if quick {
+            1
+        } else if n >= 1600 {
+            2
+        } else {
+            4 // sub-second runs: more repetitions to beat scheduler noise
+        };
+        let (grid_ms, grid_sum) = time_flood(n, NeighborIndex::Grid, quick, flood_reps);
+        let (scan_ms, scan_sum) = time_flood(n, NeighborIndex::LinearScan, quick, flood_reps);
+        if grid_sum != scan_sum {
+            eprintln!("n={n}: flood summaries DIVERGE between grid and linear scan");
+            diverged = true;
+        }
+        row.flood_grid_ms = grid_ms;
+        row.flood_scan_ms = scan_ms;
+        report("flood run", n, grid_ms, scan_ms, "ms");
+
+        let faulty_reps = if quick { 2 } else { 5 };
+        let (grid_ms, grid_sum) = time_faulty(n, NeighborIndex::Grid, faulty_reps);
+        let (scan_ms, scan_sum) = time_faulty(n, NeighborIndex::LinearScan, faulty_reps);
+        if grid_sum != scan_sum {
+            eprintln!("n={n}: faulty-sweep summaries DIVERGE between grid and linear scan");
+            diverged = true;
+        }
+        row.faulty_grid_ms = grid_ms;
+        row.faulty_scan_ms = scan_ms;
+        report("faulty sweep", n, grid_ms, scan_ms, "ms");
+
+        rows.push(row);
+    }
+
+    let json = to_json(&rows, quick, diverged);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if diverged {
+        println!("perfbench FAILED: grid and linear scan diverged");
+        ExitCode::FAILURE
+    } else {
+        println!("perfbench PASSED: grid and linear scan are identical on every workload");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}");
+    eprintln!("usage: perfbench [--quick] [--out FILE]");
+    ExitCode::from(2)
+}
+
+fn report(what: &str, n: usize, grid: f64, scan: f64, unit: &str) {
+    println!(
+        "  n={n:<5} {what:<16} grid {grid:>10.1} {unit:<9} scan {scan:>10.1} {unit:<9} speedup {:>5.2}x",
+        scan / grid
+    );
+}
+
+/// One size's measurements.
+#[derive(Default)]
+struct Row {
+    n: usize,
+    query_grid_ns: f64,
+    query_scan_ns: f64,
+    flood_grid_ms: f64,
+    flood_scan_ms: f64,
+    faulty_grid_ms: f64,
+    faulty_scan_ms: f64,
+}
+
+/// Scales the paper's 500 m square so sensor density stays constant as
+/// the network grows (the paper's own density at its 200-sensor point).
+fn scaled_area(n: usize) -> Area {
+    let side = 500.0 * (n as f64 / 200.0).sqrt();
+    Area::new(side, side)
+}
+
+/// A protocol that times whole-network `physical_neighbors` sweeps from
+/// inside a live simulation and snapshots the lists for comparison.
+struct QueryProbe {
+    sweeps: u32,
+    /// Nanoseconds per query, measured.
+    ns_per_query: f64,
+    /// One sweep's neighbor lists, for grid-vs-scan comparison.
+    lists: Vec<Vec<NodeId>>,
+}
+
+impl Protocol for QueryProbe {
+    type Payload = ();
+
+    fn name(&self) -> &'static str {
+        "QueryProbe"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<()>) {
+        let ids: Vec<NodeId> = ctx.node_ids().collect();
+        self.lists = ids.iter().map(|&id| ctx.physical_neighbors(id)).collect();
+        let mut buf = Vec::new();
+        let mut total_len = 0usize; // consumed below so the loop cannot be elided
+        // Best of three timed repetitions: the queries are deterministic,
+        // so the minimum is the least-noisy estimate.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..self.sweeps {
+                for &id in &ids {
+                    ctx.physical_neighbors_into(id, &mut buf);
+                    total_len += buf.len();
+                }
+            }
+            let queries = self.sweeps as usize * ids.len();
+            best = best.min(start.elapsed().as_nanos() as f64 / queries as f64);
+        }
+        self.ns_per_query = best;
+        assert!(total_len >= 1, "queries ran");
+    }
+
+    fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: Message<()>) {}
+
+    fn on_timer(&mut self, _: &mut Ctx<()>, _: NodeId, _: u64) {}
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<()>, _: NodeId, data: DataId) {
+        ctx.drop_data(data);
+    }
+}
+
+/// Times `sweeps` whole-network neighbor sweeps at size `n` under `index`;
+/// returns ns/query and the neighbor lists for divergence checking.
+fn time_queries(n: usize, index: NeighborIndex, sweeps: u32) -> (f64, Vec<Vec<NodeId>>) {
+    let mut cfg = SimConfig::paper();
+    cfg.sensors = n;
+    cfg.area = scaled_area(n);
+    // The microbenchmark measures sensor neighborhoods: uniform placement
+    // and a uniform radio range so the cell geometry matches the workload.
+    cfg.sensor_placement = SensorPlacement::UniformArea;
+    cfg.actuator_range = cfg.sensor_range;
+    cfg.neighbor_index = index;
+    cfg.faults.count = n / 20;
+    cfg.warmup = SimDuration::ZERO;
+    cfg.duration = SimDuration::from_secs(1);
+    cfg.traffic.sources_per_round = 1;
+    cfg.traffic.rate_bps = 800.0;
+    cfg.seed = 42;
+    let mut probe = QueryProbe { sweeps, ns_per_query: 0.0, lists: Vec::new() };
+    runner::run(cfg, &mut probe);
+    (probe.ns_per_query, probe.lists)
+}
+
+/// Times one broadcast-heavy flood run end to end (best of `reps`).
+fn time_flood(n: usize, index: NeighborIndex, quick: bool, reps: u32) -> (f64, RunSummary) {
+    let mut cfg = SimConfig::paper();
+    cfg.sensors = n;
+    cfg.area = scaled_area(n);
+    // Uniform placement keeps the scaled deployment connected, so every
+    // flood actually spreads across the whole network.
+    cfg.sensor_placement = SensorPlacement::UniformArea;
+    cfg.neighbor_index = index;
+    cfg.mobility.max_speed = 3.0;
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.duration = SimDuration::from_secs(if quick { 10 } else { 20 });
+    // One packet per source per second, each flooded across the whole
+    // network: the run is dominated by broadcasts, i.e. neighbor queries.
+    cfg.traffic.rate_bps = 8_000.0;
+    cfg.seed = 7;
+    let ttl = (2.0 * (cfg.area.width / cfg.sensor_range).ceil()).min(64.0) as u8;
+    let mut best = f64::INFINITY;
+    let mut summary = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let s = runner::run(cfg.clone(), &mut FloodProtocol::new(ttl));
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        summary = Some(s);
+    }
+    (best, summary.expect("at least one run"))
+}
+
+/// Times a D-DEAR run with rotating faults end to end (best of `reps`
+/// identical runs — the runs are deterministic, so repetition only
+/// removes scheduler noise). D-DEAR is the neighbor-query-heavy system:
+/// every placement round resolves the whole network's neighborhoods.
+fn time_faulty(n: usize, index: NeighborIndex, reps: u32) -> (f64, RunSummary) {
+    let mut cfg = base_config(0.02);
+    cfg.sensors = n;
+    cfg.area = scaled_area(n);
+    cfg.neighbor_index = index;
+    cfg.mobility.max_speed = 3.0;
+    cfg.faults.count = 10;
+    cfg.seed = 3;
+    let mut best = f64::INFINITY;
+    let mut summary = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let s = run_system(&cfg, System::Ddear);
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        summary = Some(s);
+    }
+    (best, summary.expect("at least one run"))
+}
+
+/// Serializes the measurements (hand-rolled JSON — the workspace vendors
+/// no serde_json; layout mirrors `refer_bench::json`).
+fn to_json(rows: &[Row], quick: bool, diverged: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"bench\": \"perfbench\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"diverged\": {diverged},");
+    out.push_str("  \"sizes\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"n\": {},", row.n);
+        let _ = writeln!(
+            out,
+            "      \"neighbor_query_ns\": {{ \"grid\": {}, \"scan\": {}, \"speedup\": {} }},",
+            fmt(row.query_grid_ns),
+            fmt(row.query_scan_ns),
+            fmt(row.query_scan_ns / row.query_grid_ns)
+        );
+        let _ = writeln!(
+            out,
+            "      \"flood_run_ms\": {{ \"grid\": {}, \"scan\": {}, \"speedup\": {} }},",
+            fmt(row.flood_grid_ms),
+            fmt(row.flood_scan_ms),
+            fmt(row.flood_scan_ms / row.flood_grid_ms)
+        );
+        let _ = writeln!(
+            out,
+            "      \"faulty_sweep_ms\": {{ \"grid\": {}, \"scan\": {}, \"speedup\": {} }}",
+            fmt(row.faulty_grid_ms),
+            fmt(row.faulty_scan_ms),
+            fmt(row.faulty_scan_ms / row.faulty_grid_ms)
+        );
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Shortest round-trip float; `null` for non-finite values.
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}

@@ -12,10 +12,12 @@
 //!               [--fault-model oracle|discovered]
 //! ```
 //!
-//! `verify` proves determinism twice over: the multiset digest of all
-//! events from serial per-seed runs must equal the digest from the same
-//! runs on parallel threads, and recording the same seed twice must give
-//! byte-identical JSONL. A mismatch exits nonzero.
+//! `verify` proves determinism three times over: the multiset digest of
+//! all events from serial per-seed runs must equal the digest from the
+//! same runs on parallel threads; runs under the spatial grid neighbor
+//! index must produce the same event multiset as runs on the reference
+//! linear scan; and recording the same seed twice must give byte-identical
+//! JSONL. A mismatch exits nonzero.
 
 use refer_bench::{base_config, run_system_with_sinks, System};
 use refer_obs::{
@@ -24,7 +26,7 @@ use refer_obs::{
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use wsan_sim::trace::TraceEvent;
-use wsan_sim::{DataId, FaultModel, NodeId, SimConfig};
+use wsan_sim::{DataId, FaultModel, NeighborIndex, NodeId, SimConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -370,6 +372,31 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         println!("  parallel {}", parallel.digest());
     }
 
+    // Index pass: the grid-indexed runs must emit the same event multiset
+    // as the reference linear scan — the spatial index is pure speedup.
+    let mut by_index = [EventHash::new(), EventHash::new()];
+    for (i, index) in [NeighborIndex::Grid, NeighborIndex::LinearScan].into_iter().enumerate() {
+        for &seed in &seeds {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            cfg.neighbor_index = index;
+            let (sink, hash) = HashingSink::new();
+            run_system_with_sinks(&cfg, system, vec![Box::new(sink)]);
+            by_index[i].merge(&hash.get());
+        }
+    }
+    let index_ok = by_index[0] == by_index[1];
+    println!(
+        "grid/linear-scan event multiset: {} ({} events, digest {})",
+        if index_ok { "IDENTICAL" } else { "MISMATCH" },
+        by_index[0].count,
+        by_index[0].digest()
+    );
+    if !index_ok {
+        println!("  grid        {}", by_index[0].digest());
+        println!("  linear scan {}", by_index[1].digest());
+    }
+
     // Record/replay pass: same seed twice must stream identical bytes.
     let record = record_bytes(&cfg, system);
     let replay = record_bytes(&cfg, system);
@@ -381,7 +408,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         fnv1a64(&record)
     );
 
-    if order_ok && replay_ok {
+    if order_ok && index_ok && replay_ok {
         println!("verify PASSED");
         Ok(ExitCode::SUCCESS)
     } else {

@@ -179,6 +179,38 @@ impl LinkModel {
     pub fn link_up(self, distance: f64, range: f64) -> bool {
         self.delivery_prob(distance, range) >= 0.5
     }
+
+    /// The largest distance at which a link with nominal `range` is still
+    /// usable ([`LinkModel::link_up`], i.e. delivery probability ≥ 0.5).
+    ///
+    /// The spatial neighbor index sizes its cells from this bound — *not*
+    /// from the nominal range — so a model whose usable distance exceeded
+    /// the nominal range could never make the grid miss a linkable pair.
+    /// For both current models the two coincide: the unit disk cuts off at
+    /// `range`, and the shadowed logistic crosses 0.5 exactly at `range`
+    /// regardless of `fade_width` (a regression test pins this boundary
+    /// under wide transition bands).
+    pub fn max_usable_distance(self, range: f64) -> f64 {
+        match self {
+            LinkModel::UnitDisk => range,
+            LinkModel::Shadowed { .. } => range,
+        }
+    }
+}
+
+/// How [`Ctx`](crate::Ctx) neighborhood queries resolve candidates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NeighborIndex {
+    /// Uniform spatial grid with cell side ≥ the maximum usable radio
+    /// range: a query inspects only the 3×3 cell block around the node
+    /// (O(1) amortized). Results are bit-identical to the scan — `trace
+    /// verify` proves the event multisets match.
+    #[default]
+    Grid,
+    /// Full scan over the node table (O(n) per query). Kept as the
+    /// reference implementation the grid is verified against.
+    LinearScan,
 }
 
 /// How sensors move between mobility ticks.
@@ -287,6 +319,9 @@ pub struct SimConfig {
     /// Packets count toward QoS throughput only if delivered within this
     /// deadline (paper: 0.6 s).
     pub qos_deadline: SimDuration,
+    /// How neighborhood queries resolve candidates (spatial grid by
+    /// default; the linear scan is the verified-against reference).
+    pub neighbor_index: NeighborIndex,
     /// Master RNG seed; every random choice in the run derives from it.
     pub seed: u64,
 }
@@ -313,6 +348,7 @@ impl SimConfig {
             warmup: SimDuration::from_secs(100),
             duration: SimDuration::from_secs(1000),
             qos_deadline: SimDuration::from_secs_f64(0.6),
+            neighbor_index: NeighborIndex::default(),
             seed: 1,
         }
     }

@@ -1,8 +1,9 @@
 //! The simulation context: world state plus the API protocols use to act.
 
-use crate::config::SimConfig;
+use crate::config::{NeighborIndex, SimConfig};
 use crate::energy::EnergyAccount;
 use crate::geometry::Point;
+use crate::grid::SpatialGrid;
 use crate::message::{DataId, DataRecord, Message};
 use crate::metrics::{DropReason, Metrics};
 use crate::node::{NodeId, NodeKind, NodeState};
@@ -103,6 +104,13 @@ pub struct Ctx<P> {
     /// ([`runner::run_with_sinks`](crate::runner::run_with_sinks)); empty =
     /// no streaming consumers, zero cost.
     pub(crate) sinks: Vec<Box<dyn crate::trace::TraceSink>>,
+    /// Spatial neighbor index; kept coherent by [`Ctx::move_node`].
+    /// Liveness is filtered at query time, so fault rotation needs no grid
+    /// maintenance.
+    pub(crate) grid: SpatialGrid,
+    /// Reusable receiver buffer for [`Ctx::broadcast`] (no per-broadcast
+    /// allocation).
+    pub(crate) recv_buf: Vec<NodeId>,
 }
 
 impl<P> Ctx<P> {
@@ -266,8 +274,17 @@ impl<P> Ctx<P> {
     /// Counts as an oracle consultation: a real node cannot enumerate its
     /// *alive* neighbors without probing them.
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(id, &mut out);
+        out
+    }
+
+    /// [`Ctx::neighbors`] into a caller-owned buffer: `buf` is cleared and
+    /// refilled, so hot paths can reuse one allocation across queries.
+    /// Counts as one oracle consultation, like [`Ctx::neighbors`].
+    pub fn neighbors_into(&self, id: NodeId, buf: &mut Vec<NodeId>) {
         self.oracle_queries.set(self.oracle_queries.get() + 1);
-        self.physical_neighbors(id)
+        self.physical_neighbors_into(id, buf);
     }
 
     /// The nodes a broadcast from `id` physically reaches right now: alive
@@ -277,14 +294,62 @@ impl<P> Ctx<P> {
     /// Protocols may use it only to model physically-propagating control
     /// waves (floods, discovery storms), never to pick unicast next hops.
     pub fn physical_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.physical_neighbors_into(id, &mut out);
+        out
+    }
+
+    /// [`Ctx::physical_neighbors`] into a caller-owned buffer: `buf` is
+    /// cleared and refilled in ascending `NodeId` order (the same order the
+    /// linear scan produces, whichever index resolves the candidates).
+    pub fn physical_neighbors_into(&self, id: NodeId, buf: &mut Vec<NodeId>) {
+        buf.clear();
         let me = &self.nodes[id.index()];
-        self.node_ids()
-            .filter(|&other| {
-                other != id
-                    && !self.nodes[other.index()].faulty
-                    && me.position.distance(&self.nodes[other.index()].position) <= me.range
-            })
-            .collect()
+        let (my_pos, my_range) = (me.position, me.range);
+        let in_my_range = |other: NodeId| {
+            if other == id {
+                return false;
+            }
+            let node = &self.nodes[other.index()];
+            !node.faulty && my_pos.distance(&node.position) <= my_range
+        };
+        match self.cfg.neighbor_index {
+            NeighborIndex::LinearScan => {
+                buf.extend(self.node_ids().filter(|&other| in_my_range(other)));
+            }
+            // When the cell block spans all or most of the grid the index
+            // cannot prune enough to pay for itself; the plain scan gives
+            // the identical answer without the cell indirection.
+            NeighborIndex::Grid if self.grid.block_covers_most() => {
+                buf.extend(self.node_ids().filter(|&other| in_my_range(other)));
+            }
+            NeighborIndex::Grid => {
+                // Filtering while visiting the 3×3 block and then sorting
+                // by id reproduces the scan's iteration order (the range
+                // filter is pointwise, so the two commute) while only ever
+                // materializing and sorting the survivors. The distance
+                // check runs on the grid's inline position copy (kept
+                // exact by `move_node`); only in-range candidates touch
+                // the node table for the liveness bit.
+                self.grid.for_each_candidate(me.position, |other, pos| {
+                    if other != id
+                        && my_pos.distance(&pos) <= my_range
+                        && !self.nodes[other.index()].faulty
+                    {
+                        buf.push(other);
+                    }
+                });
+                buf.sort_unstable();
+            }
+        }
+    }
+
+    /// Moves `id` to `to`, keeping the spatial index coherent. All
+    /// position changes after construction go through here (mobility
+    /// ticks).
+    pub(crate) fn move_node(&mut self, id: NodeId, to: Point) {
+        self.nodes[id.index()].position = to;
+        self.grid.relocate(id, to);
     }
 
     /// How long `id`'s radio queue currently is (time until it could start
@@ -483,8 +548,12 @@ impl<P> Ctx<P> {
         if self.nodes[from.index()].faulty {
             return 0;
         }
-        let receivers = self.physical_neighbors(from);
+        // Reuse the context's receiver buffer: broadcasts are the hottest
+        // neighborhood query and must not allocate per call.
+        let mut receivers = std::mem::take(&mut self.recv_buf);
+        self.physical_neighbors_into(from, &mut receivers);
         if receivers.is_empty() {
+            self.recv_buf = receivers;
             return 0;
         }
         // One service occupancy at the sender for the broadcast frame.
@@ -498,6 +567,7 @@ impl<P> Ctx<P> {
             self.push(arrival, EventKind::Deliver { to, msg, ack_id: None });
         }
         let n = receivers.len();
+        self.recv_buf = receivers;
         self.record(|at| crate::trace::TraceEvent::Broadcast { at, from, receivers: n, account });
         n
     }

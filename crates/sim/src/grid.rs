@@ -1,0 +1,286 @@
+//! Uniform spatial grid over the deployment area — the cell-list neighbor
+//! index behind [`Ctx::physical_neighbors`](crate::Ctx::physical_neighbors).
+//!
+//! Every radio operation resolves a neighborhood: broadcast fanout, flood
+//! discovery, the baselines' construction passes. A linear scan over the
+//! node table makes each of those O(n); the standard fix in network
+//! simulators (ns-2's grid channel, cell lists in mobile-network
+//! simulation) is a uniform grid whose cell side is at least the maximum
+//! usable radio range. Then every node within range of a query point lies
+//! in the 3×3 block of cells around it, so a query touches O(candidates)
+//! nodes instead of O(n), and a mobility tick migrates a node between
+//! cells only when it crosses a cell boundary.
+//!
+//! The index is *only* an acceleration structure: it answers "which nodes
+//! might be in range" and the caller re-applies the exact range predicate.
+//! Candidates are visited unsorted (cell order); callers that need the
+//! linear scan's ascending-`NodeId` iteration order filter first and sort
+//! the survivors — the range predicate is pointwise, so this produces
+//! exactly the scan's output and grid-indexed runs stay bit-identical to
+//! it (proven by `trace verify` and the proptests in `crates/sim/tests`).
+//!
+//! Liveness is deliberately *not* stored here: fault rotation flips
+//! `NodeState::faulty` without touching positions, so queries filter dead
+//! nodes at lookup time and the grid stays coherent across rotations for
+//! free.
+
+use crate::geometry::{Area, Point};
+use crate::node::NodeId;
+
+/// Upper bound on grid columns/rows: caps memory when ranges are tiny
+/// relative to the area. Enlarging cells beyond the radio range is always
+/// safe — the 3×3 coverage argument only needs `cell side ≥ query radius`.
+const MAX_CELLS_PER_AXIS: usize = 4096;
+
+/// One node's entry in a cell: its id plus a copy of its position, kept
+/// exactly in sync by [`SpatialGrid::relocate`]. Storing the coordinates
+/// inline makes the candidate distance check a sequential read over the
+/// cell instead of a random access into the node table per candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Member {
+    id: u32,
+    pos: Point,
+}
+
+/// A uniform spatial grid of node indices.
+///
+/// Invariants:
+/// * every node is in exactly one cell, the one containing its position,
+///   and its stored coordinates equal its current position;
+/// * `cell_w ≥ side` and `cell_h ≥ side` whenever there are at least two
+///   columns/rows, where `side` is the maximum usable radio range given at
+///   construction — so a query of radius ≤ `side` never needs to look
+///   beyond the 3×3 block around the query point's cell.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// Members per cell, row-major, unsorted within a cell.
+    cells: Vec<Vec<Member>>,
+    /// Node index -> flat cell index, for O(1) migration.
+    cell_of: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// Builds the grid over `area` with cell side at least `side` (the
+    /// maximum usable radio range) and inserts `positions` as nodes
+    /// `0..positions.len()`.
+    pub fn new(area: Area, side: f64, positions: impl Iterator<Item = Point>) -> Self {
+        let axis = |extent: f64| -> usize {
+            if side <= 0.0 {
+                return 1;
+            }
+            ((extent / side).floor() as usize).clamp(1, MAX_CELLS_PER_AXIS)
+        };
+        let cols = axis(area.width);
+        let rows = axis(area.height);
+        let mut grid = SpatialGrid {
+            cols,
+            rows,
+            cell_w: area.width / cols as f64,
+            cell_h: area.height / rows as f64,
+            cells: vec![Vec::new(); cols * rows],
+            cell_of: Vec::new(),
+        };
+        for p in positions {
+            grid.insert(p);
+        }
+        grid
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.cell_of.len()
+    }
+
+    /// Whether the grid tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.cell_of.is_empty()
+    }
+
+    /// Whether the 3×3 block around a cell covers all or most of the grid
+    /// (at most three columns and three rows — at two it is the whole
+    /// grid, at three still the lion's share). In those geometries —
+    /// radio range large relative to the area — a query visits nearly
+    /// every node anyway, so callers fall back to the plain linear scan,
+    /// which produces the same result without the cell indirection.
+    pub fn block_covers_most(&self) -> bool {
+        self.cols <= 3 && self.rows <= 3
+    }
+
+    /// Flat cell index of a position.
+    #[inline]
+    fn cell_index(&self, p: Point) -> usize {
+        // Positions are clamped to the area, but a position exactly on the
+        // far edge maps to `cols`; clamp back into the last cell.
+        let cx = ((p.x / self.cell_w) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell_h) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Inserts the next node (index `self.len()`) at `p`.
+    fn insert(&mut self, p: Point) {
+        let node = self.cell_of.len() as u32;
+        let cell = self.cell_index(p);
+        self.cells[cell].push(Member { id: node, pos: p });
+        self.cell_of.push(cell as u32);
+    }
+
+    /// Moves `node` to `p`: its stored coordinates are refreshed in place,
+    /// and it migrates between cells only when it crossed a cell boundary.
+    pub fn relocate(&mut self, node: NodeId, p: Point) {
+        let idx = node.index();
+        let old = self.cell_of[idx] as usize;
+        let new = self.cell_index(p);
+        let members = &mut self.cells[old];
+        let at = members
+            .iter()
+            .position(|m| m.id == node.0)
+            .expect("node is in its recorded cell");
+        if old == new {
+            members[at].pos = p;
+            return;
+        }
+        members.swap_remove(at);
+        self.cells[new].push(Member { id: node.0, pos: p });
+        self.cell_of[idx] = new as u32;
+    }
+
+    /// Appends to `buf` every node in the 3×3 cell block around `p` — a
+    /// superset of the nodes within `side` of `p` (and of any smaller
+    /// radius). Candidates come in cell order; callers that need the
+    /// linear scan's ascending-id order filter and then sort.
+    pub fn candidates_into(&self, p: Point, buf: &mut Vec<NodeId>) {
+        self.for_each_candidate(p, |id, _| buf.push(id));
+    }
+
+    /// Visits every node in the 3×3 cell block around `p` (see
+    /// [`SpatialGrid::candidates_into`]) without materializing the
+    /// superset, yielding each candidate's id and position — hot paths
+    /// run the distance filter on the inline position (a sequential read)
+    /// and only touch the node table for survivors.
+    pub fn for_each_candidate(&self, p: Point, mut f: impl FnMut(NodeId, Point)) {
+        let cx = ((p.x / self.cell_w) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell_h) as usize).min(self.rows - 1);
+        let x0 = cx.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y0 = cy.saturating_sub(1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for y in y0..=y1 {
+            let row = y * self.cols;
+            for x in x0..=x1 {
+                for m in &self.cells[row + x] {
+                    f(NodeId(m.id), m.pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(mut v: Vec<NodeId>) -> Vec<u32> {
+        v.sort_unstable();
+        v.into_iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn covers_all_nodes_within_side_of_a_query_point() {
+        let area = Area::new(500.0, 500.0);
+        let pts = [
+            Point::new(10.0, 10.0),
+            Point::new(99.0, 10.0),   // just inside one cell side (100)
+            Point::new(150.0, 150.0), // diagonal neighbor cell
+            Point::new(400.0, 400.0), // far away
+        ];
+        let grid = SpatialGrid::new(area, 100.0, pts.iter().copied());
+        let mut buf = Vec::new();
+        grid.candidates_into(pts[0], &mut buf);
+        let got = ids(buf);
+        assert!(got.contains(&0) && got.contains(&1) && got.contains(&2));
+        assert!(!got.contains(&3), "far node is outside the 3x3 block");
+    }
+
+    #[test]
+    fn relocate_migrates_only_across_boundaries() {
+        let area = Area::new(500.0, 500.0);
+        let grid0 = SpatialGrid::new(area, 100.0, [Point::new(50.0, 50.0)].into_iter());
+        let mut grid = grid0.clone();
+        // Move within the same cell: memberships untouched, only the
+        // node's stored coordinates refresh.
+        grid.relocate(NodeId(0), Point::new(60.0, 60.0));
+        let memberships =
+            |g: &SpatialGrid| g.cells.iter().map(|c| c.iter().map(|m| m.id).collect()).collect();
+        let (a, b): (Vec<Vec<u32>>, Vec<Vec<u32>>) = (memberships(&grid), memberships(&grid0));
+        assert_eq!(a, b);
+        assert_eq!(grid.cells[grid.cell_of[0] as usize][0].pos, Point::new(60.0, 60.0));
+        // Cross a boundary: the node shows up around its new position and
+        // no longer around the old one.
+        grid.relocate(NodeId(0), Point::new(450.0, 450.0));
+        let mut near_new = Vec::new();
+        grid.candidates_into(Point::new(450.0, 450.0), &mut near_new);
+        assert_eq!(ids(near_new), vec![0]);
+        let mut near_old = Vec::new();
+        grid.candidates_into(Point::new(50.0, 50.0), &mut near_old);
+        assert!(near_old.is_empty());
+    }
+
+    #[test]
+    fn degenerate_geometries_fall_back_to_one_cell() {
+        // Range larger than the area: a single cell, still correct.
+        let area = Area::new(100.0, 100.0);
+        let pts = [Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let grid = SpatialGrid::new(area, 250.0, pts.iter().copied());
+        assert_eq!((grid.cols, grid.rows), (1, 1));
+        let mut buf = Vec::new();
+        grid.candidates_into(Point::new(0.0, 0.0), &mut buf);
+        assert_eq!(ids(buf), vec![0, 1]);
+        // Zero side (no radios): also a single cell rather than a panic.
+        let grid = SpatialGrid::new(area, 0.0, pts.iter().copied());
+        assert_eq!((grid.cols, grid.rows), (1, 1));
+    }
+
+    #[test]
+    fn tiny_ranges_cap_the_cell_count_and_keep_coverage() {
+        let area = Area::new(500.0, 500.0);
+        let grid = SpatialGrid::new(area, 1e-6, [Point::new(250.0, 250.0)].into_iter());
+        assert!(grid.cols <= MAX_CELLS_PER_AXIS && grid.rows <= MAX_CELLS_PER_AXIS);
+        // Cell side stayed >= the construction side, so 3x3 still covers.
+        assert!(grid.cell_w >= 1e-6 && grid.cell_h >= 1e-6);
+        let mut buf = Vec::new();
+        grid.candidates_into(Point::new(250.0, 250.0), &mut buf);
+        assert_eq!(ids(buf), vec![0]);
+    }
+
+    #[test]
+    fn block_coverage_detects_degenerate_geometries() {
+        let area = Area::new(500.0, 500.0);
+        // 250 m cells on a 500 m square: 2x2, the block prunes nothing.
+        let grid = SpatialGrid::new(area, 250.0, std::iter::empty());
+        assert!(grid.block_covers_most());
+        // ~166 m cells: 3x3, the block still covers the lion's share.
+        let grid = SpatialGrid::new(area, 160.0, std::iter::empty());
+        assert!(grid.block_covers_most());
+        // 100 m cells: 5x5, pruning is real.
+        let grid = SpatialGrid::new(area, 100.0, std::iter::empty());
+        assert!(!grid.block_covers_most());
+    }
+
+    #[test]
+    fn far_edge_positions_stay_in_the_last_cell() {
+        let area = Area::new(500.0, 500.0);
+        let mut grid =
+            SpatialGrid::new(area, 100.0, [Point::new(500.0, 500.0)].into_iter());
+        let mut buf = Vec::new();
+        grid.candidates_into(Point::new(500.0, 500.0), &mut buf);
+        assert_eq!(ids(buf), vec![0]);
+        grid.relocate(NodeId(0), Point::new(0.0, 500.0));
+        let mut buf = Vec::new();
+        grid.candidates_into(Point::new(0.0, 499.0), &mut buf);
+        assert_eq!(ids(buf), vec![0]);
+    }
+}

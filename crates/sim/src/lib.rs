@@ -42,6 +42,7 @@ mod energy;
 pub mod failure;
 pub mod flood;
 mod geometry;
+pub mod grid;
 pub mod harness;
 pub mod hist;
 mod message;
@@ -55,12 +56,13 @@ pub mod trace;
 
 pub use config::{
     ActuatorPlacement, FaultConfig, FaultModel, LinkModel, MobilityConfig, MobilityModel,
-    RadioConfig, SensorPlacement, SimConfig, TrafficConfig,
+    NeighborIndex, RadioConfig, SensorPlacement, SimConfig, TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
 pub use failure::FailureView;
 pub use geometry::{centroid, Area, Point};
+pub use grid::SpatialGrid;
 pub use hist::LogHistogram;
 pub use message::{DataId, DataRecord, Message};
 pub use metrics::{jain_fairness, DropReason, Metrics, RunSummary};

@@ -181,6 +181,16 @@ fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         actuators.push(id);
     }
 
+    // Cell side: the largest distance at which any node's radio matters —
+    // the nominal range (physical_neighbors' raw-distance filter) or the
+    // link model's maximum usable distance, whichever is larger — so the
+    // 3×3 grid query can never miss a reachable or linkable pair.
+    let side = nodes
+        .iter()
+        .map(|n| n.range.max(cfg.radio.link.max_usable_distance(n.range)))
+        .fold(0.0, f64::max);
+    let grid = crate::grid::SpatialGrid::new(cfg.area, side, nodes.iter().map(|n| n.position));
+
     let end = SimTime::ZERO + cfg.total_time();
     Ctx {
         cfg,
@@ -201,6 +211,8 @@ fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         unbounded_queue: false,
         trace: None,
         sinks: Vec::new(),
+        grid,
+        recv_buf: Vec::new(),
     }
 }
 
@@ -405,9 +417,10 @@ fn random_waypoint_tick<Pl>(ctx: &mut Ctx<Pl>) {
             node.waypoint = wp;
             node.speed = speed;
         }
-        let node = &mut ctx.nodes[id.index()];
+        let node = &ctx.nodes[id.index()];
         let step = node.speed * dt;
-        node.position = area.clamp(node.position.step_toward(&node.waypoint, step));
+        let next = area.clamp(node.position.step_toward(&node.waypoint, step));
+        ctx.move_node(id, next);
     }
 }
 
@@ -441,7 +454,7 @@ fn gauss_markov_tick<Pl>(ctx: &mut Ctx<Pl>, alpha: f64) {
             y = y.clamp(0.0, area.height);
         }
         node.velocity = (vx, vy);
-        node.position = Point::new(x, y);
+        ctx.move_node(id, Point::new(x, y));
     }
 }
 

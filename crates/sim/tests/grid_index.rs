@@ -1,0 +1,173 @@
+//! The spatial grid neighbor index must be invisible: every query answers
+//! exactly what the linear scan answers, at every instant of a run, under
+//! every link model — so grid-indexed runs are bit-identical to scan runs.
+
+use wsan_sim::flood::FloodProtocol;
+use wsan_sim::{
+    runner, Ctx, DataId, LinkModel, Message, MobilityModel, NeighborIndex, NodeId, Protocol,
+    SimConfig, SimDuration,
+};
+
+/// A protocol that audits the engine from inside: at every mobility-tick
+/// boundary it recomputes each node's neighborhood by brute force through
+/// the public getters and compares it to `physical_neighbors` (which runs
+/// on whatever index the config selects).
+struct GridAudit {
+    ticks: u64,
+    checks: u64,
+    mismatches: Vec<String>,
+}
+
+impl GridAudit {
+    fn new(ticks: u64) -> Self {
+        GridAudit { ticks, checks: 0, mismatches: Vec::new() }
+    }
+
+    fn audit(&mut self, ctx: &Ctx<()>) {
+        let ids: Vec<NodeId> = ctx.node_ids().collect();
+        let mut buf = Vec::new();
+        for &id in &ids {
+            let brute: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|&other| {
+                    other != id
+                        && !ctx.is_faulty(other)
+                        && ctx.position(id).distance(&ctx.position(other)) <= ctx.range(id)
+                })
+                .collect();
+            ctx.physical_neighbors_into(id, &mut buf);
+            self.checks += 1;
+            if buf != brute {
+                self.mismatches.push(format!(
+                    "t={:?} node {id}: indexed {buf:?} != brute {brute:?}",
+                    ctx.now()
+                ));
+            }
+        }
+    }
+}
+
+impl Protocol for GridAudit {
+    type Payload = ();
+
+    fn name(&self) -> &'static str {
+        "GridAudit"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<()>) {
+        self.audit(ctx);
+        let anchor = ctx.node_ids().next().expect("nodes exist");
+        for t in 1..=self.ticks {
+            ctx.set_timer(anchor, ctx.config().mobility.tick.mul(t), t);
+        }
+    }
+
+    fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: Message<()>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<()>, _: NodeId, _: u64) {
+        self.audit(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<()>, _: NodeId, data: DataId) {
+        ctx.drop_data(data);
+    }
+}
+
+/// A small mobile, faulty scenario that runs for `ticks` mobility ticks.
+fn audit_cfg(seed: u64, ticks: u64) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.sensors = 40;
+    cfg.seed = seed;
+    cfg.warmup = SimDuration::ZERO;
+    cfg.duration = SimDuration::from_secs(ticks);
+    cfg.mobility.max_speed = 25.0; // nodes cross many cell boundaries
+    cfg.faults.count = 8;
+    cfg.faults.rotation = SimDuration::from_secs(5);
+    cfg.traffic.sources_per_round = 1;
+    cfg.traffic.rate_bps = 800.0; // one packet per round, immediately dropped
+    cfg
+}
+
+#[test]
+fn grid_matches_brute_force_through_mobility_and_fault_rotation() {
+    let mut audit = GridAudit::new(120);
+    runner::run(audit_cfg(11, 120), &mut audit);
+    assert!(audit.checks > 120 * 40, "audited every node per tick: {}", audit.checks);
+    assert!(audit.mismatches.is_empty(), "{:?}", &audit.mismatches[..audit.mismatches.len().min(3)]);
+}
+
+#[test]
+fn grid_matches_brute_force_under_gauss_markov_boundary_reflection() {
+    let mut cfg = audit_cfg(12, 120);
+    cfg.mobility.model = MobilityModel::GaussMarkov { alpha: 0.3 };
+    cfg.mobility.max_speed = 40.0; // lots of boundary reflections
+    let mut audit = GridAudit::new(120);
+    runner::run(cfg, &mut audit);
+    assert!(audit.mismatches.is_empty(), "{:?}", &audit.mismatches[..audit.mismatches.len().min(3)]);
+}
+
+/// The satellite guard: grid candidate collection keys off the link
+/// model's maximum usable distance, and for the shadowed logistic that
+/// boundary sits exactly at the nominal range no matter how wide the
+/// transition band is — so a wide `fade_width` can never put a linkable
+/// pair outside the grid's 3×3 reach.
+#[test]
+fn shadowed_wide_fade_keeps_link_boundary_at_nominal_range() {
+    let link = LinkModel::Shadowed { fade_width: 80.0 };
+    let range = 100.0;
+    assert_eq!(link.max_usable_distance(range), range);
+    assert!(link.link_up(range - 1e-9, range));
+    assert!(link.link_up(range, range), "probability exactly 0.5 is still up");
+    assert!(!link.link_up(range + 1e-6, range));
+    // Far-but-linkable is impossible: anything the MAC would use is within
+    // the nominal range, which the grid covers.
+    assert!(link.delivery_prob(range + 40.0, range) < 0.5);
+    assert!(link.delivery_prob(range - 40.0, range) > 0.5);
+}
+
+#[test]
+fn grid_matches_brute_force_under_wide_shadowing() {
+    let mut cfg = audit_cfg(13, 100);
+    cfg.radio.link = LinkModel::Shadowed { fade_width: 60.0 };
+    let mut audit = GridAudit::new(100);
+    runner::run(cfg, &mut audit);
+    assert!(audit.checks > 0);
+    assert!(audit.mismatches.is_empty(), "{:?}", &audit.mismatches[..audit.mismatches.len().min(3)]);
+}
+
+/// End-to-end bit-identity: a broadcast-heavy flood run produces the exact
+/// same summary whether neighborhoods come from the grid or the scan.
+#[test]
+fn flood_run_is_bit_identical_between_grid_and_scan() {
+    for seed in [1u64, 7, 42] {
+        let mut grid_cfg = SimConfig::smoke();
+        grid_cfg.seed = seed;
+        grid_cfg.faults.count = 10;
+        grid_cfg.mobility.max_speed = 4.0;
+        let mut scan_cfg = grid_cfg.clone();
+        grid_cfg.neighbor_index = NeighborIndex::Grid;
+        scan_cfg.neighbor_index = NeighborIndex::LinearScan;
+        let a = runner::run(grid_cfg, &mut FloodProtocol::new(6));
+        let b = runner::run(scan_cfg, &mut FloodProtocol::new(6));
+        assert_eq!(a, b, "seed {seed}: grid and scan runs diverged");
+        assert!(a.delivery_ratio > 0.0, "the scenario actually exercised the radio");
+    }
+}
+
+/// Same bit-identity under the shadowed link model, where delivery draws
+/// consume RNG — any divergence in neighbor sets would desynchronize the
+/// RNG stream and show up immediately.
+#[test]
+fn shadowed_flood_run_is_bit_identical_between_grid_and_scan() {
+    let mut grid_cfg = SimConfig::smoke();
+    grid_cfg.seed = 5;
+    grid_cfg.radio.link = LinkModel::Shadowed { fade_width: 25.0 };
+    grid_cfg.mobility.max_speed = 5.0;
+    let mut scan_cfg = grid_cfg.clone();
+    grid_cfg.neighbor_index = NeighborIndex::Grid;
+    scan_cfg.neighbor_index = NeighborIndex::LinearScan;
+    let a = runner::run(grid_cfg, &mut FloodProtocol::new(6));
+    let b = runner::run(scan_cfg, &mut FloodProtocol::new(6));
+    assert_eq!(a, b);
+}

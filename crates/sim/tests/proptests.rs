@@ -1,9 +1,13 @@
-//! Property-based tests for the simulator's pure components: statistics,
-//! geometry and time arithmetic.
+//! Property-based tests for the simulator's pure components (statistics,
+//! geometry, time arithmetic) and for the spatial neighbor index against
+//! its brute-force specification.
 
 use proptest::prelude::*;
 use wsan_sim::stats::{ci95, mean, std_dev};
-use wsan_sim::{Area, Point, SimDuration, SimTime};
+use wsan_sim::{
+    Area, Ctx, DataId, LinkModel, Message, MobilityModel, NodeId, Point, Protocol, SimConfig,
+    SimDuration, SimTime,
+};
 
 proptest! {
     #[test]
@@ -70,5 +74,112 @@ proptest! {
     fn duration_seconds_round_trip(secs in 0.0..1e5f64) {
         let d = SimDuration::from_secs_f64(secs);
         prop_assert!((d.as_secs_f64() - secs).abs() < 1e-5);
+    }
+}
+
+/// Recomputes every node's neighborhood by brute force at each mobility
+/// tick and compares it against `physical_neighbors` (grid-indexed by
+/// default), recording any divergence.
+struct NeighborOracle {
+    ticks: u64,
+    checks: u64,
+    mismatches: Vec<String>,
+}
+
+impl NeighborOracle {
+    fn audit(&mut self, ctx: &Ctx<()>) {
+        let ids: Vec<NodeId> = ctx.node_ids().collect();
+        let mut buf = Vec::new();
+        for &id in &ids {
+            let brute: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|&other| {
+                    other != id
+                        && !ctx.is_faulty(other)
+                        && ctx.position(id).distance(&ctx.position(other)) <= ctx.range(id)
+                })
+                .collect();
+            ctx.physical_neighbors_into(id, &mut buf);
+            self.checks += 1;
+            if buf != brute {
+                self.mismatches.push(format!(
+                    "t={:?} node {id}: indexed {buf:?} != brute {brute:?}",
+                    ctx.now()
+                ));
+            }
+        }
+    }
+}
+
+impl Protocol for NeighborOracle {
+    type Payload = ();
+
+    fn name(&self) -> &'static str {
+        "NeighborOracle"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<()>) {
+        self.audit(ctx);
+        let anchor = ctx.node_ids().next().expect("nodes exist");
+        for t in 1..=self.ticks {
+            ctx.set_timer(anchor, ctx.config().mobility.tick.mul(t), t);
+        }
+    }
+
+    fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: Message<()>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<()>, _: NodeId, _: u64) {
+        self.audit(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<()>, _: NodeId, data: DataId) {
+        ctx.drop_data(data);
+    }
+}
+
+proptest! {
+    // Each case is a full ~100-tick simulation, so run few cases; inputs
+    // are deterministic per test name and reproduce exactly on failure.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The grid index is observationally equivalent to the linear scan for
+    // arbitrary deployments: random node counts, ranges, speeds, mobility
+    // models, link models and fault rotations (alive/dead flips included).
+    #[test]
+    fn grid_neighbors_match_brute_force(
+        sensors in 15usize..45,
+        range in 40.0..180.0f64,
+        speed in 0.0..35.0f64,
+        faults in 0usize..8,
+        gauss in 0u8..2,
+        shadowed in 0u8..2,
+    ) {
+        let ticks = 100u64;
+        let mut cfg = SimConfig::smoke();
+        cfg.sensors = sensors;
+        cfg.sensor_range = range;
+        cfg.seed = 0xA11D1 ^ sensors as u64 ^ (range as u64) << 8;
+        cfg.warmup = SimDuration::ZERO;
+        cfg.duration = SimDuration::from_secs(ticks);
+        cfg.mobility.max_speed = speed;
+        if gauss == 1 {
+            cfg.mobility.model = MobilityModel::GaussMarkov { alpha: 0.5 };
+        }
+        if shadowed == 1 {
+            cfg.radio.link = LinkModel::Shadowed { fade_width: 30.0 };
+        }
+        cfg.faults.count = faults.min(sensors / 2);
+        cfg.faults.rotation = SimDuration::from_secs(3);
+        cfg.traffic.sources_per_round = 1;
+        cfg.traffic.rate_bps = 800.0;
+        let mut oracle = NeighborOracle { ticks, checks: 0, mismatches: Vec::new() };
+        wsan_sim::runner::run(cfg, &mut oracle);
+        prop_assert!(oracle.checks >= ticks * sensors as u64, "only {} checks", oracle.checks);
+        prop_assert!(
+            oracle.mismatches.is_empty(),
+            "{}",
+            oracle.mismatches.first().map(String::as_str).unwrap_or("")
+        );
     }
 }
