@@ -1,26 +1,40 @@
-//! `perfbench` — wall-clock benchmark of the spatial grid neighbor index
-//! against the reference linear scan.
+//! `perfbench` — wall-clock benchmarks of the simulator's two
+//! acceleration layers: the spatial grid neighbor index (vs the reference
+//! linear scan) and the sharded event loop (vs the serial engine and vs
+//! its own 1-thread execution).
 //!
 //! ```text
-//! perfbench [--quick] [--out results/BENCH_4.json]
+//! perfbench [--quick] [--force] [--out results/BENCH_6.json]
 //! ```
 //!
-//! Three workloads, each run once per network size under the grid index
-//! and once under the linear scan:
+//! Grid section — three workloads, each run once per network size under
+//! the grid index and once under the linear scan:
 //!
 //! * **neighbor queries** — repeated whole-network `physical_neighbors`
 //!   sweeps inside a live simulation (microbenchmark of the index itself);
 //! * **flood** — an end-to-end broadcast-heavy flooding run;
 //! * **faulty sweep** — an end-to-end REFER run with rotating faults.
 //!
+//! Sharded section — a many-local-floods workload at n ∈ {10 000, 100 000}
+//! run once on the serial engine and once per worker-thread count
+//! {1, 2, 4, 8} on the sharded engine.
+//!
 //! Every workload doubles as a correctness check: the neighbor lists (and
 //! for the end-to-end runs, the entire `RunSummary`) must be identical
-//! between the two indexes, and any divergence fails the process. Results
-//! are dumped as JSON (`--out`, default `results/BENCH_4.json`).
+//! between the two indexes, and the sharded summaries must be identical
+//! across all thread counts; any divergence fails the process. (Serial vs
+//! sharded is *not* compared — the two engines define distinct canonical
+//! schedules; the serial run is timed only as the speedup baseline.)
 //!
-//! `--quick` drops the largest size and shortens the microbenchmark so CI
-//! can run the divergence check in seconds; the headline speedups come
-//! from the full run.
+//! Results are dumped as JSON (`--out`, default `results/BENCH_6.json`),
+//! written atomically (temp file + rename) and never over an existing
+//! file unless `--force` is given. The dump records the host's CPU count:
+//! thread-sweep numbers from a 1-core host are honest but say nothing
+//! about scaling.
+//!
+//! `--quick` drops the largest sizes and shortens the runs so CI can run
+//! the divergence checks in seconds; the headline speedups come from the
+//! full run.
 
 use refer_bench::{base_config, run_system, System};
 use std::fmt::Write as _;
@@ -28,31 +42,43 @@ use std::process::ExitCode;
 use std::time::Instant;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::{
-    runner, Area, Ctx, DataId, Message, NeighborIndex, NodeId, Protocol, RunSummary,
-    SensorPlacement, SimConfig, SimDuration,
+    runner, Area, Ctx, DataId, Engine, Message, NeighborIndex, NodeId, Protocol, RunSummary,
+    SensorPlacement, ShardedConfig, SimConfig, SimDuration,
 };
 
 /// Schema version of the dump written by `perfbench` (kept in lockstep
 /// with the sweep dumps in `refer_bench::json`).
-const SCHEMA_VERSION: u64 = 2;
+const SCHEMA_VERSION: u64 = 3;
 
-/// Network sizes exercised by the full benchmark.
+/// Network sizes exercised by the grid section of the full benchmark.
 const SIZES: [usize; 3] = [100, 400, 1600];
+
+/// Network sizes exercised by the sharded section of the full benchmark.
+const SHARDED_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// Worker-thread counts swept in the sharded section.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out = "results/BENCH_4.json".to_string();
+    let mut force = false;
+    let mut out = "results/BENCH_6.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--force" => force = true,
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage("--out needs a value"),
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+    if !force && std::path::Path::new(&out).exists() {
+        eprintln!("{out} already exists; pass --force to overwrite it");
+        return ExitCode::FAILURE;
     }
 
     let sizes: &[usize] = if quick { &SIZES[..2] } else { &SIZES };
@@ -105,33 +131,80 @@ fn main() -> ExitCode {
         rows.push(row);
     }
 
-    let json = to_json(&rows, quick, diverged);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
+    let sharded_sizes: &[usize] = if quick { &SHARDED_SIZES[..1] } else { &SHARDED_SIZES };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "perfbench: serial vs sharded engine, sizes {sharded_sizes:?}, threads {THREADS:?} \
+         (host has {host_cpus} CPU{})",
+        if host_cpus == 1 { "" } else { "s" }
+    );
+    let mut srows: Vec<ShardedRow> = Vec::new();
+    for &n in sharded_sizes {
+        match time_sharded(n, quick) {
+            Ok(row) => {
+                let rendered: Vec<String> = row
+                    .sharded_ms
+                    .iter()
+                    .map(|&(t, ms)| format!("t{t} {ms:.0}ms"))
+                    .collect();
+                println!(
+                    "  n={n:<6} sharded engine   serial {:>8.0} ms   {}   best speedup {:.2}x",
+                    row.serial_ms,
+                    rendered.join("  "),
+                    row.serial_ms / row.best_ms()
+                );
+                srows.push(row);
+            }
+            Err(msg) => {
+                eprintln!("n={n}: {msg}");
+                diverged = true;
             }
         }
     }
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("cannot write {out}: {e}");
+
+    let json = to_json(&rows, &srows, host_cpus, quick, diverged);
+    if let Err(e) = write_atomically(&out, &json, force) {
+        eprintln!("{e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
 
     if diverged {
-        println!("perfbench FAILED: grid and linear scan diverged");
+        println!("perfbench FAILED: a workload diverged between equivalent executions");
         ExitCode::FAILURE
     } else {
-        println!("perfbench PASSED: grid and linear scan are identical on every workload");
+        println!("perfbench PASSED: every workload is identical across equivalent executions");
         ExitCode::SUCCESS
     }
 }
 
+/// Writes `json` to `out` via a temp file in the same directory plus an
+/// atomic rename, so a crash mid-write can never leave a truncated dump,
+/// and a concurrent reader sees either the old file or the new one.
+fn write_atomically(out: &str, json: &str, force: bool) -> Result<(), String> {
+    let path = std::path::Path::new(out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    // Re-checked here because the benchmark runs for minutes: the file may
+    // have appeared since the startup check.
+    if !force && path.exists() {
+        return Err(format!("{out} already exists; pass --force to overwrite it"));
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot rename {} to {out}: {e}", tmp.display())
+    })
+}
+
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
-    eprintln!("usage: perfbench [--quick] [--out FILE]");
+    eprintln!("usage: perfbench [--quick] [--force] [--out FILE]");
     ExitCode::from(2)
 }
 
@@ -260,6 +333,77 @@ fn time_flood(n: usize, index: NeighborIndex, quick: bool, reps: u32) -> (f64, R
     (best, summary.expect("at least one run"))
 }
 
+/// One network size's sharded-engine measurements.
+struct ShardedRow {
+    n: usize,
+    /// Wall-clock of the serial engine on the same scenario (the speedup
+    /// baseline; its summary is a different canonical schedule and is not
+    /// compared).
+    serial_ms: f64,
+    /// Wall-clock per worker-thread count, in `THREADS` order.
+    sharded_ms: Vec<(usize, f64)>,
+}
+
+impl ShardedRow {
+    fn best_ms(&self) -> f64 {
+        self.sharded_ms.iter().map(|&(_, ms)| ms).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The sharded section's workload: many concurrent short-range floods —
+/// a TTL-3 flood spreads over one grid neighborhood, so the work is
+/// spatially local and the window synchronization, not the protocol, is
+/// what the thread sweep measures.
+fn sharded_scenario(n: usize, quick: bool) -> SimConfig {
+    let mut cfg = SimConfig::paper();
+    cfg.sensors = n;
+    cfg.area = scaled_area(n);
+    cfg.sensor_placement = SensorPlacement::UniformArea;
+    cfg.neighbor_index = NeighborIndex::Grid;
+    cfg.mobility.max_speed = 3.0;
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.duration = SimDuration::from_secs(if quick { 2 } else { 4 });
+    // One packet per source per second from sources spread across the
+    // whole field: every shard owns active floods.
+    cfg.traffic.rate_bps = 8_000.0;
+    cfg.traffic.sources_per_round = (n / 200).max(5);
+    cfg.traffic.round_interval = SimDuration::from_secs(5);
+    cfg.faults.count = n / 100;
+    cfg.seed = 7;
+    cfg
+}
+
+/// Times the sharded workload at size `n`: once on the serial engine,
+/// once per thread count on the sharded engine. Returns an error if any
+/// thread count's summary diverges from the 1-thread reference.
+fn time_sharded(n: usize, quick: bool) -> Result<ShardedRow, String> {
+    let cfg = sharded_scenario(n, quick);
+    let timed = |cfg: SimConfig| {
+        let start = Instant::now();
+        let summary = wsan_sim::run_engine(cfg, &mut FloodProtocol::new(3));
+        (start.elapsed().as_secs_f64() * 1e3, summary)
+    };
+    let (serial_ms, _) = timed(cfg.clone());
+    let mut sharded_ms = Vec::new();
+    let mut reference: Option<RunSummary> = None;
+    for threads in THREADS {
+        let mut cfg = cfg.clone();
+        cfg.engine = Engine::Sharded(ShardedConfig { shards: 0, threads, window_micros: 0 });
+        let (ms, summary) = timed(cfg);
+        match &reference {
+            None => reference = Some(summary),
+            Some(r) if *r != summary => {
+                return Err(format!(
+                    "sharded summary at {threads} threads DIVERGES from the 1-thread run"
+                ));
+            }
+            Some(_) => {}
+        }
+        sharded_ms.push((threads, ms));
+    }
+    Ok(ShardedRow { n, serial_ms, sharded_ms })
+}
+
 /// Times a D-DEAR run with rotating faults end to end (best of `reps`
 /// identical runs — the runs are deterministic, so repetition only
 /// removes scheduler noise). D-DEAR is the neighbor-query-heavy system:
@@ -285,11 +429,18 @@ fn time_faulty(n: usize, index: NeighborIndex, reps: u32) -> (f64, RunSummary) {
 
 /// Serializes the measurements (hand-rolled JSON — the workspace vendors
 /// no serde_json; layout mirrors `refer_bench::json`).
-fn to_json(rows: &[Row], quick: bool, diverged: bool) -> String {
+fn to_json(
+    rows: &[Row],
+    srows: &[ShardedRow],
+    host_cpus: usize,
+    quick: bool,
+    diverged: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"bench\": \"perfbench\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"diverged\": {diverged},");
     out.push_str("  \"sizes\": [\n");
@@ -318,6 +469,28 @@ fn to_json(rows: &[Row], quick: bool, diverged: bool) -> String {
             fmt(row.faulty_scan_ms / row.faulty_grid_ms)
         );
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded\": [\n");
+    for (i, row) in srows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"n\": {},", row.n);
+        let _ = writeln!(out, "      \"serial_ms\": {},", fmt(row.serial_ms));
+        let per_thread: Vec<String> = row
+            .sharded_ms
+            .iter()
+            .map(|&(t, ms)| format!("\"t{t}\": {}", fmt(ms)))
+            .collect();
+        let _ = writeln!(out, "      \"sharded_ms\": {{ {} }},", per_thread.join(", "));
+        let _ = writeln!(
+            out,
+            "      \"speedup_vs_serial\": {},",
+            fmt(row.serial_ms / row.best_ms())
+        );
+        let t1 = row.sharded_ms.first().map_or(f64::NAN, |&(_, ms)| ms);
+        let _ = writeln!(out, "      \"speedup_vs_t1\": {}", fmt(t1 / row.best_ms()));
+        let comma = if i + 1 < srows.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]\n}\n");

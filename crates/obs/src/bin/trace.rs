@@ -10,6 +10,8 @@
 //! trace diff    <a.jsonl> <b.jsonl>        # compare two traces
 //! trace verify  [--system refer] [--scale 0.05] [--seeds 3] [--faults N]
 //!               [--fault-model oracle|discovered]
+//! trace verify  --sharded [--scale 0.05] [--seeds 3] [--sensors N]
+//!               [--threads N]
 //! ```
 //!
 //! `verify` proves determinism three times over: the multiset digest of
@@ -18,6 +20,13 @@
 //! index must produce the same event multiset as runs on the reference
 //! linear scan; and recording the same seed twice must give byte-identical
 //! JSONL. A mismatch exits nonzero.
+//!
+//! `verify --sharded` proves the sharded engine's thread-invariance: its
+//! verified reference is its own 1-thread execution (the sharded schedule
+//! is canonical but deliberately distinct from the serial engine's — the
+//! two draw their randomness differently), so the check is
+//! `sharded(T) ≡ sharded(1)`: equal event multisets per seed *and*
+//! byte-identical JSONL streams.
 
 use refer_bench::{base_config, run_system_with_sinks, System};
 use refer_obs::{
@@ -25,8 +34,9 @@ use refer_obs::{
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use wsan_sim::flood::FloodProtocol;
 use wsan_sim::trace::TraceEvent;
-use wsan_sim::{DataId, FaultModel, NeighborIndex, NodeId, SimConfig};
+use wsan_sim::{DataId, Engine, FaultModel, NeighborIndex, NodeId, ShardedConfig, SimConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +69,8 @@ fn usage(error: &str) -> ExitCode {
          trace summary --in FILE\n  \
          trace diff    <a> <b>\n  \
          trace verify  [--system S] [--scale F] [--seeds N] [--faults N]\n                \
-         [--fault-model oracle|discovered]\n\
+         [--fault-model oracle|discovered]\n  \
+         trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n\
          systems: refer (default), datree, ddear, kautz"
     );
     ExitCode::from(2)
@@ -326,9 +337,26 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
-    let (positional, flags) = parse_args(args)?;
+    // `--sharded` is a bare mode switch, not a `--flag value` pair.
+    let mut args: Vec<String> = args.to_vec();
+    let sharded = match args.iter().position(|a| a == "--sharded") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let (positional, flags) = parse_args(&args)?;
     if !positional.is_empty() {
         return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    if sharded {
+        if flags.contains_key("system") {
+            return Err("--sharded verifies the engine itself and always runs the \
+                        flooding protocol; --system does not apply"
+                .to_string());
+        }
+        return cmd_verify_sharded(&flags);
     }
     let (cfg, system) = scenario(&flags)?;
     let seeds: u64 = flag(&flags, "seeds", 3)?;
@@ -423,4 +451,84 @@ fn record_bytes(cfg: &SimConfig, system: System) -> Vec<u8> {
     let sink = JsonlSink::new(buf.clone());
     run_system_with_sinks(cfg, system, vec![Box::new(sink)]);
     buf.bytes()
+}
+
+/// `verify --sharded`: the sharded engine at `--threads` worker threads
+/// must replay its own 1-thread execution exactly — equal event-multiset
+/// digests per seed and byte-identical JSONL. The flooding protocol
+/// exercises broadcast, delivery claims, mobility replication and fault
+/// rotation across every shard boundary.
+fn cmd_verify_sharded(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    let scale = flag(flags, "scale", 0.05)?;
+    let mut cfg = base_config(scale);
+    cfg.sensors = flag(flags, "sensors", cfg.sensors)?;
+    cfg.faults.count = flag(flags, "faults", cfg.faults.count)?;
+    cfg.mobility.max_speed = flag(flags, "mobility", cfg.mobility.max_speed)?;
+    let threads: usize = flag(flags, "threads", 2)?;
+    if threads < 2 {
+        return Err("--threads must be ≥ 2: comparing the 1-thread reference to itself \
+                    proves nothing"
+            .to_string());
+    }
+    let seeds: u64 = flag(flags, "seeds", 3)?;
+    let seeds: Vec<u64> = (1..=seeds).collect();
+    let engine =
+        |threads| Engine::Sharded(ShardedConfig { shards: 0, threads, window_micros: 0 });
+
+    let mut reference = EventHash::new();
+    let mut threaded = EventHash::new();
+    for &seed in &seeds {
+        cfg.seed = seed;
+        for (threads, hash) in [(1, &mut reference), (threads, &mut threaded)] {
+            cfg.engine = engine(threads);
+            let (sink, h) = HashingSink::new();
+            wsan_sim::run_sharded_with_sinks(
+                cfg.clone(),
+                &mut FloodProtocol::new(6),
+                vec![Box::new(sink)],
+            );
+            hash.merge(&h.get());
+        }
+    }
+    let multiset_ok = reference == threaded;
+    println!(
+        "sharded(1)/sharded({threads}) event multiset: {} ({} events, digest {})",
+        if multiset_ok { "IDENTICAL" } else { "MISMATCH" },
+        reference.count,
+        reference.digest()
+    );
+    if !multiset_ok {
+        println!("  sharded(1)        {}", reference.digest());
+        println!("  sharded({threads})        {}", threaded.digest());
+    }
+
+    // Byte pass on the first seed: the merged canonical stream must be
+    // bit-for-bit reproducible across thread counts, not just as a
+    // multiset.
+    cfg.seed = seeds.first().copied().unwrap_or(1);
+    let bytes = |cfg: &SimConfig, threads: usize| {
+        let mut cfg = cfg.clone();
+        cfg.engine = engine(threads);
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::new(buf.clone());
+        wsan_sim::run_sharded_with_sinks(cfg, &mut FloodProtocol::new(6), vec![Box::new(sink)]);
+        buf.bytes()
+    };
+    let one = bytes(&cfg, 1);
+    let many = bytes(&cfg, threads);
+    let bytes_ok = one == many;
+    println!(
+        "sharded(1)/sharded({threads}) JSONL: {} ({} bytes, fnv1a {:016x})",
+        if bytes_ok { "BIT-IDENTICAL" } else { "MISMATCH" },
+        one.len(),
+        fnv1a64(&one)
+    );
+
+    if multiset_ok && bytes_ok {
+        println!("verify --sharded PASSED");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("verify --sharded FAILED");
+        Ok(ExitCode::FAILURE)
+    }
 }

@@ -213,6 +213,51 @@ pub enum NeighborIndex {
     LinearScan,
 }
 
+/// Which event-loop engine executes the run.
+///
+/// Mirrors [`NeighborIndex`]: the serial loop stays the default and the
+/// verified reference, the sharded engine is opt-in per run. The two
+/// engines define *different* (each internally deterministic) random
+/// streams — the serial loop draws every choice from one master RNG in
+/// global event order, which no parallel execution can reproduce — so a
+/// sharded run is compared against the sharded engine at 1 worker thread
+/// (its own serial reference), not against [`Engine::Serial`] bit-for-bit.
+/// See `shard` module docs for the full determinism argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Engine {
+    /// The single-threaded discrete-event loop ([`runner::run`]
+    /// (crate::runner::run)): one global event heap, one master RNG.
+    #[default]
+    Serial,
+    /// The sharded windowed engine ([`shard::run_sharded`]
+    /// (crate::shard::run_sharded)): grid-cell shards stepped in
+    /// conservative time windows on worker threads. Output is a pure
+    /// function of the config — independent of `threads`.
+    Sharded(ShardedConfig),
+}
+
+/// Tuning for [`Engine::Sharded`]. `0` means "pick automatically"
+/// everywhere, and every automatic choice depends only on the topology —
+/// never on the host — so results are reproducible across machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardedConfig {
+    /// Number of logical shards (rectangular tiles of grid cells). The
+    /// event semantics depend on this value; 0 picks a topology-derived
+    /// default. Capped at the number of grid cells.
+    pub shards: usize,
+    /// Worker threads executing the shards. Purely an execution detail:
+    /// any value produces byte-identical traces and summaries. 0 uses
+    /// the host's available parallelism (capped at the shard count).
+    pub threads: usize,
+    /// Synchronization window length, microseconds. Must not exceed the
+    /// minimum cross-node event latency (`radio.mac_overhead`) or the
+    /// conservative lookahead argument breaks — validated at run start.
+    /// 0 uses `mac_overhead` itself, the largest safe window.
+    pub window_micros: u64,
+}
+
 /// How sensors move between mobility ticks.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -322,6 +367,9 @@ pub struct SimConfig {
     /// How neighborhood queries resolve candidates (spatial grid by
     /// default; the linear scan is the verified-against reference).
     pub neighbor_index: NeighborIndex,
+    /// Which event-loop engine executes the run (serial by default; the
+    /// sharded engine is opt-in and verified against itself at 1 thread).
+    pub engine: Engine,
     /// Master RNG seed; every random choice in the run derives from it.
     pub seed: u64,
 }
@@ -349,6 +397,7 @@ impl SimConfig {
             duration: SimDuration::from_secs(1000),
             qos_deadline: SimDuration::from_secs_f64(0.6),
             neighbor_index: NeighborIndex::default(),
+            engine: Engine::default(),
             seed: 1,
         }
     }
@@ -394,6 +443,25 @@ impl SimConfig {
         assert!(self.sensor_range > 0.0 && self.actuator_range > 0.0);
         if let ActuatorPlacement::Explicit(points) = &self.placement {
             assert_eq!(points.len(), self.actuators, "explicit placement count mismatch");
+        }
+        if let Engine::Sharded(sharded) = self.engine {
+            let lookahead = self.radio.mac_overhead.as_micros();
+            assert!(
+                lookahead > 0,
+                "sharded engine needs mac_overhead > 0: it is the conservative lookahead"
+            );
+            assert!(
+                sharded.window_micros <= lookahead,
+                "sync window ({} us) must not exceed the minimum cross-node \
+                 event latency mac_overhead ({} us)",
+                sharded.window_micros,
+                lookahead
+            );
+            assert!(
+                !self.faults.battery_death,
+                "sharded engine does not support battery death yet: fault rotation \
+                 runs centrally and cannot observe per-shard battery depletion"
+            );
         }
     }
 }

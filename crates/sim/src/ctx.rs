@@ -35,6 +35,37 @@ pub(crate) enum EventKind<P> {
     FaultRotation,
     /// Node positions advance one mobility step.
     MobilityTick,
+    /// Sharded engine only: an actuator in another shard received packet
+    /// `packet`; the claim travels to the packet's origin shard, which owns
+    /// the [`DataRecord`] and scores the delivery. `at_micros` is the true
+    /// delivery time (the event may be processed a window later).
+    DeliverClaim { packet: DataId, node: NodeId, hops: u32, at_micros: u64 },
+    /// Sharded engine only: a protocol in another shard gave up on
+    /// `packet`; routed to the origin shard like
+    /// [`EventKind::DeliverClaim`].
+    DropClaim { packet: DataId, reason: DropReason, at_micros: u64 },
+}
+
+impl<P> EventKind<P> {
+    /// The node whose shard must process this event (`None` for the
+    /// central drivers, which only the coordinator runs). ACK events live
+    /// at the *sender* (its `pending_acks` entry) and claims at the
+    /// packet's *origin* (its `DataRecord`); both are recoverable because
+    /// the sharded engine packs the owning node id into the high 32 bits
+    /// of ack ids and data ids.
+    pub(crate) fn home(&self) -> Option<NodeId> {
+        match self {
+            EventKind::Deliver { to, .. } => Some(*to),
+            EventKind::AckArrive { id } | EventKind::AckExpire { id } => {
+                Some(NodeId((id >> 32) as u32))
+            }
+            EventKind::Timer { node, .. } | EventKind::EmitPacket { node, .. } => Some(*node),
+            EventKind::DeliverClaim { packet, .. } | EventKind::DropClaim { packet, .. } => {
+                Some(NodeId((packet.0 >> 32) as u32))
+            }
+            EventKind::TrafficRound | EventKind::FaultRotation | EventKind::MobilityTick => None,
+        }
+    }
 }
 
 pub(crate) struct Scheduled<P> {
@@ -111,6 +142,13 @@ pub struct Ctx<P> {
     /// Reusable receiver buffer for [`Ctx::broadcast`] (no per-broadcast
     /// allocation).
     pub(crate) recv_buf: Vec<NodeId>,
+    /// `Some` when this context is one shard of the sharded engine
+    /// (`shard::run_sharded`): event pushes route by home shard, simulator
+    /// randomness comes from per-node streams, and delivery bookkeeping
+    /// for remote origins travels as claim events. `None` in the serial
+    /// engine — every branch on this field keeps the serial loop's
+    /// behavior bit-identical to what it was before sharding existed.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtl<P>>>,
 }
 
 impl<P> Ctx<P> {
@@ -129,9 +167,32 @@ impl<P> Ctx<P> {
     }
 
     /// The deterministic run RNG. Protocols must draw all randomness here.
+    ///
+    /// Under the sharded engine this is a per-shard stream (seeded from
+    /// the master seed and the shard id), so protocol draws stay
+    /// deterministic without cross-shard coordination.
     #[inline]
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+        match self.shard.as_mut() {
+            Some(ctl) => &mut ctl.proto_rng,
+            None => &mut self.rng,
+        }
+    }
+
+    /// The RNG stream for the simulator's own draws (jitter, loss): the
+    /// master RNG serially, the *acting node's* private stream under the
+    /// sharded engine — each node's draw sequence is then independent of
+    /// what every other shard is doing, which is what makes the sharded
+    /// schedule reproducible at any thread count.
+    #[inline]
+    pub(crate) fn sim_rng(&mut self) -> &mut StdRng {
+        match self.shard.as_mut() {
+            Some(ctl) => {
+                let node = ctl.active.index();
+                &mut ctl.node_rng[node]
+            }
+            None => &mut self.rng,
+        }
     }
 
     /// Enables event tracing with a bounded buffer of `capacity` events.
@@ -159,15 +220,36 @@ impl<P> Ctx<P> {
     /// this is false.
     #[inline]
     pub fn tracing_active(&self) -> bool {
+        if let Some(ctl) = &self.shard {
+            return ctl.tracing;
+        }
         self.trace.is_some() || !self.sinks.is_empty()
     }
 
     #[inline]
     pub(crate) fn record(&mut self, make: impl FnOnce(SimTime) -> crate::trace::TraceEvent) {
+        let now = self.now;
+        self.record_raw(|| make(now));
+    }
+
+    /// [`Ctx::record`] with the timestamp chosen by the caller — claim
+    /// processing stamps events with the true delivery time, not the
+    /// (later) window in which the claim lands.
+    #[inline]
+    pub(crate) fn record_raw(&mut self, make: impl FnOnce() -> crate::trace::TraceEvent) {
+        if let Some(ctl) = self.shard.as_mut() {
+            // Shards buffer; the coordinator merges the buffers in shard
+            // order at each window edge and feeds the real sinks.
+            if ctl.tracing {
+                let event = make();
+                ctl.trace_buf.push(event);
+            }
+            return;
+        }
         if self.trace.is_none() && self.sinks.is_empty() {
             return; // tracing disabled: two loads and a branch, no event built
         }
-        let event = make(self.now);
+        let event = make();
         for sink in &mut self.sinks {
             sink.on_event(&event);
         }
@@ -407,7 +489,7 @@ impl<P> Ctx<P> {
             .radio
             .link
             .delivery_prob(self.distance(from, to), self.range(from));
-        if p < 1.0 && !self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+        if p < 1.0 && !self.sim_rng().gen_bool(p.clamp(0.0, 1.0)) {
             self.metrics.frames_failed += 1;
             self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
             return false;
@@ -446,8 +528,26 @@ impl<P> Ctx<P> {
     ) where
         P: Clone,
     {
-        let id = self.next_ack_id;
-        self.next_ack_id += 1;
+        let id = match self.shard.as_mut() {
+            // Pack the sender into the high bits so ACK traffic can route
+            // home: the pending entry (and its retries/expiry) live at the
+            // sender's shard.
+            Some(ctl) => {
+                debug_assert_eq!(
+                    ctl.owner[from.index()],
+                    ctl.me,
+                    "send_acked must be called from the sending node's own shard"
+                );
+                let c = ctl.next_ack[from.index()];
+                ctl.next_ack[from.index()] = c + 1;
+                (u64::from(from.0) << 32) | u64::from(c)
+            }
+            None => {
+                let id = self.next_ack_id;
+                self.next_ack_id += 1;
+                id
+            }
+        };
         self.pending_acks
             .insert(id, PendingAck { from, to, size_bits, account, payload, attempt: 0 });
         self.transmit_attempt(id);
@@ -483,7 +583,7 @@ impl<P> Ctx<P> {
         } else {
             0.0
         };
-        let received = prob >= 1.0 || (prob > 0.0 && self.rng.gen_bool(prob.clamp(0.0, 1.0)));
+        let received = prob >= 1.0 || (prob > 0.0 && self.sim_rng().gen_bool(prob.clamp(0.0, 1.0)));
         if received {
             self.record(|at| crate::trace::TraceEvent::Send { at, from, to, size_bits, account });
             let arrival = self.tx_schedule(from, to, size_bits);
@@ -514,11 +614,15 @@ impl<P> Ctx<P> {
     /// reverse link with its own loss probability, cost no metered energy
     /// and occupy no interface queue (tiny control frames).
     pub(crate) fn schedule_ack(&mut self, id: u64, from: NodeId, to: NodeId) {
-        if !self.pending_acks.contains_key(&id) {
+        // The pending entry lives at the *sender*; a shard delivering a
+        // remote sender's frame cannot see it, so it always ACKs and the
+        // sender discards duplicates (counted in `stale_acks`). Serially
+        // the entry is local and the duplicate ACK is elided up front.
+        if self.shard.is_none() && !self.pending_acks.contains_key(&id) {
             return; // duplicate delivery of an already-acknowledged frame
         }
         let prob = self.cfg.radio.link.delivery_prob(self.distance(from, to), self.range(from));
-        let received = prob >= 1.0 || (prob > 0.0 && self.rng.gen_bool(prob.clamp(0.0, 1.0)));
+        let received = prob >= 1.0 || (prob > 0.0 && self.sim_rng().gen_bool(prob.clamp(0.0, 1.0)));
         if !received {
             return;
         }
@@ -592,7 +696,7 @@ impl<P> Ctx<P> {
         to: NodeId,
         reason: crate::trace::HopReason,
     ) {
-        if self.trace.is_none() && self.sinks.is_empty() {
+        if !self.tracing_active() {
             return;
         }
         let queue_s = self.queue_delay(from).as_secs_f64();
@@ -616,6 +720,26 @@ impl<P> Ctx<P> {
             "data must be delivered to an actuator"
         );
         let now = self.now;
+        if let Some(ctl) = self.shard.as_ref() {
+            // The packet's [`DataRecord`] lives at the origin's shard; a
+            // delivery observed anywhere else travels there as a claim
+            // carrying the true delivery time.
+            let home = NodeId((data.0 >> 32) as u32);
+            if ctl.owner[home.index()] != ctl.me {
+                self.push(
+                    now,
+                    EventKind::DeliverClaim { packet: data, node: at, hops, at_micros: now.as_micros() },
+                );
+                return;
+            }
+        }
+        self.apply_delivery_claim(data, at, hops, now);
+    }
+
+    /// Settles a delivery against the locally-owned [`DataRecord`] for
+    /// `data`, with `at` as the (possibly past) delivery time. Shared by the
+    /// direct serial path and the sharded engine's claim dispatch.
+    pub(crate) fn apply_delivery_claim(&mut self, data: DataId, node: NodeId, hops: u32, at: SimTime) {
         let qos = self.cfg.qos_deadline;
         let Some(record) = self.data.get_mut(&data) else {
             return;
@@ -623,8 +747,8 @@ impl<P> Ctx<P> {
         if record.delivered.is_some() {
             return;
         }
-        record.delivered = Some(now);
-        let delay = now - record.created;
+        record.delivered = Some(at);
+        let delay = at - record.created;
         // Metrics only count measured packets; the trace still records
         // warmup deliveries so forensics see every packet's fate.
         if record.measured {
@@ -640,9 +764,8 @@ impl<P> Ctx<P> {
                 self.metrics.qos_delay_sum += delay.as_secs_f64();
             }
         }
-        let node = at;
-        self.record(|t| crate::trace::TraceEvent::Delivered {
-            at: t,
+        self.record_raw(|| crate::trace::TraceEvent::Delivered {
+            at,
             packet: data,
             node,
             delay_s: delay.as_secs_f64(),
@@ -658,6 +781,21 @@ impl<P> Ctx<P> {
     /// Records that the protocol gave up on `data`, with the reason bucket
     /// exported in [`RunSummary`](crate::RunSummary) drop counters.
     pub fn drop_data_reason(&mut self, data: DataId, reason: DropReason) {
+        let now = self.now;
+        if let Some(ctl) = self.shard.as_ref() {
+            let home = NodeId((data.0 >> 32) as u32);
+            if ctl.owner[home.index()] != ctl.me {
+                self.push(now, EventKind::DropClaim { packet: data, reason, at_micros: now.as_micros() });
+                return;
+            }
+        }
+        self.apply_drop_claim(data, reason, now);
+    }
+
+    /// Settles a drop against the locally-owned [`DataRecord`] for `data`
+    /// at the (possibly past) time `at`. Counterpart of
+    /// [`Ctx::apply_delivery_claim`].
+    pub(crate) fn apply_drop_claim(&mut self, data: DataId, reason: DropReason, at: SimTime) {
         if let Some(record) = self.data.get(&data) {
             if record.delivered.is_none() {
                 if record.measured {
@@ -669,7 +807,7 @@ impl<P> Ctx<P> {
                         DropReason::Other => {}
                     }
                 }
-                self.record(|at| crate::trace::TraceEvent::Dropped { at, packet: data, reason });
+                self.record_raw(|| crate::trace::TraceEvent::Dropped { at, packet: data, reason });
             }
         }
     }
@@ -711,9 +849,44 @@ impl<P> Ctx<P> {
     // ----- internals ----------------------------------------------------
 
     pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+        if let Some(ctl) = self.shard.as_mut() {
+            // Route by the event's home shard. Local events enter the heap
+            // under the canonical (at, home-node, per-node-counter) key;
+            // remote events wait in the outbox for the window edge.
+            let home = kind
+                .home()
+                .expect("central driver events are never scheduled inside a shard");
+            let dest = ctl.owner[home.index()];
+            if dest == ctl.me {
+                let seq = ctl.alloc_seq(home);
+                self.queue.push(Reverse(Scheduled { at, seq, kind }));
+            } else {
+                ctl.outbox[dest as usize].push((at, kind));
+            }
+            return;
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Allocates the next application data id for a packet originating at
+    /// `origin`. Sequential serially; under the sharded engine the origin
+    /// is packed into the high bits, giving every shard an independent id
+    /// space and delivery claims a route back to the owning shard.
+    pub(crate) fn alloc_data_id(&mut self, origin: NodeId) -> DataId {
+        match self.shard.as_mut() {
+            Some(ctl) => {
+                let c = ctl.next_data[origin.index()];
+                ctl.next_data[origin.index()] = c + 1;
+                DataId((u64::from(origin.0) << 32) | u64::from(c))
+            }
+            None => {
+                let id = DataId(self.next_data_id);
+                self.next_data_id += 1;
+                id
+            }
+        }
     }
 
     /// Computes the arrival time for a unicast and updates both radios'
@@ -737,12 +910,32 @@ impl<P> Ctx<P> {
     }
 
     fn bump_receiver(&mut self, to: NodeId, arrival: SimTime) {
+        if self.shard.is_some() {
+            // The receiver may live in another shard whose window is
+            // running concurrently; its occupancy bump is applied when the
+            // Deliver event is processed ([`Ctx::bump_on_delivery`]) —
+            // same resulting busy horizon, no cross-shard write.
+            return;
+        }
         let occupancy = self.cfg.radio.receiver_occupancy;
         if occupancy <= 0.0 {
             return;
         }
         let node = &mut self.nodes[to.index()];
         node.busy_until_micros = node.busy_until_micros.max(arrival.as_micros());
+    }
+
+    /// The sharded engine's receiver-occupancy bump, applied by the shard
+    /// that owns the receiver at the moment the frame arrives (`now` *is*
+    /// the arrival time then, so the resulting busy horizon matches what
+    /// the serial engine wrote at push time).
+    pub(crate) fn bump_on_delivery(&mut self, to: NodeId) {
+        if self.cfg.radio.receiver_occupancy <= 0.0 {
+            return;
+        }
+        let now = self.now.as_micros();
+        let node = &mut self.nodes[to.index()];
+        node.busy_until_micros = node.busy_until_micros.max(now);
     }
 
     /// Per-frame service time: payload serialization at the channel bitrate
@@ -757,7 +950,8 @@ impl<P> Ctx<P> {
         if max == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_micros(self.rng.gen_range(0..=max))
+        let draw = self.sim_rng().gen_range(0..=max);
+        SimDuration::from_micros(draw)
     }
 
     fn charge_tx(&mut self, node: NodeId, account: EnergyAccount) {

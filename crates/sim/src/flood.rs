@@ -72,3 +72,8 @@ impl Protocol for FloodProtocol {
 
     fn on_timer(&mut self, _ctx: &mut Ctx<FloodPayload>, _at: NodeId, _tag: u64) {}
 }
+
+// Flooding keeps only per-node state (the `(node, packet)` dedup set) and
+// every hook acts solely as the node it names, so it runs unchanged under
+// the sharded engine.
+impl crate::shard::ShardableProtocol for FloodProtocol {}

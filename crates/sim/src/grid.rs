@@ -100,6 +100,17 @@ impl SpatialGrid {
         self.cell_of.is_empty()
     }
 
+    /// Grid dimensions as `(cols, rows)` — the sharded runner tiles these
+    /// cells into shard rectangles.
+    pub(crate) fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The flat (row-major) cell index currently holding `node`.
+    pub(crate) fn cell_of_node(&self, node: NodeId) -> usize {
+        self.cell_of[node.index()] as usize
+    }
+
     /// Whether the 3×3 block around a cell covers all or most of the grid
     /// (at most three columns and three rows — at two it is the whole
     /// grid, at three still the lion's share). In those geometries —
@@ -111,13 +122,37 @@ impl SpatialGrid {
     }
 
     /// Flat cell index of a position.
+    ///
+    /// Positions are normally clamped to the area by the mobility models,
+    /// but the index itself stays total over finite inputs: coordinates
+    /// beyond either edge (a position exactly on the far edge maps to
+    /// `cols`; buggy callers may hand in negatives or worse) clamp into
+    /// the nearest border cell instead of corrupting the cell tables. A
+    /// non-finite coordinate has no meaningful cell — that is a caller
+    /// bug, caught loudly in debug builds; release builds degrade to
+    /// cell 0 on that axis rather than indexing out of bounds.
     #[inline]
     fn cell_index(&self, p: Point) -> usize {
-        // Positions are clamped to the area, but a position exactly on the
-        // far edge maps to `cols`; clamp back into the last cell.
-        let cx = ((p.x / self.cell_w) as usize).min(self.cols - 1);
-        let cy = ((p.y / self.cell_h) as usize).min(self.rows - 1);
+        let (cx, cy) = self.cell_coords(p);
         cy * self.cols + cx
+    }
+
+    /// `(column, row)` of the cell holding `p`, hardened as described on
+    /// [`SpatialGrid::cell_index`]. Every position→cell mapping (insert,
+    /// relocate, 3×3 block queries) funnels through here so they cannot
+    /// disagree about edge cases.
+    #[inline]
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        debug_assert!(
+            p.x.is_finite() && p.y.is_finite(),
+            "non-finite position handed to the spatial grid: {p:?}"
+        );
+        // `max(0.0)` eats both negatives and NaN (max returns the non-NaN
+        // operand), and the `usize` cast saturates the +inf/overflow side
+        // before `min` clamps to the last cell.
+        let cx = ((p.x / self.cell_w).max(0.0) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell_h).max(0.0) as usize).min(self.rows - 1);
+        (cx, cy)
     }
 
     /// Inserts the next node (index `self.len()`) at `p`.
@@ -162,8 +197,7 @@ impl SpatialGrid {
     /// run the distance filter on the inline position (a sequential read)
     /// and only touch the node table for survivors.
     pub fn for_each_candidate(&self, p: Point, mut f: impl FnMut(NodeId, Point)) {
-        let cx = ((p.x / self.cell_w) as usize).min(self.cols - 1);
-        let cy = ((p.y / self.cell_h) as usize).min(self.rows - 1);
+        let (cx, cy) = self.cell_coords(p);
         let x0 = cx.saturating_sub(1);
         let x1 = (cx + 1).min(self.cols - 1);
         let y0 = cy.saturating_sub(1);

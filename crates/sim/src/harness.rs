@@ -168,6 +168,7 @@ mod tests {
             hotspot_energy_j: 12.0,
             energy_fairness: 0.8,
             retransmissions: 3,
+            stale_acks: 1,
             detections: 2,
             false_suspicions: 1,
             mean_detection_latency_s: 0.5,

@@ -50,13 +50,14 @@ mod metrics;
 mod node;
 mod protocol;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 mod time;
 pub mod trace;
 
 pub use config::{
-    ActuatorPlacement, FaultConfig, FaultModel, LinkModel, MobilityConfig, MobilityModel,
-    NeighborIndex, RadioConfig, SensorPlacement, SimConfig, TrafficConfig,
+    ActuatorPlacement, Engine, FaultConfig, FaultModel, LinkModel, MobilityConfig, MobilityModel,
+    NeighborIndex, RadioConfig, SensorPlacement, ShardedConfig, SimConfig, TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
@@ -68,5 +69,6 @@ pub use message::{DataId, DataRecord, Message};
 pub use metrics::{jain_fairness, DropReason, Metrics, RunSummary};
 pub use node::{NodeId, NodeKind, NodeState};
 pub use protocol::Protocol;
+pub use shard::{run_engine, run_engine_with_sinks, run_sharded, run_sharded_with_sinks, ShardableProtocol};
 pub use time::{SimDuration, SimTime};
 pub use trace::{HopReason, TraceEvent, TraceLog, TraceSink};

@@ -51,6 +51,10 @@ pub struct Metrics {
     pub frames_retransmitted: u64,
     /// Acknowledged frames abandoned after exhausting their retries.
     pub frames_expired: u64,
+    /// Duplicate or late ACKs that arrived for a frame no longer pending
+    /// (already acknowledged, or expired first). Counted and dropped —
+    /// never an error.
+    pub stale_acks: u64,
     /// Suspicions raised against nodes that really were faulty.
     pub detections: u64,
     /// Suspicions raised against nodes that were actually alive.
@@ -105,6 +109,10 @@ pub struct RunSummary {
     pub energy_fairness: f64,
     /// Link-layer retransmissions of acknowledged frames.
     pub retransmissions: u64,
+    /// Duplicate or late link-layer ACKs that arrived after their pending
+    /// entry was already settled (acknowledged or expired). Counted and
+    /// dropped — never fatal.
+    pub stale_acks: u64,
     /// Suspicions raised against genuinely faulty nodes.
     pub detections: u64,
     /// Suspicions raised against nodes that were actually alive.
@@ -161,6 +169,7 @@ impl PartialEq for RunSummary {
             && f(self.hotspot_energy_j, other.hotspot_energy_j)
             && f(self.energy_fairness, other.energy_fairness)
             && self.retransmissions == other.retransmissions
+            && self.stale_acks == other.stale_acks
             && self.detections == other.detections
             && self.false_suspicions == other.false_suspicions
             && f(self.mean_detection_latency_s, other.mean_detection_latency_s)
@@ -190,6 +199,37 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 }
 
 impl Metrics {
+    /// Accumulates another run fragment's counters into this one — the
+    /// reduction the sharded runner applies over its per-shard metrics.
+    /// Every field is a sum (or a histogram/ledger merge), so merging in
+    /// shard order is associative and order-deterministic.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.qos_bytes += other.qos_bytes;
+        self.qos_packets += other.qos_packets;
+        self.qos_delay_sum += other.qos_delay_sum;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_delay_sum += other.delivered_delay_sum;
+        self.offered_packets += other.offered_packets;
+        self.dropped_packets += other.dropped_packets;
+        self.frames_sent += other.frames_sent;
+        self.broadcasts_sent += other.broadcasts_sent;
+        self.frames_failed += other.frames_failed;
+        self.frames_queue_dropped += other.frames_queue_dropped;
+        self.frames_retransmitted += other.frames_retransmitted;
+        self.frames_expired += other.frames_expired;
+        self.stale_acks += other.stale_acks;
+        self.detections += other.detections;
+        self.false_suspicions += other.false_suspicions;
+        self.detection_latency_sum_s += other.detection_latency_sum_s;
+        self.handovers += other.handovers;
+        self.drop_no_access += other.drop_no_access;
+        self.drop_no_route += other.drop_no_route;
+        self.drop_hops += other.drop_hops;
+        self.energy.merge(&other.energy);
+        self.delay_hist.merge(&other.delay_hist);
+        self.hop_hist.merge(&other.hop_hist);
+    }
+
     /// Produces the run summary for a measured window of `measured` length.
     ///
     /// When no traffic was offered in the measured window, the delivery
@@ -220,6 +260,7 @@ impl Metrics {
             hotspot_energy_j: 0.0,
             energy_fairness: 1.0,
             retransmissions: self.frames_retransmitted,
+            stale_acks: self.stale_acks,
             detections: self.detections,
             false_suspicions: self.false_suspicions,
             mean_detection_latency_s: if self.detections > 0 {

@@ -4,7 +4,7 @@
 use crate::config::{ActuatorPlacement, SimConfig};
 use crate::ctx::{Ctx, EventKind};
 use crate::geometry::Point;
-use crate::message::{DataId, DataRecord};
+use crate::message::DataRecord;
 use crate::metrics::RunSummary;
 use crate::node::{NodeId, NodeKind, NodeState};
 use crate::protocol::Protocol;
@@ -82,6 +82,11 @@ pub fn run_with_sinks<P: Protocol>(
                     if !ctx.nodes[p.from.index()].faulty {
                         protocol.on_ack(&mut ctx, p.from, p.to);
                     }
+                } else {
+                    // A duplicate or late ACK — the frame already expired
+                    // (timeout fired first) or was acknowledged. Counted
+                    // and dropped.
+                    ctx.metrics.stale_acks += 1;
                 }
             }
             EventKind::AckExpire { id } => {
@@ -104,6 +109,9 @@ pub fn run_with_sinks<P: Protocol>(
             }
             EventKind::MobilityTick => {
                 mobility_tick(&mut ctx);
+            }
+            EventKind::DeliverClaim { .. } | EventKind::DropClaim { .. } => {
+                unreachable!("delivery claims exist only under the sharded engine")
             }
         }
     }
@@ -128,8 +136,14 @@ pub fn run_with_sinks<P: Protocol>(
 /// exhausted. A stale timeout (the ACK arrived, or a retry superseded this
 /// attempt) is a no-op because the entry was removed or re-keyed by
 /// attempt count.
-fn ack_expire<P: Protocol>(ctx: &mut Ctx<P::Payload>, protocol: &mut P, id: u64) {
-    let Some((from, attempt)) = ctx.pending_acks.get(&id).map(|p| (p.from, p.attempt)) else {
+pub(crate) fn ack_expire<P: Protocol>(ctx: &mut Ctx<P::Payload>, protocol: &mut P, id: u64) {
+    // One lookup decides everything; later steps tolerate the entry
+    // disappearing rather than `expect`ing it, so no interleaving of
+    // ACKs, retries and expiries (including ones future lossy/Byzantine
+    // link models may produce) can panic the run.
+    let Some((from, to, attempt)) =
+        ctx.pending_acks.get(&id).map(|p| (p.from, p.to, p.attempt))
+    else {
         return; // already acknowledged
     };
     if ctx.nodes[from.index()].faulty {
@@ -138,12 +152,12 @@ fn ack_expire<P: Protocol>(ctx: &mut Ctx<P::Payload>, protocol: &mut P, id: u64)
         return;
     }
     if attempt >= ctx.cfg.radio.max_retries {
-        let p = ctx.pending_acks.remove(&id).expect("pending present");
-        ctx.metrics.frames_expired += 1;
-        protocol.on_send_expired(ctx, p.from, p.to, p.payload, p.attempt + 1);
+        if let Some(p) = ctx.pending_acks.remove(&id) {
+            ctx.metrics.frames_expired += 1;
+            protocol.on_send_expired(ctx, p.from, p.to, p.payload, p.attempt + 1);
+        }
         return;
     }
-    let to = ctx.pending_acks.get(&id).map(|p| p.to).expect("pending present");
     if let Some(p) = ctx.pending_acks.get_mut(&id) {
         p.attempt += 1;
     }
@@ -160,7 +174,7 @@ pub fn run_owned<P: Protocol>(cfg: SimConfig, mut protocol: P) -> (RunSummary, P
     (summary, protocol)
 }
 
-fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
+pub(crate) fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut nodes = Vec::with_capacity(cfg.sensors + cfg.actuators);
     let mut sensors = Vec::with_capacity(cfg.sensors);
@@ -213,6 +227,7 @@ fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         sinks: Vec::new(),
         grid,
         recv_buf: Vec::new(),
+        shard: None,
     }
 }
 
@@ -272,7 +287,7 @@ fn sensor_position(
     }
 }
 
-fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
+pub(crate) fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
     // Draw the new source set among alive sensors.
     let alive: Vec<NodeId> = ctx
         .sensors
@@ -298,15 +313,14 @@ fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
     }
 }
 
-fn emit_packet<P: Protocol>(
+pub(crate) fn emit_packet<P: Protocol>(
     ctx: &mut Ctx<P::Payload>,
     protocol: &mut P,
     node: NodeId,
     remaining: u64,
 ) {
     if !ctx.nodes[node.index()].faulty {
-        let id = DataId(ctx.next_data_id);
-        ctx.next_data_id += 1;
+        let id = ctx.alloc_data_id(node);
         let measured = ctx.now >= SimTime::ZERO + ctx.cfg.warmup;
         ctx.data.insert(
             id,
@@ -340,6 +354,19 @@ fn rotate_faults<P: Protocol>(
     protocol: &mut P,
     faulty_set: &mut Vec<NodeId>,
 ) {
+    let (failed, recovered) = rotate_faults_core(ctx, faulty_set);
+    protocol.on_fault_rotation(ctx, &failed, &recovered);
+}
+
+/// The protocol-independent half of a fault rotation: redraws the faulty
+/// set, flips node flags, records the trace event and schedules the next
+/// rotation. Returns `(failed, recovered)` so callers (the serial loop
+/// here, the sharded coordinator in `shard`) can run the protocol hook in
+/// their own execution context.
+pub(crate) fn rotate_faults_core<Pl>(
+    ctx: &mut Ctx<Pl>,
+    faulty_set: &mut Vec<NodeId>,
+) -> (Vec<NodeId>, Vec<NodeId>) {
     let recovered: Vec<NodeId> = std::mem::take(faulty_set)
         .into_iter()
         // Battery death is permanent: depleted nodes never recover.
@@ -369,11 +396,11 @@ fn rotate_faults<P: Protocol>(
         let (f, r) = (failed.clone(), recovered.clone());
         ctx.record(move |at| wsan_sim_trace_event(at, f, r));
     }
-    protocol.on_fault_rotation(ctx, &failed, &recovered);
     let next = ctx.now + ctx.cfg.faults.rotation;
     if next <= ctx.end {
         ctx.push(next, EventKind::FaultRotation);
     }
+    (failed, recovered)
 }
 
 fn wsan_sim_trace_event(
@@ -384,7 +411,7 @@ fn wsan_sim_trace_event(
     crate::trace::TraceEvent::FaultRotation { at, failed, recovered }
 }
 
-fn mobility_tick<Pl>(ctx: &mut Ctx<Pl>) {
+pub(crate) fn mobility_tick<Pl>(ctx: &mut Ctx<Pl>) {
     match ctx.cfg.mobility.model {
         crate::config::MobilityModel::RandomWaypoint => random_waypoint_tick(ctx),
         crate::config::MobilityModel::GaussMarkov { alpha } => gauss_markov_tick(ctx, alpha),

@@ -1,0 +1,831 @@
+//! The sharded event-loop engine: grid-cell shards stepped in conservative
+//! time windows on worker threads.
+//!
+//! # Architecture
+//!
+//! The world is partitioned into **shards** — rectangular tiles of
+//! [`SpatialGrid`](crate::SpatialGrid) cells. Every node is owned by the
+//! shard of its *initial* cell (ownership is static; mobility moves a
+//! node's position, never its home). Each shard carries a full replica of
+//! the world's read-mostly state (positions, fault flags, the spatial
+//! index) plus authoritative state for its own nodes: their event heap,
+//! pending ACKs, data records for packets they originated, radio busy
+//! horizons and energy meters.
+//!
+//! Execution proceeds in **windows** of at most `W = radio.mac_overhead`
+//! microseconds. Within a window every shard processes its own heap
+//! independently on a worker thread; events destined for another shard's
+//! nodes accumulate in per-destination outboxes and are exchanged at the
+//! window edge. This is conservative (Chandy–Misra-style) synchronization
+//! with `W` as the lookahead:
+//!
+//! * every cross-node event the simulator schedules — a frame delivery
+//!   (`service ≥ mac_overhead`), a link-layer ACK (`mac_overhead +
+//!   jitter`) — lands at least `mac_overhead ≥ W` after the moment it is
+//!   sent, so an event emitted inside window `[t0, t1)` always fires at or
+//!   after `t1`: no shard can ever receive an event for a time it has
+//!   already simulated past;
+//! * central drivers (traffic rounds, fault rotation, mobility) run on the
+//!   coordinator **between** windows, and windows never straddle them.
+//!
+//! The one deliberate exception is *claims*: when a shard delivers (or
+//! drops) a packet whose origin lives elsewhere, the bookkeeping against
+//! the origin's [`DataRecord`](crate::DataRecord) travels as a
+//! [`DeliverClaim`](crate::ctx::EventKind)/`DropClaim` carrying the true
+//! event time. Claims may arrive "in the past"; they only settle metrics
+//! (first-delivery wins, a pure function of the claim set, not of arrival
+//! order within a timestamp) and never spawn further events, so the
+//! lookahead argument is unaffected.
+//!
+//! # Determinism
+//!
+//! The output is a pure function of the [`SimConfig`] — independent of the
+//! worker-thread count and of the host:
+//!
+//! * the shard count `S` (and the node→shard map) derives only from the
+//!   topology, never from the machine;
+//! * every event is heap-ordered by `(time, home-node, per-node counter)`
+//!   — a canonical key assigned deterministically because each shard
+//!   injects its inbox batches sorted by source shard id before running;
+//! * randomness is split into streams that are keyed by *identity*, not by
+//!   execution order: one simulator stream per node (jitter and loss draws
+//!   for the node's own transmissions) and one protocol stream per shard;
+//! * shard trace buffers are merged in shard-id order at every window
+//!   edge.
+//!
+//! Consequently `threads = 1` and `threads = 64` produce byte-identical
+//! trace streams and bit-identical summaries. Note the sharded engine's
+//! schedule is *not* the serial engine's: the serial loop draws all
+//! randomness from one master RNG in global event order, which no
+//! partitioned execution can reproduce. The sharded engine is therefore
+//! verified against **itself at one thread** (its own serial reference),
+//! the same way [`NeighborIndex::Grid`](crate::NeighborIndex) is verified
+//! against the linear scan.
+//!
+//! # Unsupported configurations
+//!
+//! `faults.battery_death` is rejected by [`SimConfig::validate`] under
+//! this engine (rotation runs centrally and cannot see per-shard battery
+//! state), and the bounded in-`Ctx` trace buffer
+//! ([`Ctx::take_trace`](crate::Ctx::take_trace)) reads empty inside shard
+//! hooks — streaming sinks are the supported trace path.
+
+use crate::config::{Engine, ShardedConfig, SimConfig};
+use crate::ctx::{Ctx, EventKind, Scheduled};
+use crate::metrics::RunSummary;
+use crate::node::NodeId;
+use crate::protocol::Protocol;
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceSink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Marker for protocols that can run under the sharded engine.
+///
+/// The engine clones the protocol once per shard after `on_init` and runs
+/// each clone against only its shard's events, so an implementation must
+/// be **node-local**: all state it keeps must be attributable to single
+/// nodes (per-node maps, per-node dedup sets), every hook may only act as
+/// the node the hook names (no reaching into other nodes' state), and
+/// [`Ctx::set_timer`](crate::Ctx::set_timer) may only target the acting
+/// node itself — a zero-delay timer on a *remote* node would undercut the
+/// engine's lookahead. Protocols holding genuinely global mutable state
+/// cannot implement this soundly and must stay on [`Engine::Serial`].
+pub trait ShardableProtocol: Protocol + Clone + Send
+where
+    Self::Payload: Clone + Send,
+{
+}
+
+/// One source's batch of routed events: `(source shard id, events)`.
+type Batch<Pl> = (u32, Vec<(SimTime, EventKind<Pl>)>);
+
+/// Batches routed from other shards (and from the coordinator's central
+/// drivers, tagged [`CENTRAL_SRC`]) awaiting injection at the next window
+/// edge.
+struct Inbox<Pl> {
+    batches: Vec<Batch<Pl>>,
+    /// Earliest event time waiting in `batches` (`u64::MAX` when empty):
+    /// lets the coordinator skip idle windows without locking shard heaps.
+    min_at: u64,
+}
+
+impl<Pl> Default for Inbox<Pl> {
+    fn default() -> Self {
+        Inbox { batches: Vec::new(), min_at: u64::MAX }
+    }
+}
+
+/// Source tag for batches the coordinator injects (central drivers);
+/// sorts after every real shard so injection order stays canonical.
+const CENTRAL_SRC: u32 = u32::MAX;
+
+/// Per-shard control block hung off a shard's [`Ctx`]. Its presence is
+/// what switches the context into sharded semantics (event routing,
+/// per-identity RNG streams, claim-based remote bookkeeping).
+pub(crate) struct ShardCtl<Pl> {
+    /// This shard's id.
+    pub(crate) me: u32,
+    /// node → owning shard (static, from the node's initial grid cell).
+    pub(crate) owner: Vec<u32>,
+    /// The node whose event is currently being dispatched; selects the
+    /// simulator RNG stream ([`Ctx::sim_rng`]).
+    pub(crate) active: NodeId,
+    /// Per-node simulator RNG streams (jitter, loss). Seeded identically
+    /// in every shard; each is only ever drawn at its owner.
+    pub(crate) node_rng: Vec<StdRng>,
+    /// This shard's protocol RNG stream ([`Ctx::rng`]).
+    pub(crate) proto_rng: StdRng,
+    /// Per-node event sequence counters: the canonical tie-break key is
+    /// `(home_node << 32) | counter`.
+    pub(crate) next_seq: Vec<u32>,
+    /// Per-node ACK-id counters (`ack_id = from << 32 | counter`).
+    pub(crate) next_ack: Vec<u32>,
+    /// Per-node data-id counters (`DataId = origin << 32 | counter`).
+    pub(crate) next_data: Vec<u32>,
+    /// Events bound for other shards, indexed by destination; swapped
+    /// into destination inboxes at the window edge.
+    pub(crate) outbox: Vec<Vec<(SimTime, EventKind<Pl>)>>,
+    /// Trace events recorded this window; merged by the coordinator in
+    /// shard-id order.
+    pub(crate) trace_buf: Vec<TraceEvent>,
+    /// Whether any trace consumer is attached to the run.
+    pub(crate) tracing: bool,
+}
+
+impl<Pl> ShardCtl<Pl> {
+    /// The canonical heap key for the next event homed at `home`.
+    pub(crate) fn alloc_seq(&mut self, home: NodeId) -> u64 {
+        let c = self.next_seq[home.index()];
+        self.next_seq[home.index()] = c + 1;
+        (u64::from(home.0) << 32) | u64::from(c)
+    }
+}
+
+/// One shard's world replica plus its protocol clone.
+struct ShardState<P: Protocol> {
+    ctx: Ctx<P::Payload>,
+    protocol: P,
+}
+
+/// Static node→shard assignment derived purely from the topology.
+struct ShardMap {
+    owner: Vec<u32>,
+    shards: usize,
+}
+
+/// Tiles the grid into `Sx × Sy` rectangular shard bands, with band
+/// boundaries placed by the node-count marginals (prefix sums over grid
+/// columns/rows) so shards start out load-balanced.
+fn build_map<Pl>(ctx: &Ctx<Pl>, requested: usize) -> ShardMap {
+    let (cols, rows) = ctx.grid.dims();
+    let cells = cols * rows;
+    let shards = if requested == 0 { (cells / 9).clamp(1, 16) } else { requested.clamp(1, cells) };
+    // Sx = the largest divisor of S not exceeding sqrt(S): the squarest
+    // exact factorization, so tiles have small perimeter (less cross-shard
+    // traffic) without leaving any shard without a tile.
+    let mut sx = 1;
+    for d in 1..=shards {
+        if shards % d == 0 && d * d <= shards {
+            sx = d;
+        }
+    }
+    let sy = shards / sx;
+
+    let mut col_n = vec![0u64; cols];
+    let mut row_n = vec![0u64; rows];
+    for id in 0..ctx.nodes.len() {
+        let cell = ctx.grid.cell_of_node(NodeId(id as u32));
+        col_n[cell % cols] += 1;
+        row_n[cell / cols] += 1;
+    }
+    let col_band = bands(&col_n, sx);
+    let row_band = bands(&row_n, sy);
+
+    let owner = (0..ctx.nodes.len())
+        .map(|id| {
+            let cell = ctx.grid.cell_of_node(NodeId(id as u32));
+            col_band[cell % cols] * sy as u32 + row_band[cell / cols]
+        })
+        .collect();
+    ShardMap { owner, shards }
+}
+
+/// Splits `marginal.len()` contiguous slots into `k` bands with roughly
+/// equal total mass, deterministically: slot `i` (mass `m`, preceding
+/// cumulative mass `cum`) goes to band `⌊(2·cum + m)·k / (2·total)⌋`.
+fn bands(marginal: &[u64], k: usize) -> Vec<u32> {
+    let len = marginal.len();
+    let total: u64 = marginal.iter().sum();
+    if k <= 1 || total == 0 {
+        return (0..len).map(|i| ((i * k.max(1)) / len) as u32).collect();
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut cum = 0u64;
+    for &m in marginal {
+        let mid = 2 * cum + m;
+        let band = ((mid as u128 * k as u128) / (2 * total as u128)) as u64;
+        out.push(band.min(k as u64 - 1) as u32);
+        cum += m;
+    }
+    out
+}
+
+/// Per-node simulator RNG stream: the master seed mixed with the node id
+/// through a SplitMix-style odd constant.
+fn node_stream(seed: u64, node: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node as u64 + 1))
+}
+
+/// Per-shard protocol RNG stream (a different mixing constant than the
+/// node streams, so the two families never collide).
+fn proto_stream(seed: u64, shard: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(shard as u64 + 1))
+}
+
+/// Runs one simulation under the sharded engine and returns the summary.
+///
+/// Reads the shard/thread/window tuning from `cfg.engine` when it is
+/// [`Engine::Sharded`] (automatic everywhere otherwise). The result is a
+/// pure function of `cfg` — see the module docs for the determinism
+/// argument.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]),
+/// including the sharded-specific constraints (window ≤ lookahead, no
+/// battery death).
+pub fn run_sharded<P>(cfg: SimConfig, protocol: &mut P) -> RunSummary
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    run_sharded_with_sinks(cfg, protocol, Vec::new()).0
+}
+
+/// [`run_sharded`] with streaming trace sinks attached for the whole run,
+/// mirroring [`runner::run_with_sinks`](crate::runner::run_with_sinks).
+/// Sinks observe the canonical merged event stream (every window's shard
+/// buffers in shard-id order), which is byte-for-byte identical at any
+/// thread count.
+pub fn run_sharded_with_sinks<P>(
+    cfg: SimConfig,
+    protocol: &mut P,
+    sinks: Vec<Box<dyn TraceSink>>,
+) -> (RunSummary, Vec<Box<dyn TraceSink>>)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    cfg.validate();
+    let scfg = match cfg.engine {
+        Engine::Sharded(s) => s,
+        Engine::Serial => ShardedConfig::default(),
+    };
+    let window = if scfg.window_micros == 0 {
+        cfg.radio.mac_overhead.as_micros()
+    } else {
+        scfg.window_micros
+    };
+
+    // Construction runs exactly like the serial engine: master context,
+    // master RNG, unbounded queue, then radios reset for steady state.
+    let mut master = crate::runner::build_ctx::<P::Payload>(cfg);
+    master.sinks = sinks;
+    master.unbounded_queue = true;
+    protocol.on_init(&mut master);
+    master.unbounded_queue = false;
+    for node in &mut master.nodes {
+        node.busy_until_micros = 0;
+    }
+    master.push(SimTime::ZERO, EventKind::TrafficRound);
+    let mob_tick = master.cfg.mobility.tick;
+    master.push(SimTime::ZERO + mob_tick, EventKind::MobilityTick);
+    if master.cfg.faults.count > 0 {
+        let rot = master.cfg.faults.rotation;
+        master.push(SimTime::ZERO + rot, EventKind::FaultRotation);
+    }
+
+    let map = build_map(&master, scfg.shards);
+    let shards = map.shards;
+    let threads = if scfg.threads == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        scfg.threads
+    }
+    .clamp(1, shards);
+
+    let tracing = master.tracing_active();
+    let n = master.nodes.len();
+    let seed = master.cfg.seed;
+    let end_micros = master.end.as_micros();
+
+    let states: Vec<Mutex<ShardState<P>>> = (0..shards)
+        .map(|sh| {
+            let ctl = ShardCtl {
+                me: sh as u32,
+                owner: map.owner.clone(),
+                active: NodeId(0),
+                node_rng: (0..n).map(|i| node_stream(seed, i)).collect(),
+                proto_rng: proto_stream(seed, sh),
+                next_seq: vec![0; n],
+                next_ack: vec![0; n],
+                next_data: vec![0; n],
+                outbox: (0..shards).map(|_| Vec::new()).collect(),
+                trace_buf: Vec::new(),
+                tracing,
+            };
+            let ctx = Ctx {
+                cfg: master.cfg.clone(),
+                now: SimTime::ZERO,
+                nodes: master.nodes.clone(),
+                actuators: master.actuators.clone(),
+                sensors: master.sensors.clone(),
+                queue: std::collections::BinaryHeap::new(),
+                seq: 0,
+                rng: StdRng::seed_from_u64(seed),
+                metrics: crate::metrics::Metrics::default(),
+                data: std::collections::HashMap::new(),
+                next_data_id: 0,
+                pending_acks: std::collections::HashMap::new(),
+                next_ack_id: 0,
+                oracle_queries: std::cell::Cell::new(0),
+                end: master.end,
+                unbounded_queue: false,
+                trace: None,
+                sinks: Vec::new(),
+                grid: master.grid.clone(),
+                recv_buf: Vec::new(),
+                shard: Some(Box::new(ctl)),
+            };
+            Mutex::new(ShardState { ctx, protocol: protocol.clone() })
+        })
+        .collect();
+
+    let inboxes: Vec<Mutex<Inbox<P::Payload>>> =
+        (0..shards).map(|_| Mutex::new(Inbox::default())).collect();
+    let heap_next: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+
+    // Construction-era node events (protocol sends/timers from on_init)
+    // leave the master queue for their owners' inboxes; only the central
+    // drivers stay behind.
+    let per_dest = drain_node_events(&mut master, &map.owner, shards);
+    deposit(&inboxes, CENTRAL_SRC, per_dest);
+
+    let window_end = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let trace_deposits: Mutex<Vec<(u32, Vec<TraceEvent>)>> = Mutex::new(Vec::new());
+    let mut faulty_set: Vec<NodeId> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let states = &states;
+            let inboxes = &inboxes;
+            let heap_next = &heap_next;
+            let barrier = &barrier;
+            let window_end = &window_end;
+            let stop = &stop;
+            let trace_deposits = &trace_deposits;
+            scope.spawn(move || loop {
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let w_end = window_end.load(Ordering::Acquire);
+                let mut sh = t;
+                while sh < states.len() {
+                    run_shard_window(&states[sh], inboxes, heap_next, w_end);
+                    sh += threads;
+                }
+                // Every shard has finished the window before anyone
+                // flushes: a batch deposited mid-window would be injected
+                // by some shards and missed by others depending on thread
+                // scheduling, which would make sequence assignment (and so
+                // the canonical order) depend on the thread count.
+                barrier.wait();
+                let mut sh = t;
+                while sh < states.len() {
+                    flush_shard_window(&states[sh], inboxes, trace_deposits);
+                    sh += threads;
+                }
+                barrier.wait();
+            });
+        }
+
+        let mut t0: u64 = 0;
+        loop {
+            let central_next =
+                master.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX);
+            let shard_next = (0..shards)
+                .map(|i| {
+                    heap_next[i]
+                        .load(Ordering::Acquire)
+                        .min(inboxes[i].lock().unwrap().min_at)
+                })
+                .min()
+                .unwrap_or(u64::MAX);
+            let next_work = central_next.min(shard_next);
+            if next_work > end_micros {
+                break;
+            }
+            // Jump idle gaps, but never backwards: late claims report past
+            // times and are simply settled in the next window.
+            t0 = t0.max(next_work);
+            if central_next <= t0 {
+                let per_dest =
+                    run_central_due(&mut master, t0, &mut faulty_set, &states, &map.owner);
+                deposit(&inboxes, CENTRAL_SRC, per_dest);
+            }
+            let central_next =
+                master.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX);
+            let t1 = (t0 + window).min(central_next).min(end_micros + 1);
+            window_end.store(t1, Ordering::Release);
+            barrier.wait(); // release the window
+            barrier.wait(); // run phase: every shard processed [t0, t1)
+            barrier.wait(); // flush phase: outboxes and traces deposited
+            if tracing {
+                let mut deposits = std::mem::take(&mut *trace_deposits.lock().unwrap());
+                deposits.sort_by_key(|&(sh, _)| sh);
+                for (_, buf) in deposits {
+                    for ev in buf {
+                        master.record_raw(move || ev);
+                    }
+                }
+            }
+            t0 = t1;
+        }
+        stop.store(true, Ordering::Release);
+        barrier.wait();
+    });
+
+    // Claims deposited in the final window never saw another window;
+    // settle them now, in shard order, so the summary is complete.
+    for (sh, state) in states.iter().enumerate() {
+        let mut batches = std::mem::take(&mut inboxes[sh].lock().unwrap().batches);
+        if batches.is_empty() {
+            continue;
+        }
+        batches.sort_by_key(|&(src, _)| src);
+        let mut st = state.lock().unwrap();
+        for (_, events) in batches {
+            for (_, kind) in events {
+                match kind {
+                    EventKind::DeliverClaim { packet, node, hops, at_micros } => {
+                        st.ctx.apply_delivery_claim(
+                            packet,
+                            node,
+                            hops,
+                            SimTime::from_micros(at_micros),
+                        );
+                    }
+                    EventKind::DropClaim { packet, reason, at_micros } => {
+                        st.ctx.apply_drop_claim(packet, reason, SimTime::from_micros(at_micros));
+                    }
+                    // Anything else was scheduled past the horizon; the
+                    // serial loop leaves those unprocessed too.
+                    _ => {}
+                }
+            }
+        }
+        if tracing {
+            let buf = std::mem::take(&mut st.ctx.shard.as_mut().unwrap().trace_buf);
+            for ev in buf {
+                master.record_raw(move || ev);
+            }
+        }
+    }
+
+    // Reduce: master (construction) + shards in shard order; per-sensor
+    // energy gathered from each sensor's owner in sensor-id order, so the
+    // fairness/hotspot floats see one canonical summation order.
+    let mut metrics = std::mem::take(&mut master.metrics);
+    let mut oracle = master.oracle_queries.get();
+    let sensors = master.sensors.clone();
+    let mut consumed = vec![0.0f64; sensors.len()];
+    for (sh, state) in states.into_iter().enumerate() {
+        let st = state.into_inner().unwrap();
+        metrics.merge(&st.ctx.metrics);
+        oracle += st.ctx.oracle_queries.get();
+        for (slot, &id) in consumed.iter_mut().zip(sensors.iter()) {
+            if map.owner[id.index()] == sh as u32 {
+                *slot = st.ctx.nodes[id.index()].consumed;
+            }
+        }
+    }
+    let mut summary = metrics.summarize(master.cfg.duration);
+    summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
+    summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
+    summary.oracle_queries = oracle;
+    let mut sinks = std::mem::take(&mut master.sinks);
+    for sink in &mut sinks {
+        sink.flush();
+    }
+    (summary, sinks)
+}
+
+/// Dispatches on `cfg.engine`: the serial loop ([`runner::run`]
+/// (crate::runner::run)) or [`run_sharded`].
+pub fn run_engine<P>(cfg: SimConfig, protocol: &mut P) -> RunSummary
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    match cfg.engine {
+        Engine::Serial => crate::runner::run(cfg, protocol),
+        Engine::Sharded(_) => run_sharded(cfg, protocol),
+    }
+}
+
+/// [`run_engine`] with streaming trace sinks.
+pub fn run_engine_with_sinks<P>(
+    cfg: SimConfig,
+    protocol: &mut P,
+    sinks: Vec<Box<dyn TraceSink>>,
+) -> (RunSummary, Vec<Box<dyn TraceSink>>)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    match cfg.engine {
+        Engine::Serial => crate::runner::run_with_sinks(cfg, protocol, sinks),
+        Engine::Sharded(_) => run_sharded_with_sinks(cfg, protocol, sinks),
+    }
+}
+
+/// Pops every node-homed event off the master queue (grouped per owning
+/// shard, in heap order) and puts the central drivers back.
+fn drain_node_events<Pl>(
+    master: &mut Ctx<Pl>,
+    owner: &[u32],
+    shards: usize,
+) -> Vec<Vec<(SimTime, EventKind<Pl>)>> {
+    let mut per_dest: Vec<Vec<(SimTime, EventKind<Pl>)>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    let mut central = Vec::new();
+    while let Some(Reverse(ev)) = master.queue.pop() {
+        match ev.kind.home() {
+            Some(node) => per_dest[owner[node.index()] as usize].push((ev.at, ev.kind)),
+            None => central.push(ev),
+        }
+    }
+    for ev in central {
+        master.queue.push(Reverse(ev));
+    }
+    per_dest
+}
+
+/// Appends per-destination batches to the shard inboxes under source tag
+/// `src`, maintaining each inbox's earliest-pending-time watermark.
+fn deposit<Pl>(
+    inboxes: &[Mutex<Inbox<Pl>>],
+    src: u32,
+    per_dest: Vec<Vec<(SimTime, EventKind<Pl>)>>,
+) {
+    for (dest, batch) in per_dest.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let min = batch.iter().map(|(at, _)| at.as_micros()).min().unwrap_or(u64::MAX);
+        let mut inbox = inboxes[dest].lock().unwrap();
+        inbox.min_at = inbox.min_at.min(min);
+        inbox.batches.push((src, batch));
+    }
+}
+
+/// Runs every central driver due at or before `t0` on the master context,
+/// replicating its world-state effects (positions, fault flags) into every
+/// shard, and returns the node-homed events it spawned (this round's
+/// traffic emissions) for injection.
+fn run_central_due<P>(
+    master: &mut Ctx<P::Payload>,
+    t0: u64,
+    faulty_set: &mut Vec<NodeId>,
+    states: &[Mutex<ShardState<P>>],
+    owner: &[u32],
+) -> Vec<Vec<(SimTime, EventKind<P::Payload>)>>
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    let shards = states.len();
+    let mut per_dest: Vec<Vec<(SimTime, EventKind<P::Payload>)>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    loop {
+        let due = match master.queue.peek() {
+            Some(rev) => rev.0.at.as_micros() <= t0 && rev.0.at <= master.end,
+            None => false,
+        };
+        if !due {
+            break;
+        }
+        let Some(Reverse(ev)) = master.queue.pop() else { break };
+        if let Some(node) = ev.kind.home() {
+            // A node event spawned by an earlier driver this round
+            // (EmitPacket from the traffic draw): route it out.
+            per_dest[owner[node.index()] as usize].push((ev.at, ev.kind));
+            continue;
+        }
+        master.now = ev.at;
+        match ev.kind {
+            EventKind::TrafficRound => crate::runner::traffic_round(master),
+            EventKind::MobilityTick => {
+                crate::runner::mobility_tick(master);
+                // Positions are read-mostly replicas: push the new truth
+                // to every shard (each keeps its own grid coherent).
+                for state in states {
+                    let mut st = state.lock().unwrap();
+                    for &id in &master.sensors {
+                        st.ctx.move_node(id, master.nodes[id.index()].position);
+                    }
+                }
+            }
+            EventKind::FaultRotation => {
+                let (failed, recovered) = crate::runner::rotate_faults_core(master, faulty_set);
+                let now = master.now.as_micros();
+                for state in states {
+                    let mut st = state.lock().unwrap();
+                    let ShardState { ctx, protocol } = &mut *st;
+                    for &id in &recovered {
+                        let node = &mut ctx.nodes[id.index()];
+                        node.faulty = false;
+                        node.fault_since_micros = None;
+                    }
+                    for &id in &failed {
+                        let node = &mut ctx.nodes[id.index()];
+                        if !node.faulty {
+                            node.fault_since_micros = Some(now);
+                        }
+                        node.faulty = true;
+                    }
+                    ctx.now = ctx.now.max(master.now);
+                    protocol.on_fault_rotation(ctx, &failed, &recovered);
+                }
+            }
+            _ => unreachable!("home() returned None for a non-central event"),
+        }
+    }
+    per_dest
+}
+
+/// One shard's run phase for the window ending at `w_end`: inject pending
+/// inbox batches (sorted by source for canonical sequencing), run every
+/// event before `w_end`, then publish the next-event watermark. Emitted
+/// cross-shard events stay in the local outbox until the flush phase.
+fn run_shard_window<P>(
+    state: &Mutex<ShardState<P>>,
+    inboxes: &[Mutex<Inbox<P::Payload>>],
+    heap_next: &[AtomicU64],
+    w_end: u64,
+) where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    let mut st = state.lock().unwrap();
+    let ShardState { ctx, protocol } = &mut *st;
+    let me = ctx.shard.as_ref().expect("shard context").me as usize;
+
+    let mut batches = {
+        let mut inbox = inboxes[me].lock().unwrap();
+        inbox.min_at = u64::MAX;
+        std::mem::take(&mut inbox.batches)
+    };
+    batches.sort_by_key(|&(src, _)| src);
+    for (_, events) in batches {
+        for (at, kind) in events {
+            let home = kind.home().expect("only node events cross shards");
+            let seq = ctx.shard.as_mut().expect("shard context").alloc_seq(home);
+            ctx.queue.push(Reverse(Scheduled { at, seq, kind }));
+        }
+    }
+
+    loop {
+        let due = match ctx.queue.peek() {
+            Some(rev) => rev.0.at.as_micros() < w_end,
+            None => false,
+        };
+        if !due {
+            break;
+        }
+        let Some(Reverse(ev)) = ctx.queue.pop() else { break };
+        dispatch(ctx, protocol, ev);
+    }
+
+    heap_next[me].store(
+        ctx.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX),
+        Ordering::Release,
+    );
+}
+
+/// One shard's flush phase: swap this window's outboxes into their
+/// destination inboxes and deposit the trace buffer. Runs strictly after
+/// *every* shard's run phase (barrier-separated), so a window's deposits
+/// are visible to all shards uniformly — at the next window, never
+/// mid-window for some shards only.
+fn flush_shard_window<P>(
+    state: &Mutex<ShardState<P>>,
+    inboxes: &[Mutex<Inbox<P::Payload>>],
+    trace_deposits: &Mutex<Vec<(u32, Vec<TraceEvent>)>>,
+) where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    let mut st = state.lock().unwrap();
+    let ctx = &mut st.ctx;
+    let me = ctx.shard.as_ref().expect("shard context").me as usize;
+
+    for (dest, dest_inbox) in inboxes.iter().enumerate() {
+        if dest == me {
+            debug_assert!(ctx.shard.as_ref().expect("shard context").outbox[dest].is_empty());
+            continue;
+        }
+        let batch = std::mem::take(&mut ctx.shard.as_mut().expect("shard context").outbox[dest]);
+        if batch.is_empty() {
+            continue;
+        }
+        let min = batch.iter().map(|(at, _)| at.as_micros()).min().unwrap_or(u64::MAX);
+        let mut inbox = dest_inbox.lock().unwrap();
+        inbox.min_at = inbox.min_at.min(min);
+        inbox.batches.push((me as u32, batch));
+    }
+
+    let ctl = ctx.shard.as_mut().expect("shard context");
+    if !ctl.trace_buf.is_empty() {
+        let buf = std::mem::take(&mut ctl.trace_buf);
+        trace_deposits.lock().unwrap().push((me as u32, buf));
+    }
+}
+
+/// Dispatches one shard event — the sharded counterpart of the serial
+/// loop's match, with two deltas: claims settle remote-origin bookkeeping
+/// at their recorded (possibly past) time, and the receiver-occupancy
+/// bump happens at arrival instead of at push time.
+fn dispatch<P>(ctx: &mut Ctx<P::Payload>, protocol: &mut P, ev: Scheduled<P::Payload>)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    let at = ev.at;
+    match ev.kind {
+        EventKind::DeliverClaim { packet, node, hops, at_micros } => {
+            // Claims are the one event allowed to arrive "late": they only
+            // settle the origin's ledger, stamped with their true time.
+            ctx.now = ctx.now.max(at);
+            ctx.apply_delivery_claim(packet, node, hops, SimTime::from_micros(at_micros));
+        }
+        EventKind::DropClaim { packet, reason, at_micros } => {
+            ctx.now = ctx.now.max(at);
+            ctx.apply_drop_claim(packet, reason, SimTime::from_micros(at_micros));
+        }
+        kind => {
+            debug_assert!(at >= ctx.now, "shard event queue went backwards");
+            ctx.now = at;
+            let home = kind.home().expect("central drivers never reach a shard heap");
+            ctx.shard.as_mut().expect("shard context").active = home;
+            match kind {
+                EventKind::Deliver { to, msg, ack_id } => {
+                    // The serial engine bumps the receiver's busy horizon
+                    // at push time regardless of the receiver's eventual
+                    // fate; here the bump lands at arrival (same horizon),
+                    // so it too precedes the liveness check.
+                    ctx.bump_on_delivery(to);
+                    if ctx.nodes[to.index()].faulty {
+                        return; // receiver died in flight; frame lost, no ACK
+                    }
+                    ctx.charge_rx(to, msg.account);
+                    if let Some(id) = ack_id {
+                        ctx.schedule_ack(id, to, msg.from);
+                    }
+                    protocol.on_message(ctx, to, msg);
+                }
+                EventKind::AckArrive { id } => {
+                    if let Some(p) = ctx.pending_acks.remove(&id) {
+                        if !ctx.nodes[p.from.index()].faulty {
+                            protocol.on_ack(ctx, p.from, p.to);
+                        }
+                    } else {
+                        // Duplicate delivery already ACKed this frame (the
+                        // remote receiver cannot see the sender's pending
+                        // table, so it always ACKs): counted and dropped.
+                        ctx.metrics.stale_acks += 1;
+                    }
+                }
+                EventKind::AckExpire { id } => crate::runner::ack_expire(ctx, protocol, id),
+                EventKind::Timer { node, tag } => protocol.on_timer(ctx, node, tag),
+                EventKind::EmitPacket { node, remaining } => {
+                    crate::runner::emit_packet(ctx, protocol, node, remaining);
+                }
+                EventKind::TrafficRound
+                | EventKind::FaultRotation
+                | EventKind::MobilityTick
+                | EventKind::DeliverClaim { .. }
+                | EventKind::DropClaim { .. } => {
+                    unreachable!("central drivers run only on the coordinator")
+                }
+            }
+        }
+    }
+}

@@ -225,3 +225,30 @@ fn parallel_trials_match_serial_trials_under_faults() {
     let parallel = wsan_sim::harness::run_trials_parallel(&cfg, &seeds, || FloodProtocol::new(5));
     assert_eq!(serial, parallel, "fault draws must not depend on scheduling");
 }
+
+/// Regression for the two `expect("pending present")` panics in the ACK
+/// expiry path: an ACK that lands *after* its `ack_timeout` already fired.
+///
+/// With a 100 µs timeout the expiry always beats the ACK (which needs
+/// `mac_overhead` = 500 µs plus jitter to fly back), so the frame is
+/// retransmitted while its first ACK is still in the air. The late ACK
+/// then confirms the frame, the retry's already-queued expiry finds no
+/// pending entry (the old panic), and the retry's own duplicate ACK
+/// arrives against a settled frame (the other old panic) — now counted
+/// in `stale_acks` and dropped.
+#[test]
+fn ack_arriving_after_timeout_is_survived_and_counted() {
+    let mut cfg = tiny_cfg();
+    cfg.faults.count = 0;
+    cfg.radio.ack_timeout = SimDuration::from_micros(100);
+    cfg.radio.retry_backoff = 1.0;
+    cfg.radio.max_retries = 5;
+    // Fast channel so the retry is in the air before the first ACK lands.
+    cfg.radio.bitrate_bps = 80_000_000.0;
+    cfg.seed = 1;
+    let (summary, probe) = runner::run_owned(cfg, AckProbe::new(false));
+    assert_eq!(probe.acks.len(), 1, "the late ACK still confirms the frame, exactly once");
+    assert!(probe.expirations.is_empty(), "the frame was acknowledged — late, not lost");
+    assert_eq!(summary.retransmissions, 2, "both expiries fired before their ACKs landed");
+    assert_eq!(summary.stale_acks, 1, "the duplicate ACK of the retry is counted, not fatal");
+}

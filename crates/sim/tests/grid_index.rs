@@ -4,8 +4,8 @@
 
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::{
-    runner, Ctx, DataId, LinkModel, Message, MobilityModel, NeighborIndex, NodeId, Protocol,
-    SimConfig, SimDuration,
+    runner, Area, Ctx, DataId, LinkModel, Message, MobilityModel, NeighborIndex, NodeId, Point,
+    Protocol, SimConfig, SimDuration, SpatialGrid,
 };
 
 /// A protocol that audits the engine from inside: at every mobility-tick
@@ -153,6 +153,66 @@ fn flood_run_is_bit_identical_between_grid_and_scan() {
         assert_eq!(a, b, "seed {seed}: grid and scan runs diverged");
         assert!(a.delivery_ratio > 0.0, "the scenario actually exercised the radio");
     }
+}
+
+/// Satellite hardening: `cell_index` must stay total over any *finite*
+/// position. Points beyond any edge of the area — including exactly on
+/// the far edge, where `x / cell_w == cols` — clamp into the nearest
+/// border cell, so both insertion/relocation and queries keep working
+/// instead of corrupting the cell tables or missing border nodes.
+#[test]
+fn finite_out_of_domain_positions_clamp_to_border_cells() {
+    let area = Area { width: 1000.0, height: 1000.0 };
+    // Corner node, far-edge node, and one strictly outside the area (a
+    // buggy caller's position): all must land in valid cells.
+    let positions = vec![
+        Point { x: 5.0, y: 5.0 },
+        Point { x: 1000.0, y: 1000.0 },  // exactly on the far edge
+        Point { x: -40.0, y: 1275.0 },   // outside on both axes
+        Point { x: 500.0, y: 500.0 },
+    ];
+    let mut grid = SpatialGrid::new(area, 100.0, positions.into_iter());
+    assert_eq!(grid.len(), 4);
+
+    let mut buf = Vec::new();
+    // A query outside the near corner sees the corner node (clamped to
+    // cell (0, 0), whose 3×3 block contains it).
+    grid.candidates_into(Point { x: -30.0, y: -30.0 }, &mut buf);
+    assert!(buf.contains(&NodeId(0)), "near-corner query missed the corner node: {buf:?}");
+    // A query outside the far corner sees the far-edge node and the node
+    // that was inserted out of bounds on the y axis.
+    grid.candidates_into(Point { x: 1999.0, y: 1050.0 }, &mut buf);
+    assert!(buf.contains(&NodeId(1)), "far-corner query missed the edge node: {buf:?}");
+    // The out-of-bounds insert clamped to the top border (x≈0, y=max row).
+    grid.candidates_into(Point { x: 0.0, y: 999.0 }, &mut buf);
+    assert!(buf.contains(&NodeId(2)), "border query missed the clamped node: {buf:?}");
+
+    // Relocation through an out-of-bounds waypoint and back must keep the
+    // per-node cell bookkeeping coherent.
+    grid.relocate(NodeId(3), Point { x: 2500.0, y: -80.0 });
+    grid.candidates_into(Point { x: 999.0, y: 1.0 }, &mut buf);
+    assert!(buf.contains(&NodeId(3)), "clamped relocation must stay discoverable: {buf:?}");
+    grid.relocate(NodeId(3), Point { x: 500.0, y: 500.0 });
+    grid.candidates_into(Point { x: 480.0, y: 520.0 }, &mut buf);
+    assert!(buf.contains(&NodeId(3)), "return relocation lost the node: {buf:?}");
+
+    // for_each_candidate shares the same clamped cell lookup.
+    let mut seen = Vec::new();
+    grid.for_each_candidate(Point { x: -500.0, y: -500.0 }, |id, _| seen.push(id));
+    assert!(seen.contains(&NodeId(0)), "for_each_candidate disagreed with candidates_into");
+}
+
+/// A non-finite coordinate has no meaningful cell: that is a caller bug,
+/// and debug builds say so loudly instead of silently filing the node
+/// into cell 0.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "finite")]
+fn nan_query_position_is_rejected_in_debug_builds() {
+    let area = Area { width: 100.0, height: 100.0 };
+    let grid = SpatialGrid::new(area, 10.0, std::iter::once(Point { x: 5.0, y: 5.0 }));
+    let mut buf = Vec::new();
+    grid.candidates_into(Point { x: f64::NAN, y: 5.0 }, &mut buf);
 }
 
 /// Same bit-identity under the shadowed link model, where delivery draws

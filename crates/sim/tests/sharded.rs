@@ -1,0 +1,193 @@
+//! The sharded engine's contract: its output is a pure function of the
+//! configuration — the worker-thread count must not change a single bit of
+//! the summary or a single byte of the trace stream — and it must agree
+//! with its own single-threaded execution under mobility, fault rotation
+//! and lossy acknowledged traffic.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use wsan_sim::flood::FloodProtocol;
+use wsan_sim::shard::run_sharded_with_sinks;
+use wsan_sim::trace::{TraceEvent, TraceSink};
+use wsan_sim::{
+    Ctx, DataId, EnergyAccount, Engine, LinkModel, Message, MobilityModel, NodeId, Protocol,
+    RunSummary, ShardableProtocol, ShardedConfig, SimConfig, SimDuration,
+};
+
+/// Collects the canonical merged trace stream for byte-level comparison.
+#[derive(Clone, Default)]
+struct Collect(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl TraceSink for Collect {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.0.lock().unwrap().push(event.clone());
+    }
+}
+
+/// GaussMarkov mobility at a 250 ms tick over 30 s of simulated time
+/// (≥ 120 ticks) with a rotating faulty set: every source of cross-shard
+/// coupling — moving nodes, flag rebroadcast, boundary frames — is active.
+fn sharded_cfg(seed: u64, threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.sensors = 60;
+    cfg.traffic.rate_bps = 40_000.0;
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.duration = SimDuration::from_secs(25);
+    cfg.mobility.model = MobilityModel::GaussMarkov { alpha: 0.75 };
+    cfg.mobility.tick = SimDuration::from_millis(250);
+    cfg.faults.count = 6;
+    cfg.faults.rotation = SimDuration::from_secs(5);
+    cfg.engine = Engine::Sharded(ShardedConfig { shards: 8, threads, window_micros: 0 });
+    cfg.seed = seed;
+    cfg
+}
+
+fn traced_run<P>(cfg: SimConfig, protocol: &mut P) -> (RunSummary, Vec<TraceEvent>)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    let events = Collect::default();
+    let (summary, _) = run_sharded_with_sinks(cfg, protocol, vec![Box::new(events.clone())]);
+    let trace = events.0.lock().unwrap().clone();
+    (summary, trace)
+}
+
+#[test]
+fn sharded_flood_delivers_data() {
+    let (summary, trace) = traced_run(sharded_cfg(7, 2), &mut FloodProtocol::new(6));
+    assert!(
+        summary.delivery_ratio > 0.5,
+        "sharded flooding should deliver most packets, got {}",
+        summary.delivery_ratio
+    );
+    assert!(!trace.is_empty(), "tracing must flow through the shard buffers");
+}
+
+#[test]
+fn thread_count_is_invisible() {
+    let reference = traced_run(sharded_cfg(11, 1), &mut FloodProtocol::new(6));
+    for threads in [2, 8] {
+        let run = traced_run(sharded_cfg(11, threads), &mut FloodProtocol::new(6));
+        assert_eq!(
+            reference.0, run.0,
+            "summary at {threads} threads diverged from the 1-thread reference"
+        );
+        assert_eq!(
+            reference.1.len(),
+            run.1.len(),
+            "trace length at {threads} threads diverged"
+        );
+        assert_eq!(
+            reference.1, run.1,
+            "trace stream at {threads} threads diverged from the 1-thread reference"
+        );
+    }
+}
+
+#[test]
+fn shard_count_defines_the_semantics_but_any_count_delivers() {
+    // Different shard counts are allowed to produce different (each
+    // internally deterministic) schedules; all of them must still be
+    // functioning simulations.
+    for shards in [1, 3, 8] {
+        let mut cfg = sharded_cfg(3, 2);
+        cfg.engine = Engine::Sharded(ShardedConfig { shards, threads: 2, window_micros: 0 });
+        let summary = wsan_sim::run_sharded(cfg, &mut FloodProtocol::new(6));
+        assert!(
+            summary.delivery_ratio > 0.5,
+            "{shards}-shard run degenerated: delivery {}",
+            summary.delivery_ratio
+        );
+    }
+}
+
+/// Unicasts every packet straight to the nearest actuator over the
+/// acknowledged MAC path — under a lossy (shadowed) link, so cross-shard
+/// retransmissions, ACK expiries and duplicate/stale ACKs all occur.
+#[derive(Clone)]
+struct AckedDirect {
+    expired: u64,
+}
+
+impl Protocol for AckedDirect {
+    type Payload = DataId;
+
+    fn name(&self) -> &'static str {
+        "AckedDirect"
+    }
+
+    fn on_init(&mut self, _ctx: &mut Ctx<DataId>) {}
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<DataId>, src: NodeId, data: DataId) {
+        let nearest = ctx
+            .actuator_ids()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
+            })
+            .expect("actuators exist");
+        let size = ctx.config().traffic.packet_bits;
+        ctx.send_acked(src, nearest, size, EnergyAccount::Communication, data);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<DataId>, at: NodeId, msg: Message<DataId>) {
+        ctx.deliver_data(msg.payload, at);
+    }
+
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<DataId>,
+        _at: NodeId,
+        _to: NodeId,
+        payload: DataId,
+        _attempts: u32,
+    ) {
+        self.expired += 1;
+        ctx.drop_data(payload);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<DataId>, _at: NodeId, _tag: u64) {}
+}
+
+impl ShardableProtocol for AckedDirect {}
+
+#[test]
+fn acked_traffic_is_thread_invariant_and_stale_acks_are_survivable() {
+    let cfg = |threads| {
+        let mut cfg = sharded_cfg(5, threads);
+        // Lossy links: some ACKs die on the air, their frames retransmit,
+        // and the duplicate deliveries produce duplicate (stale) ACKs.
+        cfg.radio.link = LinkModel::Shadowed { fade_width: 60.0 };
+        cfg.radio.ack_timeout = SimDuration::from_millis(4);
+        cfg
+    };
+    let a = traced_run(cfg(1), &mut AckedDirect { expired: 0 });
+    let b = traced_run(cfg(4), &mut AckedDirect { expired: 0 });
+    assert_eq!(a.0, b.0, "acknowledged traffic diverged across thread counts");
+    assert_eq!(a.1, b.1, "trace stream diverged across thread counts");
+    let retried = a.1.iter().any(|ev| matches!(ev, TraceEvent::Retransmit { .. }));
+    assert!(retried, "the shadowed link should force at least one retransmission");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Any seed, any thread split: the 1-thread and n-thread executions
+    // produce identical summaries and identical trace streams.
+    #[test]
+    fn sharded_schedule_is_a_pure_function_of_the_config(
+        seed in 1u64..1_000_000,
+        threads in 2usize..9,
+    ) {
+        let mut cfg = sharded_cfg(seed, 1);
+        cfg.sensors = 40;
+        cfg.duration = SimDuration::from_secs(15);
+        let reference = traced_run(cfg.clone(), &mut FloodProtocol::new(5));
+        cfg.engine = Engine::Sharded(ShardedConfig { shards: 8, threads, window_micros: 0 });
+        let run = traced_run(cfg, &mut FloodProtocol::new(5));
+        prop_assert_eq!(&reference.0, &run.0, "summary diverged at {} threads", threads);
+        prop_assert_eq!(&reference.1, &run.1, "trace diverged at {} threads", threads);
+    }
+}
