@@ -481,7 +481,14 @@ impl Protocol for KautzOverlayProtocol {
     }
 
     fn on_init(&mut self, ctx: &mut Ctx<OvMsg>) {
-        self.discovered = matches!(ctx.config().faults.model, FaultModel::Discovered);
+        // Byzantine runs use the discovered machinery too: suspicion from
+        // ACK expiry instead of the oracle. The overlay has no suspicion
+        // gossip, so compromised nodes hurt it through misrouting, silent
+        // drops and forged ACKs alone.
+        self.discovered = matches!(
+            ctx.config().faults.model,
+            FaultModel::Discovered | FaultModel::Byzantine
+        );
         self.view = FailureView::new(self.cfg.suspicion_ttl);
         self.build_overlay(ctx);
     }

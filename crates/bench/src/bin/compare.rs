@@ -3,15 +3,18 @@
 //! ```text
 //! cargo run -p refer-bench --release --bin compare -- \
 //!     [--scale 0.2] [--seed 17] [--mobility 3] [--faults 0] [--sensors 200] \
-//!     [--fault-model oracle|discovered]
+//!     [--fault-model oracle|discovered|byzantine] \
+//!     [--attacker-fraction F] [--link-pdr P]
 //! ```
 //!
 //! Prints one row per system with throughput, delay, energy split,
 //! delivery ratio and load-balance metrics, plus the robustness counters
-//! (retransmissions, detections, handovers, oracle consultations). Useful
-//! for eyeballing a configuration before committing to a full sweep.
+//! (retransmissions, detections, handovers, oracle consultations; under
+//! `byzantine` also misroutes, forged ACKs, slander, wrongful evictions
+//! and attacker containment). Useful for eyeballing a configuration
+//! before committing to a full sweep.
 
-use refer_bench::{base_config, run_system, SYSTEMS};
+use refer_bench::{base_config, parse_fault_model, parse_unit_interval, run_system, SYSTEMS};
 use wsan_sim::FaultModel;
 
 /// Milliseconds with one decimal, or `—` when the quantity is undefined
@@ -33,6 +36,12 @@ fn pct_or_dash(ratio: f64) -> String {
     }
 }
 
+/// Exits with the CLI's usage error code for a malformed flag value.
+fn bail(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut scale = 0.2;
     let mut seed = 17u64;
@@ -40,6 +49,8 @@ fn main() {
     let mut faults = 0usize;
     let mut sensors = 200usize;
     let mut fault_model = FaultModel::Oracle;
+    let mut attacker_fraction = 0.0;
+    let mut link_pdr = 0.0;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = || it.next().expect("flag needs a value");
@@ -50,35 +61,50 @@ fn main() {
             "--faults" => faults = next().parse().expect("integer"),
             "--sensors" => sensors = next().parse().expect("integer"),
             "--fault-model" => {
-                fault_model = match next().as_str() {
-                    "oracle" => FaultModel::Oracle,
-                    "discovered" => FaultModel::Discovered,
-                    other => panic!("unknown fault model {other:?} (oracle|discovered)"),
-                };
+                fault_model = parse_fault_model(&next()).unwrap_or_else(|e| bail(e));
+            }
+            "--attacker-fraction" => {
+                attacker_fraction = parse_unit_interval("--attacker-fraction", &next())
+                    .unwrap_or_else(|e| bail(e));
+            }
+            "--link-pdr" => {
+                link_pdr =
+                    parse_unit_interval("--link-pdr", &next()).unwrap_or_else(|e| bail(e));
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
+    let byzantine = fault_model == FaultModel::Byzantine;
 
     println!(
-        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty ({fault_model:?}), scale {scale}, seed {seed}\n"
+        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty ({fault_model:?}), \
+         attacker fraction {attacker_fraction}, link pdr {link_pdr}, scale {scale}, seed {seed}\n"
     );
-    println!(
-        "{:>15} {:>13} {:>9} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>7}",
+    print!(
+        "{:>15} {:>13} {:>9} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8}",
         "system", "QoS thr(B/s)", "delay", "p50(ms)", "p95(ms)", "p99(ms)", "miss", "comm(J)",
-        "constr(J)", "deliv", "hotspot", "fairness", "retx", "detect", "handover", "oracle", "wall"
+        "constr(J)", "deliv", "hotspot", "fairness", "retx", "detect", "handover", "oracle"
     );
+    if byzantine {
+        print!(
+            " {:>8} {:>7} {:>8} {:>9} {:>9} {:>10}",
+            "misroute", "forged", "slander", "wrongful", "contained", "contain(s)"
+        );
+    }
+    println!(" {:>7}", "wall");
     for system in SYSTEMS {
         let mut cfg = base_config(scale);
         cfg.mobility.max_speed = mobility;
         cfg.faults.count = faults;
         cfg.faults.model = fault_model;
+        cfg.faults.byzantine.attacker_fraction = attacker_fraction;
+        cfg.radio.link_pdr = link_pdr;
         cfg.sensors = sensors;
         cfg.seed = seed;
         let t = std::time::Instant::now();
         let s = run_system(&cfg, system);
-        println!(
-            "{:>15} {:>13.0} {:>7.1}ms {:>8} {:>8} {:>8} {:>6} {:>12.0} {:>12.0} {:>7} {:>8.0}J {:>9.2} {:>7} {:>6} {:>8} {:>7} {:>6.1}s",
+        print!(
+            "{:>15} {:>13.0} {:>7.1}ms {:>8} {:>8} {:>8} {:>6} {:>12.0} {:>12.0} {:>7} {:>8.0}J {:>9.2} {:>7} {:>6} {:>8} {:>7}",
             system.name(),
             s.throughput_bps,
             s.mean_delay_s * 1e3,
@@ -95,7 +121,23 @@ fn main() {
             s.detections,
             s.handovers,
             s.oracle_queries,
-            t.elapsed().as_secs_f64(),
         );
+        if byzantine {
+            let contain = if s.mean_containment_time_s.is_finite() {
+                format!("{:.1}", s.mean_containment_time_s)
+            } else {
+                "—".to_string()
+            };
+            print!(
+                " {:>8} {:>7} {:>8} {:>9} {:>9} {:>10}",
+                s.misroutes,
+                s.forged_acks,
+                s.slander_events,
+                s.wrongful_evictions,
+                s.attackers_contained,
+                contain
+            );
+        }
+        println!(" {:>6.1}s", t.elapsed().as_secs_f64());
     }
 }

@@ -3,19 +3,26 @@
 //! ```text
 //! cargo run -p refer-bench --release --bin figures -- [--fig N|all] \
 //!     [--seeds 1,2,3] [--scale 0.25] [--out results/] \
-//!     [--fault-model oracle|discovered]
+//!     [--fault-model oracle|discovered|byzantine] \
+//!     [--attacker-fraction F] [--link-pdr P] [--degradation]
 //! ```
 //!
 //! Figures sharing a sweep (4-5 mobility, 6-7 faults, 8-11 size) reuse the
 //! same simulations. Output: one aligned text table per figure on stdout
 //! and a JSON dump per sweep under `--out`. `--fault-model discovered`
 //! replaces the paper's idealized failure knowledge with link-layer
-//! ACK-based detection in every system.
+//! ACK-based detection in every system; `byzantine` additionally
+//! compromises `--attacker-fraction` of the sensors. `--link-pdr` adds a
+//! uniform per-link loss probability. `--degradation` skips the paper
+//! figures and instead sweeps the compromised fraction 0..=0.3 under the
+//! Byzantine model, printing the robustness degradation table.
 
-use refer_bench::{figure, render_figure, run_sweep_with, Figure, Sweep, SweepResult, FIGURES};
+use refer_bench::{
+    figure, parse_fault_model, parse_unit_interval, render_degradation, render_figure,
+    run_sweep_opts, Figure, Sweep, SweepOpts, SweepResult, FIGURES,
+};
 use std::collections::BTreeSet;
 use std::io::Write as _;
-use wsan_sim::FaultModel;
 
 struct Args {
     figs: Vec<u32>,
@@ -23,7 +30,14 @@ struct Args {
     scale: f64,
     out: Option<String>,
     quiet: bool,
-    fault_model: FaultModel,
+    opts: SweepOpts,
+    degradation: bool,
+}
+
+/// Exits with the CLI's usage error code for a malformed flag value.
+fn bail(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -33,7 +47,8 @@ fn parse_args() -> Args {
         scale: 0.25,
         out: Some("results".to_string()),
         quiet: false,
-        fault_model: FaultModel::Oracle,
+        opts: SweepOpts::default(),
+        degradation: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,13 +81,21 @@ fn parse_args() -> Args {
             }
             "--no-out" => args.out = None,
             "--quiet" => args.quiet = true,
+            "--degradation" => args.degradation = true,
             "--fault-model" => {
-                args.fault_model = match it.next().expect("--fault-model needs a value").as_str()
-                {
-                    "oracle" => FaultModel::Oracle,
-                    "discovered" => FaultModel::Discovered,
-                    other => panic!("unknown fault model {other:?} (oracle|discovered)"),
-                };
+                let v = it.next().expect("--fault-model needs a value");
+                args.opts.fault_model =
+                    parse_fault_model(&v).unwrap_or_else(|e| bail(e));
+            }
+            "--attacker-fraction" => {
+                let v = it.next().expect("--attacker-fraction needs a value");
+                args.opts.attacker_fraction =
+                    parse_unit_interval("--attacker-fraction", &v).unwrap_or_else(|e| bail(e));
+            }
+            "--link-pdr" => {
+                let v = it.next().expect("--link-pdr needs a value");
+                args.opts.link_pdr =
+                    parse_unit_interval("--link-pdr", &v).unwrap_or_else(|e| bail(e));
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -82,6 +105,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.degradation {
+        run_degradation(&args);
+        return;
+    }
     let figs: Vec<Figure> = args
         .figs
         .iter()
@@ -105,7 +132,7 @@ fn main() {
         }
         let quiet = args.quiet;
         let t = std::time::Instant::now();
-        let result = run_sweep_with(sweep, &args.seeds, args.scale, args.fault_model, |label| {
+        let result = run_sweep_opts(sweep, &args.seeds, args.scale, args.opts, |label| {
             if !quiet {
                 eprintln!("  done: {label}");
             }
@@ -147,5 +174,32 @@ fn main() {
                 .expect("write svg");
             eprintln!("wrote {path}");
         }
+    }
+}
+
+/// `--degradation`: sweep the compromised sensor fraction under the
+/// Byzantine model and print the robustness table instead of the paper's
+/// figures.
+fn run_degradation(args: &Args) {
+    eprintln!(
+        "Byzantine degradation sweep over {} seed(s) at scale {}",
+        args.seeds.len(),
+        args.scale
+    );
+    let quiet = args.quiet;
+    let t = std::time::Instant::now();
+    let result = run_sweep_opts(Sweep::Attackers, &args.seeds, args.scale, args.opts, |label| {
+        if !quiet {
+            eprintln!("  done: {label}");
+        }
+    });
+    eprintln!("sweep Attackers finished in {:.1}s", t.elapsed().as_secs_f64());
+    println!("{}", render_degradation(&result));
+    if let Some(out) = &args.out {
+        std::fs::create_dir_all(out).expect("create output directory");
+        let path = format!("{out}/sweep_attackers.json");
+        let mut f = std::fs::File::create(&path).expect("create json");
+        f.write_all(refer_bench::json::to_json(&result).as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
     }
 }

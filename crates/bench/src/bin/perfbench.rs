@@ -5,7 +5,14 @@
 //!
 //! ```text
 //! perfbench [--quick] [--force] [--out results/BENCH_6.json]
+//!           [--fault-model oracle|discovered|byzantine]
+//!           [--attacker-fraction F] [--link-pdr P]
 //! ```
+//!
+//! The fault-model flags apply to the end-to-end workloads (flood, faulty
+//! sweep, sharded) so the acceleration layers can be timed — and their
+//! divergence checks run — under the Byzantine adversary and lossy links;
+//! the defaults reproduce the historical lossless Oracle numbers exactly.
 //!
 //! Grid section — three workloads, each run once per network size under
 //! the grid index and once under the linear scan:
@@ -36,19 +43,38 @@
 //! the divergence checks in seconds; the headline speedups come from the
 //! full run.
 
-use refer_bench::{base_config, run_system, System};
+use refer_bench::{
+    base_config, git_commit, parse_fault_model, parse_unit_interval, run_system, System,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::{
-    runner, Area, Ctx, DataId, Engine, Message, NeighborIndex, NodeId, Protocol, RunSummary,
-    SensorPlacement, ShardedConfig, SimConfig, SimDuration,
+    runner, Area, Ctx, DataId, Engine, FaultModel, Message, NeighborIndex, NodeId, Protocol,
+    RunSummary, SensorPlacement, ShardedConfig, SimConfig, SimDuration,
 };
 
 /// Schema version of the dump written by `perfbench` (kept in lockstep
-/// with the sweep dumps in `refer_bench::json`).
-const SCHEMA_VERSION: u64 = 3;
+/// with the sweep dumps in `refer_bench::json`). Bumped to 4 when the
+/// `fault_model` and `git_commit` provenance fields were added.
+const SCHEMA_VERSION: u64 = 4;
+
+/// Scenario overrides shared by the end-to-end workloads.
+#[derive(Clone, Copy)]
+struct Scenario {
+    fault_model: FaultModel,
+    attacker_fraction: f64,
+    link_pdr: f64,
+}
+
+impl Scenario {
+    fn apply(self, cfg: &mut SimConfig) {
+        cfg.faults.model = self.fault_model;
+        cfg.faults.byzantine.attacker_fraction = self.attacker_fraction;
+        cfg.radio.link_pdr = self.link_pdr;
+    }
+}
 
 /// Network sizes exercised by the grid section of the full benchmark.
 const SIZES: [usize; 3] = [100, 400, 1600];
@@ -64,6 +90,11 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut force = false;
     let mut out = "results/BENCH_6.json".to_string();
+    let mut scenario = Scenario {
+        fault_model: FaultModel::default(),
+        attacker_fraction: 0.0,
+        link_pdr: 0.0,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -72,6 +103,27 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage("--out needs a value"),
+            },
+            "--fault-model" => match it.next() {
+                Some(v) => match parse_fault_model(v) {
+                    Ok(model) => scenario.fault_model = model,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--fault-model needs a value"),
+            },
+            "--attacker-fraction" => match it.next() {
+                Some(v) => match parse_unit_interval("--attacker-fraction", v) {
+                    Ok(x) => scenario.attacker_fraction = x,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--attacker-fraction needs a value"),
+            },
+            "--link-pdr" => match it.next() {
+                Some(v) => match parse_unit_interval("--link-pdr", v) {
+                    Ok(x) => scenario.link_pdr = x,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--link-pdr needs a value"),
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -107,8 +159,9 @@ fn main() -> ExitCode {
         } else {
             4 // sub-second runs: more repetitions to beat scheduler noise
         };
-        let (grid_ms, grid_sum) = time_flood(n, NeighborIndex::Grid, quick, flood_reps);
-        let (scan_ms, scan_sum) = time_flood(n, NeighborIndex::LinearScan, quick, flood_reps);
+        let (grid_ms, grid_sum) = time_flood(n, NeighborIndex::Grid, quick, flood_reps, scenario);
+        let (scan_ms, scan_sum) =
+            time_flood(n, NeighborIndex::LinearScan, quick, flood_reps, scenario);
         if grid_sum != scan_sum {
             eprintln!("n={n}: flood summaries DIVERGE between grid and linear scan");
             diverged = true;
@@ -118,8 +171,8 @@ fn main() -> ExitCode {
         report("flood run", n, grid_ms, scan_ms, "ms");
 
         let faulty_reps = if quick { 2 } else { 5 };
-        let (grid_ms, grid_sum) = time_faulty(n, NeighborIndex::Grid, faulty_reps);
-        let (scan_ms, scan_sum) = time_faulty(n, NeighborIndex::LinearScan, faulty_reps);
+        let (grid_ms, grid_sum) = time_faulty(n, NeighborIndex::Grid, faulty_reps, scenario);
+        let (scan_ms, scan_sum) = time_faulty(n, NeighborIndex::LinearScan, faulty_reps, scenario);
         if grid_sum != scan_sum {
             eprintln!("n={n}: faulty-sweep summaries DIVERGE between grid and linear scan");
             diverged = true;
@@ -140,7 +193,7 @@ fn main() -> ExitCode {
     );
     let mut srows: Vec<ShardedRow> = Vec::new();
     for &n in sharded_sizes {
-        match time_sharded(n, quick) {
+        match time_sharded(n, quick, scenario) {
             Ok(row) => {
                 let rendered: Vec<String> = row
                     .sharded_ms
@@ -162,7 +215,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = to_json(&rows, &srows, host_cpus, quick, diverged);
+    let json = to_json(&rows, &srows, host_cpus, quick, diverged, scenario);
     if let Err(e) = write_atomically(&out, &json, force) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -204,7 +257,11 @@ fn write_atomically(out: &str, json: &str, force: bool) -> Result<(), String> {
 
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
-    eprintln!("usage: perfbench [--quick] [--force] [--out FILE]");
+    eprintln!(
+        "usage: perfbench [--quick] [--force] [--out FILE] \
+         [--fault-model oracle|discovered|byzantine] \
+         [--attacker-fraction F] [--link-pdr P]"
+    );
     ExitCode::from(2)
 }
 
@@ -306,8 +363,15 @@ fn time_queries(n: usize, index: NeighborIndex, sweeps: u32) -> (f64, Vec<Vec<No
 }
 
 /// Times one broadcast-heavy flood run end to end (best of `reps`).
-fn time_flood(n: usize, index: NeighborIndex, quick: bool, reps: u32) -> (f64, RunSummary) {
+fn time_flood(
+    n: usize,
+    index: NeighborIndex,
+    quick: bool,
+    reps: u32,
+    scenario: Scenario,
+) -> (f64, RunSummary) {
     let mut cfg = SimConfig::paper();
+    scenario.apply(&mut cfg);
     cfg.sensors = n;
     cfg.area = scaled_area(n);
     // Uniform placement keeps the scaled deployment connected, so every
@@ -354,8 +418,9 @@ impl ShardedRow {
 /// a TTL-3 flood spreads over one grid neighborhood, so the work is
 /// spatially local and the window synchronization, not the protocol, is
 /// what the thread sweep measures.
-fn sharded_scenario(n: usize, quick: bool) -> SimConfig {
+fn sharded_scenario(n: usize, quick: bool, scenario: Scenario) -> SimConfig {
     let mut cfg = SimConfig::paper();
+    scenario.apply(&mut cfg);
     cfg.sensors = n;
     cfg.area = scaled_area(n);
     cfg.sensor_placement = SensorPlacement::UniformArea;
@@ -376,8 +441,8 @@ fn sharded_scenario(n: usize, quick: bool) -> SimConfig {
 /// Times the sharded workload at size `n`: once on the serial engine,
 /// once per thread count on the sharded engine. Returns an error if any
 /// thread count's summary diverges from the 1-thread reference.
-fn time_sharded(n: usize, quick: bool) -> Result<ShardedRow, String> {
-    let cfg = sharded_scenario(n, quick);
+fn time_sharded(n: usize, quick: bool, scenario: Scenario) -> Result<ShardedRow, String> {
+    let cfg = sharded_scenario(n, quick, scenario);
     let timed = |cfg: SimConfig| {
         let start = Instant::now();
         let summary = wsan_sim::run_engine(cfg, &mut FloodProtocol::new(3));
@@ -408,8 +473,14 @@ fn time_sharded(n: usize, quick: bool) -> Result<ShardedRow, String> {
 /// identical runs — the runs are deterministic, so repetition only
 /// removes scheduler noise). D-DEAR is the neighbor-query-heavy system:
 /// every placement round resolves the whole network's neighborhoods.
-fn time_faulty(n: usize, index: NeighborIndex, reps: u32) -> (f64, RunSummary) {
+fn time_faulty(
+    n: usize,
+    index: NeighborIndex,
+    reps: u32,
+    scenario: Scenario,
+) -> (f64, RunSummary) {
     let mut cfg = base_config(0.02);
+    scenario.apply(&mut cfg);
     cfg.sensors = n;
     cfg.area = scaled_area(n);
     cfg.neighbor_index = index;
@@ -435,11 +506,16 @@ fn to_json(
     host_cpus: usize,
     quick: bool,
     diverged: bool,
+    scenario: Scenario,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"bench\": \"perfbench\",");
+    let _ = writeln!(out, "  \"git_commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"fault_model\": \"{:?}\",", scenario.fault_model);
+    let _ = writeln!(out, "  \"attacker_fraction\": {},", fmt(scenario.attacker_fraction));
+    let _ = writeln!(out, "  \"link_pdr\": {},", fmt(scenario.link_pdr));
     let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"diverged\": {diverged},");

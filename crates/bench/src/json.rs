@@ -11,11 +11,15 @@ use crate::{Sweep, SweepPoint, SweepResult};
 use std::fmt::Write as _;
 use wsan_sim::harness::AggregateSummary;
 use wsan_sim::stats::CiStat;
+use wsan_sim::FaultModel;
 
 /// Version of the dump layout written by [`to_json`]. Bumped to 2 when the
-/// per-system delay/hop percentile stats were added; dumps without the
-/// field are treated as version 1 and keep loading.
-pub const SCHEMA_VERSION: u64 = 2;
+/// per-system delay/hop percentile stats were added, and to 3 when the
+/// Byzantine columns plus the `fault_model`/`git_commit` provenance fields
+/// arrived; dumps without the field are treated as version 1 and keep
+/// loading, and every field added since version 1 loads as its default
+/// when absent.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Serializes a sweep result as pretty-printed JSON.
 pub fn to_json(result: &SweepResult) -> String {
@@ -47,6 +51,12 @@ pub fn to_json(result: &SweepResult) -> String {
                 ("drop_no_access", agg.drop_no_access),
                 ("drop_no_route", agg.drop_no_route),
                 ("drop_hops", agg.drop_hops),
+                ("wrongful_evictions", agg.wrongful_evictions),
+                ("forged_acks", agg.forged_acks),
+                ("slander_events", agg.slander_events),
+                ("misroutes", agg.misroutes),
+                ("attackers_contained", agg.attackers_contained),
+                ("containment_time_s", agg.containment_time_s),
                 ("delay_p50_s", agg.delay_p50_s),
                 ("delay_p95_s", agg.delay_p95_s),
                 ("delay_p99_s", agg.delay_p99_s),
@@ -74,7 +84,9 @@ pub fn to_json(result: &SweepResult) -> String {
     out.push_str("  ],\n");
     let seeds: Vec<String> = result.seeds.iter().map(u64::to_string).collect();
     let _ = writeln!(out, "  \"seeds\": [{}],", seeds.join(", "));
-    let _ = writeln!(out, "  \"scale\": {}", fmt_f64(result.scale));
+    let _ = writeln!(out, "  \"scale\": {},", fmt_f64(result.scale));
+    let _ = writeln!(out, "  \"fault_model\": \"{:?}\",", result.fault_model);
+    let _ = writeln!(out, "  \"git_commit\": \"{}\"", result.git_commit);
     out.push('}');
     out
 }
@@ -99,7 +111,25 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
         "Mobility" => Sweep::Mobility,
         "Faults" => Sweep::Faults,
         "Size" => Sweep::Size,
+        "Attackers" => Sweep::Attackers,
         other => return Err(format!("unknown sweep variant {other:?}")),
+    };
+    // Provenance fields arrived with schema version 3; older dumps carry
+    // neither and predate the Byzantine model entirely.
+    let fault_model = if obj.iter().any(|(k, _)| k == "fault_model") {
+        match obj.get_str("fault_model")? {
+            "Oracle" => FaultModel::Oracle,
+            "Discovered" => FaultModel::Discovered,
+            "Byzantine" => FaultModel::Byzantine,
+            other => return Err(format!("unknown fault model {other:?}")),
+        }
+    } else {
+        FaultModel::default()
+    };
+    let git_commit = if obj.iter().any(|(k, _)| k == "git_commit") {
+        obj.get_str("git_commit")?.to_string()
+    } else {
+        "unknown".to_string()
     };
     let mut points = Vec::new();
     for point in obj.get_array("points")? {
@@ -125,6 +155,13 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
                 drop_no_access: sobj.get_ci_or_default("drop_no_access")?,
                 drop_no_route: sobj.get_ci_or_default("drop_no_route")?,
                 drop_hops: sobj.get_ci_or_default("drop_hops")?,
+                // Byzantine columns arrived with schema version 3.
+                wrongful_evictions: sobj.get_ci_or_default("wrongful_evictions")?,
+                forged_acks: sobj.get_ci_or_default("forged_acks")?,
+                slander_events: sobj.get_ci_or_default("slander_events")?,
+                misroutes: sobj.get_ci_or_default("misroutes")?,
+                attackers_contained: sobj.get_ci_or_default("attackers_contained")?,
+                containment_time_s: sobj.get_ci_or_default("containment_time_s")?,
                 // Percentile stats arrived with schema version 2.
                 delay_p50_s: sobj.get_ci_or_default("delay_p50_s")?,
                 delay_p95_s: sobj.get_ci_or_default("delay_p95_s")?,
@@ -150,6 +187,8 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
         points,
         seeds,
         scale: obj.get_f64("scale")?,
+        fault_model,
+        git_commit,
     })
 }
 
@@ -472,6 +511,12 @@ mod tests {
             drop_no_access: CiStat { mean: 1.0, ci95: 0.0, n: 3 },
             drop_no_route: CiStat { mean: 3.0, ci95: 1.0, n: 3 },
             drop_hops: CiStat { mean: 0.0, ci95: 0.0, n: 3 },
+            wrongful_evictions: CiStat { mean: 1.0, ci95: 0.5, n: 3 },
+            forged_acks: CiStat { mean: 6.0, ci95: 1.0, n: 3 },
+            slander_events: CiStat { mean: 2.0, ci95: 0.5, n: 3 },
+            misroutes: CiStat { mean: 4.0, ci95: 1.0, n: 3 },
+            attackers_contained: CiStat { mean: 2.0, ci95: 0.0, n: 3 },
+            containment_time_s: CiStat { mean: 1.5, ci95: 0.25, n: 3 },
             delay_p50_s: CiStat { mean: 0.08, ci95: 0.01, n: 3 },
             delay_p95_s: CiStat { mean: 0.2, ci95: 0.02, n: 3 },
             delay_p99_s: CiStat { mean: 0.35, ci95: 0.05, n: 3 },
@@ -487,6 +532,8 @@ mod tests {
             ],
             seeds: vec![1, 2, 3],
             scale: 0.25,
+            fault_model: FaultModel::Byzantine,
+            git_commit: "deadbeef".to_string(),
         }
     }
 
@@ -498,6 +545,8 @@ mod tests {
         assert_eq!(parsed.sweep, original.sweep);
         assert_eq!(parsed.seeds, original.seeds);
         assert_eq!(parsed.scale, original.scale);
+        assert_eq!(parsed.fault_model, original.fault_model);
+        assert_eq!(parsed.git_commit, original.git_commit);
         assert_eq!(parsed.points.len(), original.points.len());
         for (a, b) in parsed.points.iter().zip(&original.points) {
             assert_eq!(a.x, b.x);
@@ -542,18 +591,25 @@ mod tests {
         assert_eq!(agg.handovers, CiStat::default());
         assert_eq!(agg.delay_p99_s, CiStat::default());
         assert_eq!(agg.deadline_miss_ratio, CiStat::default());
+        // Version-3 additions default too.
+        assert_eq!(agg.wrongful_evictions, CiStat::default());
+        assert_eq!(agg.containment_time_s, CiStat::default());
+        assert_eq!(parsed.fault_model, FaultModel::default());
+        assert_eq!(parsed.git_commit, "unknown");
     }
 
     #[test]
     fn dumps_carry_the_schema_version() {
         let json = to_json(&sample());
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"fault_model\": \"Byzantine\""));
+        assert!(json.contains("\"git_commit\": \"deadbeef\""));
         from_json(&json).expect("current dumps load");
     }
 
     #[test]
     fn rejects_dumps_from_a_newer_schema() {
-        let json = to_json(&sample()).replace("\"schema_version\": 2", "\"schema_version\": 99");
+        let json = to_json(&sample()).replace("\"schema_version\": 3", "\"schema_version\": 99");
         let err = from_json(&json).expect_err("newer schema must not load silently");
         assert!(err.contains("schema_version 99"));
     }

@@ -83,6 +83,10 @@ pub enum Sweep {
     Faults,
     /// Figures 8-11: network size 100..=400 sensors.
     Size,
+    /// Byzantine degradation curve (not a paper figure): fraction of
+    /// compromised sensors 0..=0.3 under [`FaultModel::Byzantine`], all
+    /// other parameters at the paper's defaults.
+    Attackers,
 }
 
 impl Sweep {
@@ -92,6 +96,7 @@ impl Sweep {
             Sweep::Mobility => vec![1.0, 2.0, 3.0, 4.0, 5.0],
             Sweep::Faults => vec![2.0, 4.0, 6.0, 8.0, 10.0],
             Sweep::Size => vec![100.0, 200.0, 300.0, 400.0],
+            Sweep::Attackers => vec![0.0, 0.1, 0.2, 0.3],
         }
     }
 
@@ -109,15 +114,24 @@ impl Sweep {
             Sweep::Mobility => "mean node speed (m/s)",
             Sweep::Faults => "number of faulty nodes",
             Sweep::Size => "number of sensors",
+            Sweep::Attackers => "fraction of compromised sensors",
         }
     }
 
-    /// Applies the sweep parameter to a scenario.
+    /// Applies the sweep parameter to a scenario. [`Sweep::Attackers`]
+    /// forces [`FaultModel::Byzantine`] (a compromised fraction is
+    /// meaningless under the other models), which is why
+    /// [`run_sweep_opts`] applies the requested fault model *before*
+    /// calling this.
     pub fn configure(self, cfg: &mut SimConfig, x: f64) {
         match self {
             Sweep::Mobility => cfg.mobility.max_speed = x,
             Sweep::Faults => cfg.faults.count = x as usize,
             Sweep::Size => cfg.sensors = x as usize,
+            Sweep::Attackers => {
+                cfg.faults.model = FaultModel::Byzantine;
+                cfg.faults.byzantine.attacker_fraction = x;
+            }
         }
     }
 }
@@ -213,6 +227,7 @@ pub fn bench_config(fig: &Figure) -> SimConfig {
         Sweep::Mobility => 5.0,
         Sweep::Faults => 10.0,
         Sweep::Size => 200.0,
+        Sweep::Attackers => 0.3,
     };
     fig.sweep.configure(&mut cfg, x);
     cfg.seed = 1;
@@ -241,6 +256,75 @@ pub struct SweepResult {
     pub seeds: Vec<u64>,
     /// The duration scale used.
     pub scale: f64,
+    /// The fault model the sweep actually ran under
+    /// ([`Sweep::Attackers`] always records `Byzantine`).
+    pub fault_model: FaultModel,
+    /// `git rev-parse HEAD` of the tree that produced the dump, or
+    /// `"unknown"` outside a git checkout.
+    pub git_commit: String,
+}
+
+/// The commit hash of the working tree, for provenance stamps in dumps;
+/// `"unknown"` when git is unavailable.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Scenario knobs shared by the sweep-running CLIs, beyond the sweep's own
+/// x parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOpts {
+    /// Failure-knowledge model for every system.
+    pub fault_model: FaultModel,
+    /// Compromised sensor fraction under `Byzantine` (ignored by the
+    /// other models, overridden per point by [`Sweep::Attackers`]).
+    pub attacker_fraction: f64,
+    /// Uniform extra per-link loss probability in `[0, 1]` (0 keeps the
+    /// paper's lossless links).
+    pub link_pdr: f64,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            fault_model: FaultModel::default(),
+            attacker_fraction: 0.0,
+            link_pdr: 0.0,
+        }
+    }
+}
+
+/// Parses a `--fault-model` CLI value; the error lists the accepted names.
+pub fn parse_fault_model(s: &str) -> Result<FaultModel, String> {
+    match s {
+        "oracle" => Ok(FaultModel::Oracle),
+        "discovered" => Ok(FaultModel::Discovered),
+        "byzantine" => Ok(FaultModel::Byzantine),
+        other => Err(format!(
+            "unknown fault model {other:?} (expected oracle|discovered|byzantine)"
+        )),
+    }
+}
+
+/// Parses a probability/fraction CLI value, rejecting anything outside
+/// `[0, 1]` with a message naming the flag.
+pub fn parse_unit_interval(flag: &str, s: &str) -> Result<f64, String> {
+    let x: f64 = s
+        .parse()
+        .map_err(|_| format!("{flag} expects a number in [0, 1], got {s:?}"))?;
+    if (0.0..=1.0).contains(&x) {
+        Ok(x)
+    } else {
+        Err(format!("{flag} must be in [0, 1], got {x}"))
+    }
 }
 
 /// Runs a full sweep: every x value, every system, every seed.
@@ -269,6 +353,20 @@ pub fn run_sweep_with(
     seeds: &[u64],
     scale: f64,
     fault_model: FaultModel,
+    progress: impl FnMut(&str),
+) -> SweepResult {
+    run_sweep_opts(sweep, seeds, scale, SweepOpts { fault_model, ..SweepOpts::default() }, progress)
+}
+
+/// [`run_sweep`] under explicit scenario options (fault model, compromised
+/// fraction, link loss). The options apply before
+/// [`Sweep::configure`], so [`Sweep::Attackers`] overrides the model and
+/// fraction per point.
+pub fn run_sweep_opts(
+    sweep: Sweep,
+    seeds: &[u64],
+    scale: f64,
+    opts: SweepOpts,
     mut progress: impl FnMut(&str),
 ) -> SweepResult {
     let mut points = Vec::new();
@@ -279,8 +377,10 @@ pub fn run_sweep_with(
             std::thread::scope(|scope| {
                 for (slot, &seed) in runs.iter_mut().zip(seeds) {
                     let mut cfg = base_config(scale);
+                    cfg.faults.model = opts.fault_model;
+                    cfg.faults.byzantine.attacker_fraction = opts.attacker_fraction;
+                    cfg.radio.link_pdr = opts.link_pdr;
                     sweep.configure(&mut cfg, x);
-                    cfg.faults.model = fault_model;
                     cfg.seed = seed;
                     scope.spawn(move || *slot = Some(run_system(&cfg, system)));
                 }
@@ -294,7 +394,19 @@ pub fn run_sweep_with(
         }
         points.push(SweepPoint { x, axis: sweep.axis_value(x), systems });
     }
-    SweepResult { sweep, points, seeds: seeds.to_vec(), scale }
+    let fault_model = if sweep == Sweep::Attackers {
+        FaultModel::Byzantine
+    } else {
+        opts.fault_model
+    };
+    SweepResult {
+        sweep,
+        points,
+        seeds: seeds.to_vec(),
+        scale,
+        fault_model,
+        git_commit: git_commit(),
+    }
 }
 
 /// Renders one figure's series from a sweep result as an aligned text
@@ -320,6 +432,47 @@ pub fn render_figure(fig: &Figure, sweep: &SweepResult) -> String {
             .expect("write to string");
         }
         writeln!(out).expect("write to string");
+    }
+    out
+}
+
+/// Renders the Byzantine degradation table from an [`Sweep::Attackers`]
+/// result: delivery, wrongful evictions and attacker containment per
+/// system at each compromised fraction.
+pub fn render_degradation(sweep: &SweepResult) -> String {
+    use std::fmt::Write;
+    fn num(x: f64, digits: usize) -> String {
+        if x.is_finite() {
+            format!("{x:.digits$}")
+        } else {
+            "—".to_string()
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "Byzantine degradation (fault model {:?})", sweep.fault_model)
+        .expect("write to string");
+    writeln!(
+        out,
+        "{:>10} {:>15} {:>9} {:>9} {:>9} {:>9} {:>10} {:>11}",
+        "fraction", "system", "deliv", "thr(B/s)", "wrongful", "slander", "contained", "contain(s)"
+    )
+    .expect("write to string");
+    for point in &sweep.points {
+        for (system, agg) in SYSTEMS.iter().zip(&point.systems) {
+            writeln!(
+                out,
+                "{:>10} {:>15} {:>9} {:>9} {:>9} {:>9} {:>10} {:>11}",
+                format!("{:.2}", point.x),
+                system.name(),
+                num(agg.delivery_ratio.mean, 3),
+                num(agg.throughput_bps.mean, 0),
+                num(agg.wrongful_evictions.mean, 1),
+                num(agg.slander_events.mean, 1),
+                num(agg.attackers_contained.mean, 1),
+                num(agg.containment_time_s.mean, 1),
+            )
+            .expect("write to string");
+        }
     }
     out
 }
@@ -363,5 +516,27 @@ mod tests {
         assert_eq!(cfg.faults.count, 8);
         Sweep::Mobility.configure(&mut cfg, 4.0);
         assert_eq!(cfg.mobility.max_speed, 4.0);
+        Sweep::Attackers.configure(&mut cfg, 0.2);
+        assert_eq!(cfg.faults.model, FaultModel::Byzantine);
+        assert_eq!(cfg.faults.byzantine.attacker_fraction, 0.2);
+    }
+
+    #[test]
+    fn fault_model_and_fraction_flags_parse_with_clean_errors() {
+        assert_eq!(parse_fault_model("byzantine"), Ok(FaultModel::Byzantine));
+        assert_eq!(parse_fault_model("oracle"), Ok(FaultModel::Oracle));
+        let err = parse_fault_model("bogus").expect_err("rejects");
+        assert!(err.contains("bogus") && err.contains("byzantine"), "{err}");
+
+        assert_eq!(parse_unit_interval("--link-pdr", "0.25"), Ok(0.25));
+        let err = parse_unit_interval("--attacker-fraction", "1.5").expect_err("rejects");
+        assert!(err.contains("--attacker-fraction") && err.contains("[0, 1]"), "{err}");
+        let err = parse_unit_interval("--link-pdr", "lossy").expect_err("rejects");
+        assert!(err.contains("--link-pdr"), "{err}");
+    }
+
+    #[test]
+    fn git_commit_is_nonempty() {
+        assert!(!git_commit().is_empty());
     }
 }

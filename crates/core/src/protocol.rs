@@ -31,8 +31,8 @@ use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsan_sim::{
-    Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, HopReason, Message, NodeId,
-    NodeKind, Protocol, SimDuration,
+    AccuseOutcome, Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, HopReason,
+    Message, NodeId, NodeKind, Protocol, SimDuration,
 };
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
@@ -109,6 +109,13 @@ pub enum ReferMsg {
     CellReady,
     /// Periodic member announcement.
     Beacon,
+    /// Suspicion gossip riding the beacon round (`FaultModel::Byzantine`
+    /// only): the sender's current suspicion list — honest members share
+    /// genuine suspicions, compromised members lace the list with slander.
+    Gossip {
+        /// Nodes the sender claims to suspect.
+        accused: Vec<NodeId>,
+    },
     /// A sleeping sensor registers as replacement candidate.
     Probe,
     /// A member hands its KID to a candidate.
@@ -214,8 +221,14 @@ pub struct ReferProtocol {
     forwarded_queries: BTreeSet<(NodeId, u64)>,
     timers_started: BTreeSet<NodeId>,
     next_qid: u64,
-    /// Whether the run uses `FaultModel::Discovered` (set at init).
+    /// Whether the run routes on local suspicion instead of the fault
+    /// oracle: `FaultModel::Discovered` or `Byzantine` (set at init).
     discovered: bool,
+    /// Whether the run is `FaultModel::Byzantine` (set at init): enables
+    /// suspicion gossip and its reputation-weighted processing. Kept off
+    /// under plain `Discovered` so those runs stay byte-identical to
+    /// pre-adversary output.
+    byzantine: bool,
     /// Local failure suspicion (ACK timeouts + heartbeat silence) shared
     /// across members — a stand-in for the per-node suspicion gossip of a
     /// real deployment. Consulted instead of the fault oracle when
@@ -252,6 +265,7 @@ impl ReferProtocol {
             timers_started: BTreeSet::new(),
             next_qid: 0,
             discovered: false,
+            byzantine: false,
             view: FailureView::new(rcfg_suspicion_ttl),
             stats: ReferStats::default(),
             snapshots: Vec::new(),
@@ -703,6 +717,33 @@ impl ReferProtocol {
     fn on_beacon_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
         if !ctx.self_faulty(node) && self.is_member(node) {
             ctx.broadcast(node, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::Beacon);
+            if self.byzantine {
+                // Suspicion gossip rides the beacon round: honest members
+                // share their genuine suspicion list; a compromised member
+                // may lace it with slander against a healthy Kautz-graph
+                // neighbor (the decision and victim come from the node's
+                // own simulator stream, so it is thread-invariant).
+                let mut accused = self.view.suspected_nodes(ctx.now());
+                if ctx.self_compromised(node) {
+                    let neighbors: Vec<NodeId> = self
+                        .kautz_neighbor_owners(node)
+                        .into_iter()
+                        .map(|(_, _, owner)| owner)
+                        .filter(|owner| !accused.contains(owner))
+                        .collect();
+                    if let Some(victim) = ctx.byz_slander(node, &neighbors) {
+                        accused.push(victim);
+                    }
+                }
+                if !accused.is_empty() {
+                    ctx.broadcast(
+                        node,
+                        self.rcfg.ctrl_bits,
+                        EnergyAccount::Communication,
+                        ReferMsg::Gossip { accused },
+                    );
+                }
+            }
         }
         if self.is_member(node) {
             ctx.set_timer(node, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
@@ -819,6 +860,9 @@ impl ReferProtocol {
             self.stats.replacements += 1;
             self.stats.heals += 1;
             ctx.record_handover();
+            // The owner just lost its KID on failure belief alone: graded
+            // as wrongful when it was actually alive and honest.
+            ctx.record_eviction(owner);
             if self.timers_started.insert(replacement) {
                 ctx.set_timer(replacement, self.rcfg.beacon_interval, tag(KIND_BEACON, 0));
                 ctx.set_timer(replacement, self.rcfg.maintenance_interval, tag(KIND_MAINT, 0));
@@ -1252,7 +1296,11 @@ impl Protocol for ReferProtocol {
     }
 
     fn on_init(&mut self, ctx: &mut Ctx<ReferMsg>) {
-        self.discovered = matches!(ctx.config().faults.model, FaultModel::Discovered);
+        self.discovered = matches!(
+            ctx.config().faults.model,
+            FaultModel::Discovered | FaultModel::Byzantine
+        );
+        self.byzantine = matches!(ctx.config().faults.model, FaultModel::Byzantine);
         self.view = FailureView::new(self.rcfg.suspicion_ttl);
         self.start_construction(ctx);
     }
@@ -1512,6 +1560,20 @@ impl Protocol for ReferProtocol {
                         EnergyAccount::Communication,
                         ReferMsg::Probe,
                     );
+                }
+            }
+            ReferMsg::Gossip { accused } => {
+                if self.byzantine {
+                    for &suspect in &accused {
+                        if suspect == at {
+                            continue; // a node knows its own health; no rumor needed
+                        }
+                        if self.view.accuse(msg.from, suspect, ctx.now())
+                            == AccuseOutcome::Suspected
+                        {
+                            ctx.record_suspicion(suspect);
+                        }
+                    }
                 }
             }
             ReferMsg::Probe => {

@@ -1,0 +1,94 @@
+//! System tests for the Byzantine fault model: REFER routing against
+//! compromised members that misroute, swallow-and-ACK, forge ACKs and
+//! slander healthy neighbors in gossip, with the reputation-weighted
+//! `FailureView` as the only defense.
+
+use refer::{ReferConfig, ReferProtocol};
+use wsan_sim::{runner, FaultModel, SimConfig};
+
+fn byz_cfg(seed: u64, fraction: f64) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.seed = seed;
+    cfg.faults.model = FaultModel::Byzantine;
+    cfg.faults.byzantine.attacker_fraction = fraction;
+    cfg
+}
+
+fn run_refer(cfg: SimConfig, rcfg: ReferConfig) -> (wsan_sim::RunSummary, ReferProtocol) {
+    runner::run_owned(cfg, ReferProtocol::new(rcfg))
+}
+
+#[test]
+fn byzantine_runs_stay_deterministic() {
+    let cfg = byz_cfg(21, 0.2);
+    let (a, _) = run_refer(cfg.clone(), ReferConfig::default());
+    let (b, _) = run_refer(cfg, ReferConfig::default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn compromised_fraction_zero_behaves_like_an_honest_network() {
+    let (summary, _) = run_refer(byz_cfg(22, 0.0), ReferConfig::default());
+    assert_eq!(summary.misroutes, 0);
+    assert_eq!(summary.forged_acks, 0);
+    assert_eq!(summary.slander_events, 0);
+    assert_eq!(summary.attackers_contained, 0);
+    assert!(summary.mean_containment_time_s.is_nan(), "no attackers, no containment time");
+    assert!(summary.delivery_ratio > 0.3, "{summary:?}");
+}
+
+#[test]
+fn attackers_act_and_get_contained() {
+    let (summary, _) = run_refer(byz_cfg(23, 0.3), ReferConfig::default());
+    assert!(summary.misroutes > 0, "compromised senders misroute: {summary:?}");
+    assert!(summary.forged_acks > 0, "compromised receivers forge ACKs: {summary:?}");
+    assert!(summary.slander_events > 0, "compromised members slander in gossip: {summary:?}");
+    assert!(
+        summary.attackers_contained > 0,
+        "ACK-starved attackers must end up suspected: {summary:?}"
+    );
+    assert!(
+        summary.mean_containment_time_s.is_finite() && summary.mean_containment_time_s > 0.0,
+        "{summary:?}"
+    );
+    assert_eq!(summary.oracle_queries, 0, "Byzantine mode never consults the oracle");
+}
+
+/// The CI smoke sweep: attacker fractions {0.0, 0.1, 0.3}. Delivery under
+/// attack must stay above the static-membership control (same adversary,
+/// maintenance disabled) — REFER's eviction/handover machinery is what
+/// pays for itself here.
+#[test]
+fn refer_under_attack_beats_the_static_membership_control() {
+    let mut deliveries = Vec::new();
+    for fraction in [0.0, 0.1, 0.3] {
+        let (summary, _) = run_refer(byz_cfg(24, fraction), ReferConfig::default());
+        assert!(
+            summary.delivery_ratio > 0.2,
+            "delivery collapsed at fraction {fraction}: {summary:?}"
+        );
+        deliveries.push((fraction, summary.delivery_ratio));
+    }
+    let maintained = run_refer(byz_cfg(24, 0.3), ReferConfig::default()).0;
+    let static_cfg = ReferConfig { maintenance_enabled: false, ..Default::default() };
+    let frozen = run_refer(byz_cfg(24, 0.3), static_cfg).0;
+    assert!(
+        maintained.delivery_ratio > frozen.delivery_ratio,
+        "maintained membership ({}) must out-deliver the static control ({}) at 30% attackers \
+         (sweep: {deliveries:?})",
+        maintained.delivery_ratio,
+        frozen.delivery_ratio
+    );
+}
+
+#[test]
+fn slander_does_not_mass_evict_honest_members() {
+    // 30% of the sensors slandering: the reputation-weighted view audits
+    // accusations against direct contact, so honest nodes survive.
+    let (summary, _) = run_refer(byz_cfg(25, 0.3), ReferConfig::default());
+    assert!(summary.slander_events > 0, "the adversary must actually slander: {summary:?}");
+    assert!(
+        summary.wrongful_evictions <= summary.handovers,
+        "wrongful evictions must stay a minority of membership changes: {summary:?}"
+    );
+}

@@ -3,13 +3,15 @@
 //! ```text
 //! trace record  --out trace.jsonl [--system refer] [--scale 0.05] [--seed 1]
 //!               [--sensors N] [--faults N] [--mobility F]
-//!               [--fault-model oracle|discovered]
+//!               [--fault-model oracle|discovered|byzantine]
+//!               [--attacker-fraction F] [--link-pdr P]
 //! trace packet  <id> --in trace.jsonl      # one packet's full causal chain
 //! trace node    <id> --in trace.jsonl      # packets that crossed a node
 //! trace summary --in trace.jsonl           # counts, drops by reason, digest
 //! trace diff    <a.jsonl> <b.jsonl>        # compare two traces
 //! trace verify  [--system refer] [--scale 0.05] [--seeds 3] [--faults N]
-//!               [--fault-model oracle|discovered]
+//!               [--fault-model oracle|discovered|byzantine]
+//!               [--attacker-fraction F] [--link-pdr P]
 //! trace verify  --sharded [--scale 0.05] [--seeds 3] [--sensors N]
 //!               [--threads N]
 //! ```
@@ -63,13 +65,15 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage:\n  \
          trace record  --out FILE [--system S] [--scale F] [--seed N] [--sensors N]\n                \
-         [--faults N] [--mobility F] [--fault-model oracle|discovered]\n  \
+         [--faults N] [--mobility F] [--fault-model oracle|discovered|byzantine]\n                \
+         [--attacker-fraction F] [--link-pdr P]\n  \
          trace packet  <id> --in FILE\n  \
          trace node    <id> --in FILE\n  \
          trace summary --in FILE\n  \
          trace diff    <a> <b>\n  \
          trace verify  [--system S] [--scale F] [--seeds N] [--faults N]\n                \
-         [--fault-model oracle|discovered]\n  \
+         [--fault-model oracle|discovered|byzantine] [--attacker-fraction F]\n                \
+         [--link-pdr P]\n  \
          trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n\
          systems: refer (default), datree, ddear, kautz"
     );
@@ -106,7 +110,24 @@ fn parse_fault_model(name: &str) -> Result<FaultModel, String> {
     match name {
         "oracle" => Ok(FaultModel::Oracle),
         "discovered" => Ok(FaultModel::Discovered),
-        other => Err(format!("unknown fault model `{other}` (oracle, discovered)")),
+        "byzantine" => Ok(FaultModel::Byzantine),
+        other => {
+            Err(format!("unknown fault model `{other}` (oracle, discovered, byzantine)"))
+        }
+    }
+}
+
+/// Parses a probability/fraction flag, rejecting values outside `[0, 1]`.
+fn unit_interval_flag(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: f64,
+) -> Result<f64, String> {
+    let x: f64 = flag(flags, name, default)?;
+    if (0.0..=1.0).contains(&x) {
+        Ok(x)
+    } else {
+        Err(format!("--{name} must be in [0, 1], got {x}"))
     }
 }
 
@@ -133,6 +154,9 @@ fn scenario(flags: &BTreeMap<String, String>) -> Result<(SimConfig, System), Str
     if let Some(raw) = flags.get("fault-model") {
         cfg.faults.model = parse_fault_model(raw)?;
     }
+    cfg.faults.byzantine.attacker_fraction =
+        unit_interval_flag(flags, "attacker-fraction", cfg.faults.byzantine.attacker_fraction)?;
+    cfg.radio.link_pdr = unit_interval_flag(flags, "link-pdr", cfg.radio.link_pdr)?;
     Ok((cfg, system))
 }
 

@@ -147,6 +147,20 @@ pub fn event_to_value(event: &TraceEvent) -> Value {
         TraceEvent::Suspected { at, node: n } => {
             map(vec![("at", time(*at)), ("node", node(*n))])
         }
+        TraceEvent::Misroute { at, from, intended, actual } => map(vec![
+            ("at", time(*at)),
+            ("from", node(*from)),
+            ("intended", node(*intended)),
+            ("actual", node(*actual)),
+        ]),
+        TraceEvent::ForgedAck { at, node: n } => {
+            map(vec![("at", time(*at)), ("node", node(*n))])
+        }
+        TraceEvent::Slander { at, accuser, accused } => map(vec![
+            ("at", time(*at)),
+            ("accuser", node(*accuser)),
+            ("accused", node(*accused)),
+        ]),
     };
     Value::Map(vec![(event.kind().to_string(), body)])
 }
@@ -274,6 +288,20 @@ pub fn event_from_value(value: &Value) -> Result<TraceEvent, Error> {
         "Suspected" => {
             TraceEvent::Suspected { at: get_time(body)?, node: get_node(body, "node")? }
         }
+        "Misroute" => TraceEvent::Misroute {
+            at: get_time(body)?,
+            from: get_node(body, "from")?,
+            intended: get_node(body, "intended")?,
+            actual: get_node(body, "actual")?,
+        },
+        "ForgedAck" => {
+            TraceEvent::ForgedAck { at: get_time(body)?, node: get_node(body, "node")? }
+        }
+        "Slander" => TraceEvent::Slander {
+            at: get_time(body)?,
+            accuser: get_node(body, "accuser")?,
+            accused: get_node(body, "accused")?,
+        },
         other => return Err(Error::msg(format!("unknown event kind {other:?}"))),
     };
     Ok(event)
@@ -344,6 +372,14 @@ mod tests {
             },
             TraceEvent::Retransmit { at: t(10), from: NodeId(3), to: NodeId(4), attempt: 2 },
             TraceEvent::Suspected { at: t(11), node: NodeId(5) },
+            TraceEvent::Misroute {
+                at: t(12),
+                from: NodeId(6),
+                intended: NodeId(7),
+                actual: NodeId(8),
+            },
+            TraceEvent::ForgedAck { at: t(13), node: NodeId(9) },
+            TraceEvent::Slander { at: t(14), accuser: NodeId(10), accused: NodeId(11) },
         ]
     }
 

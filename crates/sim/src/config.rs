@@ -106,6 +106,56 @@ pub enum FaultModel {
     /// [`RunSummary::oracle_queries`](crate::RunSummary::oracle_queries) so
     /// tests can assert the data path stayed honest.
     Discovered,
+    /// [`Discovered`](FaultModel::Discovered) plus an active adversary: a
+    /// seeded fraction of sensors is *compromised* and misbehaves per
+    /// [`ByzantineConfig`] — misrouting frames, selectively dropping data
+    /// while still acknowledging it, forging ACKs, and slandering healthy
+    /// neighbors in suspicion gossip. Compromised nodes are physically
+    /// alive (the fault oracle does not flag them); defenses must come
+    /// from the reputation-weighted
+    /// [`FailureView`](crate::failure::FailureView). All adversary
+    /// decisions are drawn from the per-node simulator RNG streams, so
+    /// runs stay deterministic per seed and thread-invariant under
+    /// [`Engine::Sharded`].
+    Byzantine,
+}
+
+/// Adversary behavior knobs for [`FaultModel::Byzantine`]. All
+/// probabilities are per-decision and drawn from the acting node's
+/// simulator RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ByzantineConfig {
+    /// Fraction of sensors compromised at t=0, in `[0, 1]`. The set is
+    /// drawn once from the master RNG after placement and stays fixed for
+    /// the run (compromise is a property of the node, not a rotating
+    /// fault).
+    pub attacker_fraction: f64,
+    /// Probability that a compromised *sender* redirects a unicast frame
+    /// to a random physical neighbor instead of the intended next hop.
+    pub misroute_prob: f64,
+    /// Probability that a compromised *receiver* silently discards a
+    /// delivered frame instead of processing it.
+    pub drop_prob: f64,
+    /// When `true`, a compromised receiver that drops an acknowledged
+    /// frame still returns the ACK — the sender believes the hop
+    /// succeeded and never retransmits.
+    pub forge_acks: bool,
+    /// Probability per gossip opportunity that a compromised node
+    /// fabricates an accusation against a healthy neighbor.
+    pub slander_prob: f64,
+}
+
+impl Default for ByzantineConfig {
+    fn default() -> Self {
+        ByzantineConfig {
+            attacker_fraction: 0.0,
+            misroute_prob: 0.25,
+            drop_prob: 0.5,
+            forge_acks: true,
+            slander_prob: 0.25,
+        }
+    }
 }
 
 /// Fault injection: every `rotation`, the previous faulty set recovers and
@@ -123,6 +173,8 @@ pub struct FaultConfig {
     /// permanently (it is never recovered by fault rotation). Off by
     /// default: the paper's figures do not kill depleted nodes.
     pub battery_death: bool,
+    /// Adversary knobs, active only under [`FaultModel::Byzantine`].
+    pub byzantine: ByzantineConfig,
 }
 
 impl Default for FaultConfig {
@@ -132,6 +184,7 @@ impl Default for FaultConfig {
             rotation: SimDuration::from_secs(10),
             model: FaultModel::Oracle,
             battery_death: false,
+            byzantine: ByzantineConfig::default(),
         }
     }
 }
@@ -190,11 +243,22 @@ impl LinkModel {
     /// `range`, and the shadowed logistic crosses 0.5 exactly at `range`
     /// regardless of `fade_width` (a regression test pins this boundary
     /// under wide transition bands).
+    ///
+    /// [`RadioConfig::link_pdr`] deliberately does *not* enter this bound
+    /// (or [`LinkModel::link_up`]): residual per-link loss models frames
+    /// that retransmissions recover, not links the MAC cannot see.
     pub fn max_usable_distance(self, range: f64) -> f64 {
         match self {
             LinkModel::UnitDisk => range,
             LinkModel::Shadowed { .. } => range,
         }
+    }
+
+    /// [`LinkModel::delivery_prob`] combined with a residual per-link
+    /// packet-drop rate `pdr ∈ [0, 1]`: each frame additionally survives
+    /// with probability `1 - pdr`, independent of distance.
+    pub fn delivery_prob_with_pdr(self, distance: f64, range: f64, pdr: f64) -> f64 {
+        self.delivery_prob(distance, range) * (1.0 - pdr.clamp(0.0, 1.0))
     }
 }
 
@@ -297,6 +361,13 @@ pub struct RadioConfig {
     pub max_queue: SimDuration,
     /// The distance/success link model.
     pub link: LinkModel,
+    /// Residual per-link packet-drop rate in `[0, 1]`: every frame
+    /// (unicast, ACK, broadcast leg) is additionally lost with this
+    /// probability, independent of distance and of any attacker. Lossy
+    /// links thus exist on their own; the link-layer ACK machinery is what
+    /// recovers from them. Does not affect MAC-visible reachability
+    /// ([`LinkModel::link_up`]) or the spatial grid's cell sizing.
+    pub link_pdr: f64,
     /// Link-layer ACK timeout for [`Ctx::send_acked`](crate::Ctx::send_acked)
     /// frames, counted from the moment the frame leaves the sender's radio
     /// (so a long interface queue does not trigger spurious expiries).
@@ -319,6 +390,7 @@ impl Default for RadioConfig {
             receiver_occupancy: 1.0,
             max_queue: SimDuration::from_millis(1_500),
             link: LinkModel::UnitDisk,
+            link_pdr: 0.0,
             ack_timeout: SimDuration::from_millis(10),
             max_retries: 3,
             retry_backoff: 2.0,
@@ -443,6 +515,24 @@ impl SimConfig {
         assert!(self.sensor_range > 0.0 && self.actuator_range > 0.0);
         if let ActuatorPlacement::Explicit(points) = &self.placement {
             assert_eq!(points.len(), self.actuators, "explicit placement count mismatch");
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.radio.link_pdr),
+            "link_pdr must be within [0, 1], got {}",
+            self.radio.link_pdr
+        );
+        let byz = &self.faults.byzantine;
+        assert!(
+            (0.0..=1.0).contains(&byz.attacker_fraction),
+            "attacker_fraction must be within [0, 1], got {}",
+            byz.attacker_fraction
+        );
+        for (name, p) in [
+            ("misroute_prob", byz.misroute_prob),
+            ("drop_prob", byz.drop_prob),
+            ("slander_prob", byz.slander_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be within [0, 1], got {p}");
         }
         if let Engine::Sharded(sharded) = self.engine {
             let lookahead = self.radio.mac_overhead.as_micros();

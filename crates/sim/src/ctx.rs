@@ -314,6 +314,17 @@ impl<P> Ctx<P> {
         self.nodes[id.index()].faulty
     }
 
+    /// Whether `id` itself is Byzantine-compromised
+    /// ([`FaultModel::Byzantine`](crate::config::FaultModel)) — a node's
+    /// knowledge of its *own* allegiance, like [`Ctx::self_faulty`].
+    /// Protocols may consult this only to play the attacker's role (e.g.
+    /// deciding whether this node emits slander); honest routing and
+    /// suspicion logic must never branch on another node's flag, which is
+    /// why no oracle-style `is_compromised(other)` exists.
+    pub fn self_compromised(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].compromised
+    }
+
     /// Remaining battery of `id`, Joules.
     pub fn battery(&self, id: NodeId) -> f64 {
         self.nodes[id.index()].battery
@@ -474,6 +485,7 @@ impl<P> Ctx<P> {
             self.record(|at| crate::trace::TraceEvent::QueueDrop { at, from });
             return true;
         }
+        let to = self.byz_misroute(from, to);
         self.charge_tx(from, account);
         self.metrics.frames_sent += 1;
         if !self.link_ok_internal(from, to) {
@@ -484,11 +496,11 @@ impl<P> Ctx<P> {
         // Probabilistic link models can lose an "up" link's frame; the
         // sender's MAC retries absorb most of it, so a lost draw here
         // models residual loss after retries (unit disk never loses).
-        let p = self
-            .cfg
-            .radio
-            .link
-            .delivery_prob(self.distance(from, to), self.range(from));
+        let p = self.cfg.radio.link.delivery_prob_with_pdr(
+            self.distance(from, to),
+            self.range(from),
+            self.cfg.radio.link_pdr,
+        );
         if p < 1.0 && !self.sim_rng().gen_bool(p.clamp(0.0, 1.0)) {
             self.metrics.frames_failed += 1;
             self.record(|at| crate::trace::TraceEvent::SendFailed { at, from, to });
@@ -562,6 +574,10 @@ impl<P> Ctx<P> {
         let Some(p) = self.pending_acks.get(&id) else { return };
         let (from, to, size_bits, account, attempt) =
             (p.from, p.to, p.size_bits, p.account, p.attempt);
+        // A compromised sender may redirect each attempt independently; the
+        // pending entry keeps the *intended* receiver, so the sender still
+        // believes the hop it meant succeeded when an ACK comes back.
+        let to = self.byz_misroute(from, to);
         let timeout = self.ack_wait(attempt);
         if !self.unbounded_queue && self.queue_delay(from) > self.cfg.radio.max_queue {
             // Interface-queue overflow: this attempt is tail-dropped before
@@ -579,7 +595,11 @@ impl<P> Ctx<P> {
             && !self.nodes[from.index()].faulty
             && !self.nodes[to.index()].faulty;
         let prob = if alive {
-            self.cfg.radio.link.delivery_prob(self.distance(from, to), self.range(from))
+            self.cfg.radio.link.delivery_prob_with_pdr(
+                self.distance(from, to),
+                self.range(from),
+                self.cfg.radio.link_pdr,
+            )
         } else {
             0.0
         };
@@ -621,7 +641,11 @@ impl<P> Ctx<P> {
         if self.shard.is_none() && !self.pending_acks.contains_key(&id) {
             return; // duplicate delivery of an already-acknowledged frame
         }
-        let prob = self.cfg.radio.link.delivery_prob(self.distance(from, to), self.range(from));
+        let prob = self.cfg.radio.link.delivery_prob_with_pdr(
+            self.distance(from, to),
+            self.range(from),
+            self.cfg.radio.link_pdr,
+        );
         let received = prob >= 1.0 || (prob > 0.0 && self.sim_rng().gen_bool(prob.clamp(0.0, 1.0)));
         if !received {
             return;
@@ -662,7 +686,14 @@ impl<P> Ctx<P> {
         }
         // One service occupancy at the sender for the broadcast frame.
         let base = self.tx_base_schedule(from, size_bits);
+        let pdr = self.cfg.radio.link_pdr;
         for &to in &receivers {
+            // Lossy links drop each receiver's copy independently; the
+            // draw is gated on `pdr > 0` so lossless runs make no extra
+            // draws and stay bit-identical to pre-PDR output.
+            if pdr > 0.0 && !self.sim_rng().gen_bool((1.0 - pdr).clamp(0.0, 1.0)) {
+                continue;
+            }
             let jitter = self.sample_jitter();
             let arrival = base + jitter;
             self.bump_receiver(to, arrival);
@@ -824,10 +855,124 @@ impl<P> Ctx<P> {
                 let lat = self.now.as_micros().saturating_sub(since);
                 self.metrics.detection_latency_sum_s += lat as f64 / 1e6;
             }
+        } else if state.compromised {
+            // Suspecting an attacker is containment, not a false alarm.
+            // Attackers misbehave from t = 0, so the earliest suspicion
+            // time *is* the containment time.
+            let at = self.now.as_micros();
+            self.metrics
+                .first_suspected
+                .entry(node.0)
+                .and_modify(|earliest| *earliest = (*earliest).min(at))
+                .or_insert(at);
         } else {
             self.metrics.false_suspicions += 1;
         }
         self.record(|at| crate::trace::TraceEvent::Suspected { at, node });
+    }
+
+    /// Records that the protocol *evicted* `node` — removed it from
+    /// membership (e.g. replaced its Kautz ID with a standby) based on its
+    /// failure belief. Graded against ground truth without leaking it:
+    /// evicting an alive, honest node is a wrongful eviction (the damage
+    /// slander causes); evicting a compromised or broken node is the
+    /// failure view doing its job.
+    pub fn record_eviction(&mut self, node: NodeId) {
+        let state = &self.nodes[node.index()];
+        if !state.faulty && !state.compromised {
+            self.metrics.wrongful_evictions += 1;
+        }
+    }
+
+    // ----- Byzantine adversary hooks ------------------------------------
+    //
+    // All adversary randomness is drawn from [`Ctx::sim_rng`] — the acting
+    // node's private stream under the sharded engine — so a compromised
+    // node's decisions are identical at any thread count. Every draw is
+    // gated on the node actually being compromised, and no node is
+    // compromised unless `FaultModel::Byzantine` selected attackers, so
+    // runs with Byzantine off make exactly the pre-adversary draw
+    // sequences.
+
+    /// If `from` is compromised, rolls its misroute decision for this
+    /// frame: with `byzantine.misroute_prob` the frame is redirected to a
+    /// uniformly-drawn physical neighbor other than the intended receiver.
+    /// Returns the (possibly replaced) receiver.
+    pub(crate) fn byz_misroute(&mut self, from: NodeId, to: NodeId) -> NodeId {
+        if !self.nodes[from.index()].compromised {
+            return to;
+        }
+        let p = self.cfg.faults.byzantine.misroute_prob;
+        if p <= 0.0 || !self.sim_rng().gen_bool(p.clamp(0.0, 1.0)) {
+            return to;
+        }
+        let mut buf = std::mem::take(&mut self.recv_buf);
+        self.physical_neighbors_into(from, &mut buf);
+        buf.retain(|&n| n != to);
+        let actual = if buf.is_empty() {
+            to // nowhere to misroute to; the frame goes where intended
+        } else {
+            buf[self.sim_rng().gen_range(0..buf.len())]
+        };
+        buf.clear();
+        self.recv_buf = buf;
+        if actual != to {
+            self.metrics.misroutes += 1;
+            self.record(|at| crate::trace::TraceEvent::Misroute { at, from, intended: to, actual });
+        }
+        actual
+    }
+
+    /// Byzantine receiver behavior for a unicast frame just delivered to
+    /// compromised node `to`: with `byzantine.drop_prob` the frame is
+    /// silently swallowed — and when `byzantine.forge_acks` is set the
+    /// attacker still returns the link-layer ACK, so the honest sender
+    /// believes the hop succeeded and suspicion never triggers. Returns
+    /// `true` when the frame was swallowed (the caller must then skip
+    /// `on_message`); receive energy has already been charged — a
+    /// dishonest radio still listens.
+    pub(crate) fn byz_swallow(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        ack_id: Option<u64>,
+        broadcast: bool,
+    ) -> bool {
+        if broadcast || !self.nodes[to.index()].compromised {
+            return false;
+        }
+        let p = self.cfg.faults.byzantine.drop_prob;
+        if p <= 0.0 || !self.sim_rng().gen_bool(p.clamp(0.0, 1.0)) {
+            return false;
+        }
+        if self.cfg.faults.byzantine.forge_acks {
+            if let Some(id) = ack_id {
+                self.metrics.forged_acks += 1;
+                self.record(|at| crate::trace::TraceEvent::ForgedAck { at, node: to });
+                self.schedule_ack(id, to, from);
+            }
+        }
+        true
+    }
+
+    /// Adversary gossip hook: if `accuser` is compromised, rolls its
+    /// slander decision for this gossip round and picks a victim uniformly
+    /// from `candidates` (the accuser's current neighbor view). Returns the
+    /// node to slander, or `None` for honest nodes and skipped rounds. The
+    /// event is counted and traced here; the protocol carries the
+    /// fabricated accusation in its own gossip payload.
+    pub fn byz_slander(&mut self, accuser: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        if !self.nodes[accuser.index()].compromised || candidates.is_empty() {
+            return None;
+        }
+        let p = self.cfg.faults.byzantine.slander_prob;
+        if p <= 0.0 || !self.sim_rng().gen_bool(p.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let victim = candidates[self.sim_rng().gen_range(0..candidates.len())];
+        self.metrics.slander_events += 1;
+        self.record(|at| crate::trace::TraceEvent::Slander { at, accuser, accused: victim });
+        Some(victim)
     }
 
     /// Records one Section III-B4 Kautz-ID handover (a maintenance

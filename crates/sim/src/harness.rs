@@ -88,6 +88,19 @@ pub struct AggregateSummary {
     pub drop_no_route: CiStat,
     /// Measured-window drops: hop budget exhausted.
     pub drop_hops: CiStat,
+    /// Wrongful evictions (alive, honest nodes removed from membership).
+    pub wrongful_evictions: CiStat,
+    /// Forged ACKs by compromised receivers per run.
+    pub forged_acks: CiStat,
+    /// Slander accusations injected by compromised nodes per run.
+    pub slander_events: CiStat,
+    /// Unicast frames compromised senders redirected off-path per run.
+    pub misroutes: CiStat,
+    /// Compromised nodes suspected at least once per run.
+    pub attackers_contained: CiStat,
+    /// Mean start→first-suspicion time over contained attackers, seconds
+    /// (seeds with no containment are excluded, like every NaN column).
+    pub containment_time_s: CiStat,
     /// Median end-to-end delay, seconds (mean of per-seed p50s).
     pub delay_p50_s: CiStat,
     /// 95th-percentile end-to-end delay, seconds.
@@ -129,6 +142,12 @@ pub fn aggregate(runs: &[RunSummary]) -> AggregateSummary {
         drop_no_access: col(runs, |r| r.drop_no_access as f64),
         drop_no_route: col(runs, |r| r.drop_no_route as f64),
         drop_hops: col(runs, |r| r.drop_hops as f64),
+        wrongful_evictions: col(runs, |r| r.wrongful_evictions as f64),
+        forged_acks: col(runs, |r| r.forged_acks as f64),
+        slander_events: col(runs, |r| r.slander_events as f64),
+        misroutes: col(runs, |r| r.misroutes as f64),
+        attackers_contained: col(runs, |r| r.attackers_contained as f64),
+        containment_time_s: col(runs, |r| r.mean_containment_time_s),
         delay_p50_s: col(runs, |r| r.delay_p50_s),
         delay_p95_s: col(runs, |r| r.delay_p95_s),
         delay_p99_s: col(runs, |r| r.delay_p99_s),
@@ -176,6 +195,12 @@ mod tests {
             drop_no_access: 0,
             drop_no_route: 4,
             drop_hops: 0,
+            wrongful_evictions: 1,
+            forged_acks: 6,
+            slander_events: 2,
+            misroutes: 4,
+            attackers_contained: 2,
+            mean_containment_time_s: 1.5,
             oracle_queries: 0,
             delay_p50_s: 0.08,
             delay_p95_s: 0.2,
@@ -191,6 +216,9 @@ mod tests {
         assert_eq!(agg.qos_delivery_ratio.n, 3);
         assert_eq!(agg.delay_p99_s.mean, 0.3);
         assert_eq!(agg.hop_p50.n, 3);
+        assert_eq!(agg.wrongful_evictions.mean, 1.0);
+        assert_eq!(agg.containment_time_s.mean, 1.5);
+        assert_eq!(agg.containment_time_s.n, 3);
     }
 
     #[test]

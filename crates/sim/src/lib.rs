@@ -56,12 +56,13 @@ mod time;
 pub mod trace;
 
 pub use config::{
-    ActuatorPlacement, Engine, FaultConfig, FaultModel, LinkModel, MobilityConfig, MobilityModel,
-    NeighborIndex, RadioConfig, SensorPlacement, ShardedConfig, SimConfig, TrafficConfig,
+    ActuatorPlacement, ByzantineConfig, Engine, FaultConfig, FaultModel, LinkModel, MobilityConfig,
+    MobilityModel, NeighborIndex, RadioConfig, SensorPlacement, ShardedConfig, SimConfig,
+    TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
-pub use failure::FailureView;
+pub use failure::{AccuseOutcome, FailureView};
 pub use geometry::{centroid, Area, Point};
 pub use grid::SpatialGrid;
 pub use hist::LogHistogram;

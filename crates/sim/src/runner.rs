@@ -71,6 +71,9 @@ pub fn run_with_sinks<P: Protocol>(
                     continue; // receiver died in flight; frame lost, no ACK
                 }
                 ctx.charge_rx(to, msg.account);
+                if ctx.byz_swallow(to, msg.from, ack_id, msg.broadcast) {
+                    continue; // attacker swallowed it (ACK forged inside)
+                }
                 // The receiver's MAC acks before the stack processes.
                 if let Some(id) = ack_id {
                     ctx.schedule_ack(id, to, msg.from);
@@ -193,6 +196,21 @@ pub(crate) fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         let id = NodeId(nodes.len() as u32);
         nodes.push(NodeState::new(NodeKind::Actuator, p, cfg.actuator_range, f64::INFINITY));
         actuators.push(id);
+    }
+
+    // Byzantine attacker selection, drawn AFTER every placement and
+    // battery draw and gated on the model, so a run with Byzantine off
+    // makes exactly the pre-adversary draw sequence (Oracle/Discovered
+    // output stays byte-identical). Compromised nodes are physically
+    // alive and oracle-clean; only their behavior differs.
+    if matches!(cfg.faults.model, crate::config::FaultModel::Byzantine) {
+        let fraction = cfg.faults.byzantine.attacker_fraction;
+        if fraction > 0.0 {
+            let k = ((sensors.len() as f64) * fraction).round() as usize;
+            for &id in sensors.choose_multiple(&mut rng, k.min(sensors.len())) {
+                nodes[id.index()].compromised = true;
+            }
+        }
     }
 
     // Cell side: the largest distance at which any node's radio matters —

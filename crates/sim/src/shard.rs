@@ -379,6 +379,11 @@ where
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(threads + 1);
     let trace_deposits: Mutex<Vec<(u32, Vec<TraceEvent>)>> = Mutex::new(Vec::new());
+    // A panic inside a worker (a protocol contract violation, a poisoned
+    // shard lock) must not strand the coordinator at the barrier forever:
+    // the first payload parks here, the window protocol keeps its barrier
+    // arity, and the coordinator re-raises after an orderly shutdown.
+    let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let mut faulty_set: Vec<NodeId> = Vec::new();
 
     std::thread::scope(|scope| {
@@ -390,28 +395,41 @@ where
             let window_end = &window_end;
             let stop = &stop;
             let trace_deposits = &trace_deposits;
+            let worker_panic = &worker_panic;
+            let park_panic = move |phase: std::thread::Result<()>| {
+                if let Err(payload) = phase {
+                    let mut slot = worker_panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            };
             scope.spawn(move || loop {
                 barrier.wait();
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
                 let w_end = window_end.load(Ordering::Acquire);
-                let mut sh = t;
-                while sh < states.len() {
-                    run_shard_window(&states[sh], inboxes, heap_next, w_end);
-                    sh += threads;
-                }
+                park_panic(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut sh = t;
+                    while sh < states.len() {
+                        run_shard_window(&states[sh], inboxes, heap_next, w_end);
+                        sh += threads;
+                    }
+                })));
                 // Every shard has finished the window before anyone
                 // flushes: a batch deposited mid-window would be injected
                 // by some shards and missed by others depending on thread
                 // scheduling, which would make sequence assignment (and so
                 // the canonical order) depend on the thread count.
                 barrier.wait();
-                let mut sh = t;
-                while sh < states.len() {
-                    flush_shard_window(&states[sh], inboxes, trace_deposits);
-                    sh += threads;
-                }
+                park_panic(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut sh = t;
+                    while sh < states.len() {
+                        flush_shard_window(&states[sh], inboxes, trace_deposits);
+                        sh += threads;
+                    }
+                })));
                 barrier.wait();
             });
         }
@@ -447,6 +465,14 @@ where
             barrier.wait(); // release the window
             barrier.wait(); // run phase: every shard processed [t0, t1)
             barrier.wait(); // flush phase: outboxes and traces deposited
+            if let Some(payload) = worker_panic.lock().unwrap().take() {
+                // Orderly shutdown first — workers are parked at the top
+                // barrier and must see `stop` before the scope can join
+                // them — then re-raise the worker's original panic.
+                stop.store(true, Ordering::Release);
+                barrier.wait();
+                std::panic::resume_unwind(payload);
+            }
             if tracing {
                 let mut deposits = std::mem::take(&mut *trace_deposits.lock().unwrap());
                 deposits.sort_by_key(|&(sh, _)| sh);
@@ -796,6 +822,9 @@ where
                         return; // receiver died in flight; frame lost, no ACK
                     }
                     ctx.charge_rx(to, msg.account);
+                    if ctx.byz_swallow(to, msg.from, ack_id, msg.broadcast) {
+                        return; // attacker swallowed it (ACK forged inside)
+                    }
                     if let Some(id) = ack_id {
                         ctx.schedule_ack(id, to, msg.from);
                     }

@@ -189,6 +189,37 @@ pub enum TraceEvent {
         /// The suspected node.
         node: NodeId,
     },
+    /// A compromised sender redirected a unicast frame away from its
+    /// intended next hop ([`FaultModel::Byzantine`]
+    /// (crate::config::FaultModel)).
+    Misroute {
+        /// When.
+        at: SimTime,
+        /// The compromised sender.
+        from: NodeId,
+        /// Where the frame was supposed to go.
+        intended: NodeId,
+        /// Where it actually went.
+        actual: NodeId,
+    },
+    /// A compromised receiver dropped an acknowledged frame but returned
+    /// the ACK anyway, so the sender believes the hop succeeded.
+    ForgedAck {
+        /// When.
+        at: SimTime,
+        /// The compromised receiver.
+        node: NodeId,
+    },
+    /// A compromised node fabricated a suspicion accusation against a
+    /// healthy neighbor in gossip.
+    Slander {
+        /// When.
+        at: SimTime,
+        /// The compromised accuser.
+        accuser: NodeId,
+        /// The healthy node being slandered.
+        accused: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -205,7 +236,10 @@ impl TraceEvent {
             | TraceEvent::Dropped { at, .. }
             | TraceEvent::FaultRotation { at, .. }
             | TraceEvent::Retransmit { at, .. }
-            | TraceEvent::Suspected { at, .. } => *at,
+            | TraceEvent::Suspected { at, .. }
+            | TraceEvent::Misroute { at, .. }
+            | TraceEvent::ForgedAck { at, .. }
+            | TraceEvent::Slander { at, .. } => *at,
         }
     }
 
@@ -224,6 +258,9 @@ impl TraceEvent {
             TraceEvent::FaultRotation { .. } => "FaultRotation",
             TraceEvent::Retransmit { .. } => "Retransmit",
             TraceEvent::Suspected { .. } => "Suspected",
+            TraceEvent::Misroute { .. } => "Misroute",
+            TraceEvent::ForgedAck { .. } => "ForgedAck",
+            TraceEvent::Slander { .. } => "Slander",
         }
     }
 }

@@ -10,8 +10,8 @@ use wsan_sim::flood::FloodProtocol;
 use wsan_sim::shard::run_sharded_with_sinks;
 use wsan_sim::trace::{TraceEvent, TraceSink};
 use wsan_sim::{
-    Ctx, DataId, EnergyAccount, Engine, LinkModel, Message, MobilityModel, NodeId, Protocol,
-    RunSummary, ShardableProtocol, ShardedConfig, SimConfig, SimDuration,
+    Ctx, DataId, EnergyAccount, Engine, FaultModel, LinkModel, Message, MobilityModel, NodeId,
+    Protocol, RunSummary, ShardableProtocol, ShardedConfig, SimConfig, SimDuration,
 };
 
 /// Collects the canonical merged trace stream for byte-level comparison.
@@ -133,7 +133,13 @@ impl Protocol for AckedDirect {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<DataId>, at: NodeId, msg: Message<DataId>) {
-        ctx.deliver_data(msg.payload, at);
+        // A Byzantine sender may misroute the frame to any physical
+        // neighbor; only an actuator terminates the packet.
+        if ctx.actuator_ids().contains(&at) {
+            ctx.deliver_data(msg.payload, at);
+        } else {
+            ctx.drop_data(msg.payload);
+        }
     }
 
     fn on_send_expired(
@@ -171,8 +177,124 @@ fn acked_traffic_is_thread_invariant_and_stale_acks_are_survivable() {
     assert!(retried, "the shadowed link should force at least one retransmission");
 }
 
+/// Sends like [`AckedDirect`] but panics on any receipt — simulating a
+/// protocol contract violation inside a worker-thread dispatch.
+#[derive(Clone)]
+struct PoisonReceiver;
+
+impl Protocol for PoisonReceiver {
+    type Payload = DataId;
+
+    fn name(&self) -> &'static str {
+        "PoisonReceiver"
+    }
+
+    fn on_init(&mut self, _ctx: &mut Ctx<DataId>) {}
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<DataId>, src: NodeId, data: DataId) {
+        let target = ctx.actuator_ids()[0];
+        let size = ctx.config().traffic.packet_bits;
+        ctx.send_acked(src, target, size, EnergyAccount::Communication, data);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<DataId>, _at: NodeId, _msg: Message<DataId>) {
+        panic!("poison receiver bit a frame");
+    }
+
+    fn on_send_expired(
+        &mut self,
+        _ctx: &mut Ctx<DataId>,
+        _at: NodeId,
+        _to: NodeId,
+        _payload: DataId,
+        _attempts: u32,
+    ) {
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<DataId>, _at: NodeId, _tag: u64) {}
+}
+
+impl ShardableProtocol for PoisonReceiver {}
+
+#[test]
+fn worker_panics_propagate_instead_of_deadlocking() {
+    // A panic inside a shard worker must resurface on the caller — a
+    // stranded coordinator (the pre-fix behavior) hangs the suite forever.
+    let result = std::panic::catch_unwind(|| {
+        wsan_sim::run_sharded(sharded_cfg(2, 2), &mut PoisonReceiver)
+    });
+    let payload = result.expect_err("the protocol panic must surface");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("poison receiver bit a frame"), "unexpected payload: {msg:?}");
+}
+
+#[test]
+fn byzantine_adversary_is_thread_invariant() {
+    // Compromised senders misroute, compromised receivers swallow and
+    // forge ACKs, and every link is lossy: all adversary draws come from
+    // the per-node simulator RNG streams, so the worker-thread count must
+    // still be invisible.
+    let cfg = |threads| {
+        let mut cfg = sharded_cfg(19, threads);
+        cfg.faults.model = FaultModel::Byzantine;
+        cfg.faults.byzantine.attacker_fraction = 0.25;
+        cfg.radio.link_pdr = 0.15;
+        cfg.radio.ack_timeout = SimDuration::from_millis(4);
+        cfg
+    };
+    let a = traced_run(cfg(1), &mut AckedDirect { expired: 0 });
+    let b = traced_run(cfg(4), &mut AckedDirect { expired: 0 });
+    assert_eq!(a.0, b.0, "Byzantine summary diverged across thread counts");
+    assert_eq!(a.1, b.1, "Byzantine trace stream diverged across thread counts");
+    let misrouted = a.1.iter().any(|ev| matches!(ev, TraceEvent::Misroute { .. }));
+    let forged = a.1.iter().any(|ev| matches!(ev, TraceEvent::ForgedAck { .. }));
+    assert!(misrouted, "a quarter of compromised senders should misroute at least once");
+    assert!(forged, "compromised receivers should forge at least one ACK");
+    assert!(a.0.misroutes > 0 && a.0.forged_acks > 0, "{:?}", a.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Satellite: the ACK layer under residual link loss with NO attackers.
+    // Retransmissions recover delivery, stale ACKs and false suspicions
+    // stay bounded, and the 1-thread and n-thread executions agree.
+    #[test]
+    fn lossy_links_recover_via_retransmission(
+        seed in 1u64..1_000_000,
+        pdr_milli in 50u64..300,
+        threads in 2usize..9,
+    ) {
+        let pdr = pdr_milli as f64 / 1000.0;
+        let cfg = |threads, pdr| {
+            let mut cfg = sharded_cfg(seed, threads);
+            cfg.sensors = 40;
+            cfg.duration = SimDuration::from_secs(15);
+            cfg.radio.link_pdr = pdr;
+            cfg.radio.ack_timeout = SimDuration::from_millis(4);
+            cfg
+        };
+        let lossless = traced_run(cfg(1, 0.0), &mut AckedDirect { expired: 0 });
+        let lossy = traced_run(cfg(1, pdr), &mut AckedDirect { expired: 0 });
+        let threaded = traced_run(cfg(threads, pdr), &mut AckedDirect { expired: 0 });
+        prop_assert_eq!(&lossy.0, &threaded.0, "lossy summary diverged at {} threads", threads);
+        prop_assert_eq!(&lossy.1, &threaded.1, "lossy trace diverged at {} threads", threads);
+        prop_assert!(lossy.0.retransmissions > 0, "losses must force retries");
+        // Retransmission recovers most of the loss: delivery under up to
+        // 30% per-frame loss stays close to the lossless run.
+        prop_assert!(
+            lossy.0.delivery_ratio >= lossless.0.delivery_ratio - 0.15,
+            "delivery fell from {} to {} at pdr {}",
+            lossless.0.delivery_ratio, lossy.0.delivery_ratio, pdr
+        );
+        // Every stale ACK stems from a duplicate or post-expiry delivery
+        // of some attempt, so the count is bounded by the attempts made.
+        prop_assert!(
+            lossy.0.stale_acks <= lossy.0.retransmissions + lossy.0.frames_sent,
+            "{:?}", lossy.0
+        );
+        prop_assert_eq!(lossy.0.false_suspicions, 0, "no one to suspect without attackers");
+    }
 
     // Any seed, any thread split: the 1-thread and n-thread executions
     // produce identical summaries and identical trace streams.
