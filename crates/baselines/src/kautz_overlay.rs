@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsan_sim::{
     Ctx, DataId, EnergyAccount, FailureView, FaultModel, HopReason, Message, NodeId, NodeKind,
-    Point, Protocol,
+    Point, Protocol, RoutingStrategy,
 };
 
 /// Kautz-overlay parameters.
@@ -67,6 +67,9 @@ pub struct OvFrame {
     pub dest_kid: KautzId,
     /// Conflict forced digit for the next overlay relay.
     pub forced: Option<u8>,
+    /// Regular-routing progress ([`RoutingStrategy::Regular`]): digits of
+    /// `dest_kid` already appended. Always 0 under the shortest planner.
+    pub appended: u8,
     /// Physical route of the current overlay hop.
     pub path: Vec<NodeId>,
     /// Position within `path`.
@@ -320,37 +323,58 @@ impl KautzOverlayProtocol {
             self.stats.drops += 1;
             return;
         };
-        let choices = match route_choices_indexed(
-            &self.route_table,
-            at_idx,
-            dest_idx,
-            frame.forced,
-            ctx.rng(),
-        ) {
-            Ok(c) => c,
-            Err(_) => {
+        // Faber–Streib regular routing: the overlay successor comes from
+        // the destination's digit sequence instead of the shortest-path
+        // planner; a dead regular successor falls back to the planner with
+        // the digit progress restarted.
+        let regular_pick = if matches!(ctx.config().routing, RoutingStrategy::Regular) {
+            self.route_table.regular_next(at_idx, dest_idx, frame.appended).and_then(
+                |(succ_idx, appended)| {
+                    self.cells[frame.cell].roster_idx[succ_idx]
+                        .filter(|&n| n != node && self.presumed_alive(ctx, n))
+                        .map(|n| (n, appended))
+                },
+            )
+        } else {
+            None
+        };
+        let (target, forced, appended) = if let Some((n, appended)) = regular_pick {
+            (n, None, appended)
+        } else {
+            let choices = match route_choices_indexed(
+                &self.route_table,
+                at_idx,
+                dest_idx,
+                frame.forced,
+                ctx.rng(),
+            ) {
+                Ok(c) => c,
+                Err(_) => {
+                    ctx.drop_data(frame.data);
+                    self.stats.drops += 1;
+                    return;
+                }
+            };
+            let roster_idx = &self.cells[frame.cell].roster_idx;
+            let pick = choices.iter().enumerate().find_map(|(i, c)| {
+                let n = roster_idx[c.successor as usize]?;
+                if n == node || !self.presumed_alive(ctx, n) {
+                    return None;
+                }
+                Some((i, n, c.forced_digit))
+            });
+            let Some((idx, target, forced)) = pick else {
                 ctx.drop_data(frame.data);
                 self.stats.drops += 1;
                 return;
+            };
+            if idx > 0 {
+                self.stats.overlay_alt_switches += 1;
             }
+            (target, forced, 0)
         };
-        let roster_idx = &self.cells[frame.cell].roster_idx;
-        let pick = choices.iter().enumerate().find_map(|(i, c)| {
-            let n = roster_idx[c.successor as usize]?;
-            if n == node || !self.presumed_alive(ctx, n) {
-                return None;
-            }
-            Some((i, n, c.forced_digit))
-        });
-        let Some((idx, target, forced)) = pick else {
-            ctx.drop_data(frame.data);
-            self.stats.drops += 1;
-            return;
-        };
-        if idx > 0 {
-            self.stats.overlay_alt_switches += 1;
-        }
         frame.forced = forced;
+        frame.appended = appended;
         match self.paths.get(&(node, target)).cloned() {
             Some(path) if path.first() == Some(&node) => {
                 frame.path = path;
@@ -567,6 +591,7 @@ impl Protocol for KautzOverlayProtocol {
             cell,
             dest_kid,
             forced: None,
+            appended: 0,
             path: Vec::new(),
             pos: 0,
             hops: 0,

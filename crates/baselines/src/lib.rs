@@ -16,15 +16,22 @@
 //!
 //! The shared [`flood`] module implements the charged route-discovery
 //! flood they all recover with (the "topological routing" of \[35\]).
+//!
+//! [`KautzFabricProtocol`] is not one of the paper's comparison systems:
+//! it is the heavy-traffic testbed where the whole network is a single
+//! Kautz graph, used to compare shortest against Faber–Streib regular
+//! routing under traffic matrices.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datree;
 pub mod ddear;
+pub mod fabric;
 pub mod flood;
 pub mod kautz_overlay;
 
 pub use datree::{DaTreeConfig, DaTreeProtocol, DaTreeStats};
 pub use ddear::{DdearConfig, DdearProtocol, DdearStats};
+pub use fabric::{fabric_config, FabricFrame, KautzFabricProtocol};
 pub use kautz_overlay::{KautzOverlayConfig, KautzOverlayProtocol, OverlayStats};

@@ -4,18 +4,37 @@
 //! cargo run -p refer-bench --release --bin compare -- \
 //!     [--scale 0.2] [--seed 17] [--mobility 3] [--faults 0] [--sensors 200] \
 //!     [--fault-model oracle|discovered|byzantine] \
-//!     [--attacker-fraction F] [--link-pdr P]
+//!     [--attacker-fraction F] [--link-pdr P] \
+//!     [--workload paper|all2all|hotspot|incast|scan] \
+//!     [--routing shortest|regular] [--offered-load PPS] \
+//!     [--fabric D,K] [--threads T]
 //! ```
 //!
 //! Prints one row per system with throughput, delay, energy split,
 //! delivery ratio and load-balance metrics, plus the robustness counters
 //! (retransmissions, detections, handovers, oracle consultations; under
 //! `byzantine` also misroutes, forged ACKs, slander, wrongful evictions
-//! and attacker containment). Useful for eyeballing a configuration
-//! before committing to a full sweep.
+//! and attacker containment). A matrix `--workload` appends the congestion
+//! columns (queue-delay percentiles, hot-link utilization, queue drops).
+//! Useful for eyeballing a configuration before committing to a full
+//! sweep.
+//!
+//! `--fabric D,K` switches to the heavy-traffic fabric comparison: the
+//! whole network is one Kautz graph `K(D, K)` (sensors = vertices), run on
+//! the *sharded* engine under both routing strategies at 1 and
+//! `--threads` worker threads — the two summaries must agree bit for bit —
+//! and the congestion metrics are printed per strategy. This is the
+//! scenario where Faber–Streib regular routing beats greedy shortest
+//! routing on the queue-delay tail under all-to-all load.
 
-use refer_bench::{base_config, parse_fault_model, parse_unit_interval, run_system, SYSTEMS};
-use wsan_sim::FaultModel;
+use refer_bench::{
+    base_config, parse_fault_model, parse_offered_load, parse_routing, parse_unit_interval,
+    parse_workload, run_system, LOAD_ROUTINGS, SYSTEMS,
+};
+use refer_baselines::{fabric_config, KautzFabricProtocol};
+use wsan_sim::{
+    run_engine, Engine, FaultModel, RoutingStrategy, ShardedConfig, SimDuration, TrafficPattern,
+};
 
 /// Milliseconds with one decimal, or `—` when the quantity is undefined
 /// (NaN: no deliveries to take a percentile of).
@@ -36,49 +55,122 @@ fn pct_or_dash(ratio: f64) -> String {
     }
 }
 
+/// Plain number with the given decimals, or `—` when undefined (NaN: a
+/// zero-length measurement window, or nothing observed).
+fn num_or_dash(x: f64, digits: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.digits$}")
+    } else {
+        "—".to_string()
+    }
+}
+
 /// Exits with the CLI's usage error code for a malformed flag value.
 fn bail(message: String) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
 }
 
-fn main() {
-    let mut scale = 0.2;
-    let mut seed = 17u64;
-    let mut mobility = 3.0;
-    let mut faults = 0usize;
-    let mut sensors = 200usize;
-    let mut fault_model = FaultModel::Oracle;
-    let mut attacker_fraction = 0.0;
-    let mut link_pdr = 0.0;
+struct Args {
+    scale: f64,
+    seed: u64,
+    mobility: f64,
+    faults: usize,
+    sensors: usize,
+    fault_model: FaultModel,
+    attacker_fraction: f64,
+    link_pdr: f64,
+    workload: TrafficPattern,
+    routing: RoutingStrategy,
+    offered_pps: f64,
+    fabric: Option<(u8, usize)>,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.2,
+        seed: 17,
+        mobility: 3.0,
+        faults: 0,
+        sensors: 200,
+        fault_model: FaultModel::Oracle,
+        attacker_fraction: 0.0,
+        link_pdr: 0.0,
+        workload: TrafficPattern::Paper,
+        routing: RoutingStrategy::Shortest,
+        offered_pps: 0.0,
+        fabric: None,
+        threads: 2,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = || it.next().expect("flag needs a value");
         match a.as_str() {
-            "--scale" => scale = next().parse().expect("float"),
-            "--seed" => seed = next().parse().expect("integer"),
-            "--mobility" => mobility = next().parse().expect("float"),
-            "--faults" => faults = next().parse().expect("integer"),
-            "--sensors" => sensors = next().parse().expect("integer"),
+            "--scale" => args.scale = next().parse().expect("float"),
+            "--seed" => args.seed = next().parse().expect("integer"),
+            "--mobility" => args.mobility = next().parse().expect("float"),
+            "--faults" => args.faults = next().parse().expect("integer"),
+            "--sensors" => args.sensors = next().parse().expect("integer"),
+            "--threads" => args.threads = next().parse().expect("integer"),
             "--fault-model" => {
-                fault_model = parse_fault_model(&next()).unwrap_or_else(|e| bail(e));
+                args.fault_model = parse_fault_model(&next()).unwrap_or_else(|e| bail(e));
             }
             "--attacker-fraction" => {
-                attacker_fraction = parse_unit_interval("--attacker-fraction", &next())
+                args.attacker_fraction = parse_unit_interval("--attacker-fraction", &next())
                     .unwrap_or_else(|e| bail(e));
             }
             "--link-pdr" => {
-                link_pdr =
+                args.link_pdr =
                     parse_unit_interval("--link-pdr", &next()).unwrap_or_else(|e| bail(e));
+            }
+            "--workload" => {
+                args.workload = parse_workload(&next()).unwrap_or_else(|e| bail(e));
+            }
+            "--routing" => {
+                args.routing = parse_routing(&next()).unwrap_or_else(|e| bail(e));
+            }
+            "--offered-load" => {
+                args.offered_pps = parse_offered_load(&next()).unwrap_or_else(|e| bail(e));
+            }
+            "--fabric" => {
+                let v = next();
+                let parsed = v.split_once(',').and_then(|(d, k)| {
+                    Some((d.trim().parse().ok()?, k.trim().parse().ok()?))
+                });
+                args.fabric = Some(parsed.unwrap_or_else(|| {
+                    bail(format!("--fabric expects D,K (e.g. 4,7), got {v:?}"))
+                }));
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let byzantine = fault_model == FaultModel::Byzantine;
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if args.fabric.is_some() {
+        run_fabric(&args);
+        return;
+    }
+    let byzantine = args.fault_model == FaultModel::Byzantine;
+    let matrix = args.workload.is_matrix();
 
     println!(
-        "scenario: {sensors} sensors, mobility [0,{mobility}] m/s, {faults} faulty ({fault_model:?}), \
-         attacker fraction {attacker_fraction}, link pdr {link_pdr}, scale {scale}, seed {seed}\n"
+        "scenario: {} sensors, mobility [0,{}] m/s, {} faulty ({:?}), \
+         attacker fraction {}, link pdr {}, workload {} ({:?} routing, {} pps), scale {}, seed {}\n",
+        args.sensors,
+        args.mobility,
+        args.faults,
+        args.fault_model,
+        args.attacker_fraction,
+        args.link_pdr,
+        args.workload.name(),
+        args.routing,
+        args.offered_pps,
+        args.scale,
+        args.seed
     );
     print!(
         "{:>15} {:>13} {:>9} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8}",
@@ -91,16 +183,25 @@ fn main() {
             "misroute", "forged", "slander", "wrongful", "contained", "contain(s)"
         );
     }
+    if matrix {
+        print!(
+            " {:>9} {:>9} {:>9} {:>8} {:>7}",
+            "q_p50(ms)", "q_p99(ms)", "q_max(ms)", "hotlink", "cdrops"
+        );
+    }
     println!(" {:>7}", "wall");
     for system in SYSTEMS {
-        let mut cfg = base_config(scale);
-        cfg.mobility.max_speed = mobility;
-        cfg.faults.count = faults;
-        cfg.faults.model = fault_model;
-        cfg.faults.byzantine.attacker_fraction = attacker_fraction;
-        cfg.radio.link_pdr = link_pdr;
-        cfg.sensors = sensors;
-        cfg.seed = seed;
+        let mut cfg = base_config(args.scale);
+        cfg.mobility.max_speed = args.mobility;
+        cfg.faults.count = args.faults;
+        cfg.faults.model = args.fault_model;
+        cfg.faults.byzantine.attacker_fraction = args.attacker_fraction;
+        cfg.radio.link_pdr = args.link_pdr;
+        cfg.sensors = args.sensors;
+        cfg.traffic.pattern = args.workload;
+        cfg.traffic.offered_pps = args.offered_pps;
+        cfg.routing = args.routing;
+        cfg.seed = args.seed;
         let t = std::time::Instant::now();
         let s = run_system(&cfg, system);
         print!(
@@ -123,11 +224,6 @@ fn main() {
             s.oracle_queries,
         );
         if byzantine {
-            let contain = if s.mean_containment_time_s.is_finite() {
-                format!("{:.1}", s.mean_containment_time_s)
-            } else {
-                "—".to_string()
-            };
             print!(
                 " {:>8} {:>7} {:>8} {:>9} {:>9} {:>10}",
                 s.misroutes,
@@ -135,9 +231,81 @@ fn main() {
                 s.slander_events,
                 s.wrongful_evictions,
                 s.attackers_contained,
-                contain
+                num_or_dash(s.mean_containment_time_s, 1)
+            );
+        }
+        if matrix {
+            print!(
+                " {:>9} {:>9} {:>9} {:>8} {:>7}",
+                ms_or_dash(s.queue_delay_p50_s),
+                ms_or_dash(s.queue_delay_p99_s),
+                ms_or_dash(s.queue_max_s),
+                num_or_dash(s.hot_link_utilization, 3),
+                s.congestion_drops,
             );
         }
         println!(" {:>6.1}s", t.elapsed().as_secs_f64());
+    }
+}
+
+/// `--fabric D,K`: the heavy-traffic Kautz-fabric comparison on the
+/// sharded engine. Each routing strategy runs at 1 worker thread and at
+/// `--threads` workers; the summaries must be bit-identical (the sharded
+/// engine's output is a pure function of the config), and the 1-thread row
+/// is printed.
+fn run_fabric(args: &Args) {
+    let (d, k) = args.fabric.expect("checked by caller");
+    let offered = if args.offered_pps > 0.0 { args.offered_pps } else { 20_000.0 };
+    let mut cfg = fabric_config(d, k, offered);
+    if args.workload.is_matrix() {
+        cfg.traffic.pattern = args.workload;
+    }
+    cfg.duration = SimDuration::from_secs_f64((1000.0 * args.scale).max(20.0));
+    cfg.warmup = SimDuration::from_secs_f64((100.0 * args.scale).max(10.0));
+    cfg.seed = args.seed;
+    println!(
+        "fabric: K({d}, {k}) = {} sensors, workload {} at {offered} pps, \
+         sharded engine (1 vs {} threads), scale {}, seed {}\n",
+        cfg.sensors,
+        cfg.traffic.pattern.name(),
+        args.threads,
+        args.scale,
+        args.seed
+    );
+    println!(
+        "{:>16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>8} {:>9} {:>7}",
+        "routing", "deliv", "p99(ms)", "q_p50(ms)", "q_p99(ms)", "q_max(ms)", "hotlink", "miss",
+        "cdrops", "sharded", "wall"
+    );
+    for routing in LOAD_ROUTINGS {
+        cfg.routing = routing;
+        let t = std::time::Instant::now();
+        cfg.engine = Engine::Sharded(ShardedConfig { shards: 0, threads: 1, window_micros: 0 });
+        let s1 = run_engine(cfg.clone(), &mut KautzFabricProtocol::new(d, k));
+        cfg.engine = Engine::Sharded(ShardedConfig {
+            shards: 0,
+            threads: args.threads,
+            window_micros: 0,
+        });
+        let st = run_engine(cfg.clone(), &mut KautzFabricProtocol::new(d, k));
+        assert_eq!(
+            s1, st,
+            "sharded summaries diverged between 1 and {} threads",
+            args.threads
+        );
+        println!(
+            "{:>16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>8} {:>9} {:>6.1}s",
+            format!("KFabric/{routing:?}"),
+            pct_or_dash(s1.delivery_ratio),
+            ms_or_dash(s1.delay_p99_s),
+            ms_or_dash(s1.queue_delay_p50_s),
+            ms_or_dash(s1.queue_delay_p99_s),
+            ms_or_dash(s1.queue_max_s),
+            num_or_dash(s1.hot_link_utilization, 3),
+            pct_or_dash(s1.deadline_miss_ratio),
+            s1.congestion_drops,
+            format!("1≡{}", args.threads),
+            t.elapsed().as_secs_f64()
+        );
     }
 }

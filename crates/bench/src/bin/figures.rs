@@ -4,7 +4,9 @@
 //! cargo run -p refer-bench --release --bin figures -- [--fig N|all] \
 //!     [--seeds 1,2,3] [--scale 0.25] [--out results/] \
 //!     [--fault-model oracle|discovered|byzantine] \
-//!     [--attacker-fraction F] [--link-pdr P] [--degradation]
+//!     [--attacker-fraction F] [--link-pdr P] [--degradation] \
+//!     [--load] [--workload paper|all2all|hotspot|incast|scan] \
+//!     [--routing shortest|regular] [--offered-load PPS]
 //! ```
 //!
 //! Figures sharing a sweep (4-5 mobility, 6-7 faults, 8-11 size) reuse the
@@ -15,11 +17,16 @@
 //! compromises `--attacker-fraction` of the sensors. `--link-pdr` adds a
 //! uniform per-link loss probability. `--degradation` skips the paper
 //! figures and instead sweeps the compromised fraction 0..=0.3 under the
-//! Byzantine model, printing the robustness degradation table.
+//! Byzantine model, printing the robustness degradation table. `--load`
+//! sweeps the offered load of a traffic matrix (`--workload`, default
+//! all-to-all) and prints REFER's congestion metrics under shortest vs.
+//! regular Kautz routing; `--workload`/`--routing`/`--offered-load` also
+//! apply to the paper figures for heavy-traffic variants.
 
 use refer_bench::{
-    figure, parse_fault_model, parse_unit_interval, render_degradation, render_figure,
-    run_sweep_opts, Figure, Sweep, SweepOpts, SweepResult, FIGURES,
+    figure, parse_fault_model, parse_offered_load, parse_routing, parse_unit_interval,
+    parse_workload, render_degradation, render_figure, render_load, run_sweep_opts, Figure,
+    Sweep, SweepOpts, SweepResult, FIGURES,
 };
 use std::collections::BTreeSet;
 use std::io::Write as _;
@@ -32,6 +39,7 @@ struct Args {
     quiet: bool,
     opts: SweepOpts,
     degradation: bool,
+    load: bool,
 }
 
 /// Exits with the CLI's usage error code for a malformed flag value.
@@ -49,6 +57,7 @@ fn parse_args() -> Args {
         quiet: false,
         opts: SweepOpts::default(),
         degradation: false,
+        load: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,6 +91,19 @@ fn parse_args() -> Args {
             "--no-out" => args.out = None,
             "--quiet" => args.quiet = true,
             "--degradation" => args.degradation = true,
+            "--load" => args.load = true,
+            "--workload" => {
+                let v = it.next().expect("--workload needs a value");
+                args.opts.workload = parse_workload(&v).unwrap_or_else(|e| bail(e));
+            }
+            "--routing" => {
+                let v = it.next().expect("--routing needs a value");
+                args.opts.routing = parse_routing(&v).unwrap_or_else(|e| bail(e));
+            }
+            "--offered-load" => {
+                let v = it.next().expect("--offered-load needs a value");
+                args.opts.offered_pps = parse_offered_load(&v).unwrap_or_else(|e| bail(e));
+            }
             "--fault-model" => {
                 let v = it.next().expect("--fault-model needs a value");
                 args.opts.fault_model =
@@ -107,6 +129,10 @@ fn main() {
     let args = parse_args();
     if args.degradation {
         run_degradation(&args);
+        return;
+    }
+    if args.load {
+        run_load(&args);
         return;
     }
     let figs: Vec<Figure> = args
@@ -180,6 +206,33 @@ fn main() {
 /// `--degradation`: sweep the compromised sensor fraction under the
 /// Byzantine model and print the robustness table instead of the paper's
 /// figures.
+/// `--load`: sweep the offered load of a traffic matrix and print REFER's
+/// congestion metrics under shortest vs. regular Kautz routing.
+fn run_load(args: &Args) {
+    eprintln!(
+        "Heavy-traffic load sweep ({} workload) over {} seed(s) at scale {}",
+        args.opts.workload.name(),
+        args.seeds.len(),
+        args.scale
+    );
+    let quiet = args.quiet;
+    let t = std::time::Instant::now();
+    let result = run_sweep_opts(Sweep::Load, &args.seeds, args.scale, args.opts, |label| {
+        if !quiet {
+            eprintln!("  done: {label}");
+        }
+    });
+    eprintln!("sweep Load finished in {:.1}s", t.elapsed().as_secs_f64());
+    println!("{}", render_load(&result));
+    if let Some(out) = &args.out {
+        std::fs::create_dir_all(out).expect("create output directory");
+        let path = format!("{out}/sweep_load.json");
+        let mut f = std::fs::File::create(&path).expect("create json");
+        f.write_all(refer_bench::json::to_json(&result).as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
 fn run_degradation(args: &Args) {
     eprintln!(
         "Byzantine degradation sweep over {} seed(s) at scale {}",

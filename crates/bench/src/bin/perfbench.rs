@@ -4,15 +4,18 @@
 //! its own 1-thread execution).
 //!
 //! ```text
-//! perfbench [--quick] [--force] [--out results/BENCH_6.json]
+//! perfbench [--quick] [--force] [--out results/BENCH_8.json]
 //!           [--fault-model oracle|discovered|byzantine]
 //!           [--attacker-fraction F] [--link-pdr P]
+//!           [--workload all2all|hotspot|incast|scan]
+//!           [--routing shortest|regular] [--offered-load PPS]
 //! ```
 //!
 //! The fault-model flags apply to the end-to-end workloads (flood, faulty
 //! sweep, sharded) so the acceleration layers can be timed — and their
 //! divergence checks run — under the Byzantine adversary and lossy links;
 //! the defaults reproduce the historical lossless Oracle numbers exactly.
+//! The traffic flags apply to the heavy-traffic section below.
 //!
 //! Grid section — three workloads, each run once per network size under
 //! the grid index and once under the linear scan:
@@ -26,6 +29,13 @@
 //! run once on the serial engine and once per worker-thread count
 //! {1, 2, 4, 8} on the sharded engine.
 //!
+//! Traffic section — the heavy-traffic Kautz fabric (all-to-all matrix at
+//! an offered load past the shortest-routing saturation point, `K(2,13)`
+//! with 12 288 vertices, or `K(2,8)` under `--quick`) timed on the sharded
+//! engine under both routing strategies, recording the congestion metrics
+//! (queue-delay p99, deadline misses, congestion drops). Each strategy
+//! runs at 1 and 2 worker threads and the summaries must be bit-identical.
+//!
 //! Every workload doubles as a correctness check: the neighbor lists (and
 //! for the end-to-end runs, the entire `RunSummary`) must be identical
 //! between the two indexes, and the sharded summaries must be identical
@@ -33,7 +43,7 @@
 //! sharded is *not* compared — the two engines define distinct canonical
 //! schedules; the serial run is timed only as the speedup baseline.)
 //!
-//! Results are dumped as JSON (`--out`, default `results/BENCH_6.json`),
+//! Results are dumped as JSON (`--out`, default `results/BENCH_8.json`),
 //! written atomically (temp file + rename) and never over an existing
 //! file unless `--force` is given. The dump records the host's CPU count:
 //! thread-sweep numbers from a 1-core host are honest but say nothing
@@ -43,8 +53,10 @@
 //! the divergence checks in seconds; the headline speedups come from the
 //! full run.
 
+use refer_baselines::{fabric_config, KautzFabricProtocol};
 use refer_bench::{
-    base_config, git_commit, parse_fault_model, parse_unit_interval, run_system, System,
+    base_config, git_commit, parse_fault_model, parse_offered_load, parse_routing,
+    parse_unit_interval, parse_workload, run_system, System,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -52,13 +64,14 @@ use std::time::Instant;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::{
     runner, Area, Ctx, DataId, Engine, FaultModel, Message, NeighborIndex, NodeId, Protocol,
-    RunSummary, SensorPlacement, ShardedConfig, SimConfig, SimDuration,
+    RoutingStrategy, RunSummary, SensorPlacement, ShardedConfig, SimConfig, SimDuration,
+    TrafficPattern,
 };
 
 /// Schema version of the dump written by `perfbench` (kept in lockstep
-/// with the sweep dumps in `refer_bench::json`). Bumped to 4 when the
-/// `fault_model` and `git_commit` provenance fields were added.
-const SCHEMA_VERSION: u64 = 4;
+/// with the sweep dumps in `refer_bench::json`). Bumped to 5 when the
+/// heavy-traffic section and its congestion metrics were added.
+const SCHEMA_VERSION: u64 = 5;
 
 /// Scenario overrides shared by the end-to-end workloads.
 #[derive(Clone, Copy)]
@@ -89,12 +102,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut force = false;
-    let mut out = "results/BENCH_6.json".to_string();
+    let mut out = "results/BENCH_8.json".to_string();
     let mut scenario = Scenario {
         fault_model: FaultModel::default(),
         attacker_fraction: 0.0,
         link_pdr: 0.0,
     };
+    let mut traffic = TrafficOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,6 +117,30 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage("--out needs a value"),
+            },
+            "--workload" => match it.next() {
+                Some(v) => match parse_workload(v) {
+                    Ok(TrafficPattern::Paper) => {
+                        return usage("the traffic section needs a matrix workload")
+                    }
+                    Ok(pattern) => traffic.workload = pattern,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--workload needs a value"),
+            },
+            "--routing" => match it.next() {
+                Some(v) => match parse_routing(v) {
+                    Ok(routing) => traffic.routing = Some(routing),
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--routing needs a value"),
+            },
+            "--offered-load" => match it.next() {
+                Some(v) => match parse_offered_load(v) {
+                    Ok(pps) => traffic.offered_pps = pps,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--offered-load needs a value"),
             },
             "--fault-model" => match it.next() {
                 Some(v) => match parse_fault_model(v) {
@@ -215,7 +253,39 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = to_json(&rows, &srows, host_cpus, quick, diverged, scenario);
+    let (graph, n) = if quick { ((2, 8), 384) } else { ((2, 13), 12_288) };
+    println!(
+        "perfbench: heavy-traffic fabric K({}, {}) (n = {n}), {} workload, both routings",
+        graph.0,
+        graph.1,
+        traffic.workload.name()
+    );
+    let mut trows: Vec<TrafficRow> = Vec::new();
+    let routings: &[RoutingStrategy] = match traffic.routing {
+        Some(ref r) => std::slice::from_ref(r),
+        None => &[RoutingStrategy::Shortest, RoutingStrategy::Regular],
+    };
+    for &routing in routings {
+        match time_traffic(graph, quick, traffic, routing) {
+            Ok(row) => {
+                println!(
+                    "  {:<8} {:>8.0} ms   queue p99 {:>7.1} ms   miss {:>5.1}%   drops {:>6}",
+                    format!("{routing:?}"),
+                    row.sharded_ms,
+                    row.queue_p99_s * 1e3,
+                    row.deadline_miss * 100.0,
+                    row.congestion_drops
+                );
+                trows.push(row);
+            }
+            Err(msg) => {
+                eprintln!("K({}, {}) {routing:?}: {msg}", graph.0, graph.1);
+                diverged = true;
+            }
+        }
+    }
+
+    let json = to_json(&rows, &srows, &trows, host_cpus, quick, diverged, scenario);
     if let Err(e) = write_atomically(&out, &json, force) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -260,7 +330,9 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: perfbench [--quick] [--force] [--out FILE] \
          [--fault-model oracle|discovered|byzantine] \
-         [--attacker-fraction F] [--link-pdr P]"
+         [--attacker-fraction F] [--link-pdr P] \
+         [--workload all2all|hotspot|incast|scan] \
+         [--routing shortest|regular] [--offered-load PPS]"
     );
     ExitCode::from(2)
 }
@@ -469,6 +541,78 @@ fn time_sharded(n: usize, quick: bool, scenario: Scenario) -> Result<ShardedRow,
     Ok(ShardedRow { n, serial_ms, sharded_ms })
 }
 
+/// Overrides for the heavy-traffic section from the CLI.
+#[derive(Clone, Copy)]
+struct TrafficOpts {
+    workload: TrafficPattern,
+    /// `None` runs both strategies.
+    routing: Option<RoutingStrategy>,
+    /// 0 picks the scenario default (just past the shortest-routing
+    /// saturation point of the chosen graph).
+    offered_pps: f64,
+}
+
+impl Default for TrafficOpts {
+    fn default() -> Self {
+        TrafficOpts { workload: TrafficPattern::All2All, routing: None, offered_pps: 0.0 }
+    }
+}
+
+/// One routing strategy's heavy-traffic measurements.
+struct TrafficRow {
+    routing: RoutingStrategy,
+    offered_pps: f64,
+    /// Wall-clock of the 1-thread sharded run.
+    sharded_ms: f64,
+    delivery: f64,
+    queue_p99_s: f64,
+    deadline_miss: f64,
+    congestion_drops: u64,
+}
+
+/// Times the heavy-traffic fabric under `routing` on the sharded engine
+/// at 1 and 2 worker threads; the two summaries must be bit-identical.
+fn time_traffic(
+    (d, k): (u8, usize),
+    quick: bool,
+    opts: TrafficOpts,
+    routing: RoutingStrategy,
+) -> Result<TrafficRow, String> {
+    let offered = if opts.offered_pps > 0.0 {
+        opts.offered_pps
+    } else if quick {
+        5_400.0 // K(2,8): shortest's hottest vertex saturates near 5.2 kpps
+    } else {
+        105_000.0 // K(2,13): shortest's hottest vertex saturates near 100 kpps
+    };
+    let mut cfg = fabric_config(d, k, offered);
+    cfg.traffic.pattern = opts.workload;
+    cfg.routing = routing;
+    cfg.warmup = SimDuration::from_secs(if quick { 3 } else { 10 });
+    cfg.duration = SimDuration::from_secs(if quick { 6 } else { 20 });
+    let timed = |threads: usize| {
+        let mut cfg = cfg.clone();
+        cfg.engine = Engine::Sharded(ShardedConfig { shards: 0, threads, window_micros: 0 });
+        let start = Instant::now();
+        let summary = wsan_sim::run_engine(cfg, &mut KautzFabricProtocol::new(d, k));
+        (start.elapsed().as_secs_f64() * 1e3, summary)
+    };
+    let (ms, summary) = timed(1);
+    let (_, summary2) = timed(2);
+    if summary != summary2 {
+        return Err("sharded summary at 2 threads DIVERGES from the 1-thread run".to_string());
+    }
+    Ok(TrafficRow {
+        routing,
+        offered_pps: offered,
+        sharded_ms: ms,
+        delivery: summary.delivery_ratio,
+        queue_p99_s: summary.queue_delay_p99_s,
+        deadline_miss: summary.deadline_miss_ratio,
+        congestion_drops: summary.congestion_drops,
+    })
+}
+
 /// Times a D-DEAR run with rotating faults end to end (best of `reps`
 /// identical runs — the runs are deterministic, so repetition only
 /// removes scheduler noise). D-DEAR is the neighbor-query-heavy system:
@@ -503,6 +647,7 @@ fn time_faulty(
 fn to_json(
     rows: &[Row],
     srows: &[ShardedRow],
+    trows: &[TrafficRow],
     host_cpus: usize,
     quick: bool,
     diverged: bool,
@@ -567,6 +712,20 @@ fn to_json(
         let t1 = row.sharded_ms.first().map_or(f64::NAN, |&(_, ms)| ms);
         let _ = writeln!(out, "      \"speedup_vs_t1\": {}", fmt(t1 / row.best_ms()));
         let comma = if i + 1 < srows.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"traffic\": [\n");
+    for (i, row) in trows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"routing\": \"{:?}\",", row.routing);
+        let _ = writeln!(out, "      \"offered_pps\": {},", fmt(row.offered_pps));
+        let _ = writeln!(out, "      \"sharded_ms\": {},", fmt(row.sharded_ms));
+        let _ = writeln!(out, "      \"delivery_ratio\": {},", fmt(row.delivery));
+        let _ = writeln!(out, "      \"queue_delay_p99_s\": {},", fmt(row.queue_p99_s));
+        let _ = writeln!(out, "      \"deadline_miss_ratio\": {},", fmt(row.deadline_miss));
+        let _ = writeln!(out, "      \"congestion_drops\": {}", row.congestion_drops);
+        let comma = if i + 1 < trows.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]\n}\n");

@@ -14,12 +14,13 @@ use wsan_sim::stats::CiStat;
 use wsan_sim::FaultModel;
 
 /// Version of the dump layout written by [`to_json`]. Bumped to 2 when the
-/// per-system delay/hop percentile stats were added, and to 3 when the
+/// per-system delay/hop percentile stats were added, to 3 when the
 /// Byzantine columns plus the `fault_model`/`git_commit` provenance fields
-/// arrived; dumps without the field are treated as version 1 and keep
-/// loading, and every field added since version 1 loads as its default
-/// when absent.
-pub const SCHEMA_VERSION: u64 = 3;
+/// arrived, and to 4 when the congestion columns (queue-delay percentiles,
+/// hot-link utilization, congestion drops) and the `Load` sweep landed;
+/// dumps without the field are treated as version 1 and keep loading, and
+/// every field added since version 1 loads as its default when absent.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Serializes a sweep result as pretty-printed JSON.
 pub fn to_json(result: &SweepResult) -> String {
@@ -63,6 +64,12 @@ pub fn to_json(result: &SweepResult) -> String {
                 ("deadline_miss_ratio", agg.deadline_miss_ratio),
                 ("hop_p50", agg.hop_p50),
                 ("hop_p99", agg.hop_p99),
+                ("queue_delay_p50_s", agg.queue_delay_p50_s),
+                ("queue_delay_p95_s", agg.queue_delay_p95_s),
+                ("queue_delay_p99_s", agg.queue_delay_p99_s),
+                ("queue_max_s", agg.queue_max_s),
+                ("hot_link_utilization", agg.hot_link_utilization),
+                ("congestion_drops", agg.congestion_drops),
             ];
             for (s, (name, stat)) in stats.iter().enumerate() {
                 let comma = if s + 1 < stats.len() { "," } else { "" };
@@ -112,6 +119,7 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
         "Faults" => Sweep::Faults,
         "Size" => Sweep::Size,
         "Attackers" => Sweep::Attackers,
+        "Load" => Sweep::Load,
         other => return Err(format!("unknown sweep variant {other:?}")),
     };
     // Provenance fields arrived with schema version 3; older dumps carry
@@ -169,6 +177,13 @@ pub fn from_json(input: &str) -> Result<SweepResult, String> {
                 deadline_miss_ratio: sobj.get_ci_or_default("deadline_miss_ratio")?,
                 hop_p50: sobj.get_ci_or_default("hop_p50")?,
                 hop_p99: sobj.get_ci_or_default("hop_p99")?,
+                // Congestion columns arrived with schema version 4.
+                queue_delay_p50_s: sobj.get_ci_or_default("queue_delay_p50_s")?,
+                queue_delay_p95_s: sobj.get_ci_or_default("queue_delay_p95_s")?,
+                queue_delay_p99_s: sobj.get_ci_or_default("queue_delay_p99_s")?,
+                queue_max_s: sobj.get_ci_or_default("queue_max_s")?,
+                hot_link_utilization: sobj.get_ci_or_default("hot_link_utilization")?,
+                congestion_drops: sobj.get_ci_or_default("congestion_drops")?,
             });
         }
         points.push(SweepPoint {
@@ -523,6 +538,12 @@ mod tests {
             deadline_miss_ratio: CiStat { mean: 0.1, ci95: 0.02, n: 3 },
             hop_p50: CiStat { mean: 3.0, ci95: 0.5, n: 3 },
             hop_p99: CiStat { mean: 7.0, ci95: 1.0, n: 3 },
+            queue_delay_p50_s: CiStat { mean: 0.002, ci95: 0.0, n: 3 },
+            queue_delay_p95_s: CiStat { mean: 0.02, ci95: 0.005, n: 3 },
+            queue_delay_p99_s: CiStat { mean: 0.0625, ci95: 0.01, n: 3 },
+            queue_max_s: CiStat { mean: 0.25, ci95: 0.0, n: 3 },
+            hot_link_utilization: CiStat { mean: 0.5, ci95: 0.05, n: 3 },
+            congestion_drops: CiStat { mean: 5.0, ci95: 1.0, n: 3 },
         };
         SweepResult {
             sweep: Sweep::Faults,
@@ -591,9 +612,12 @@ mod tests {
         assert_eq!(agg.handovers, CiStat::default());
         assert_eq!(agg.delay_p99_s, CiStat::default());
         assert_eq!(agg.deadline_miss_ratio, CiStat::default());
-        // Version-3 additions default too.
+        // Version-3 and version-4 additions default too.
         assert_eq!(agg.wrongful_evictions, CiStat::default());
         assert_eq!(agg.containment_time_s, CiStat::default());
+        assert_eq!(agg.queue_delay_p99_s, CiStat::default());
+        assert_eq!(agg.hot_link_utilization, CiStat::default());
+        assert_eq!(agg.congestion_drops, CiStat::default());
         assert_eq!(parsed.fault_model, FaultModel::default());
         assert_eq!(parsed.git_commit, "unknown");
     }
@@ -601,7 +625,7 @@ mod tests {
     #[test]
     fn dumps_carry_the_schema_version() {
         let json = to_json(&sample());
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"fault_model\": \"Byzantine\""));
         assert!(json.contains("\"git_commit\": \"deadbeef\""));
         from_json(&json).expect("current dumps load");
@@ -609,7 +633,7 @@ mod tests {
 
     #[test]
     fn rejects_dumps_from_a_newer_schema() {
-        let json = to_json(&sample()).replace("\"schema_version\": 3", "\"schema_version\": 99");
+        let json = to_json(&sample()).replace("\"schema_version\": 4", "\"schema_version\": 99");
         let err = from_json(&json).expect_err("newer schema must not load silently");
         assert!(err.contains("schema_version 99"));
     }

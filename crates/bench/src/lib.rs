@@ -16,7 +16,9 @@ pub mod svgplot;
 use refer::{ReferConfig, ReferProtocol};
 use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
 use wsan_sim::harness::{aggregate, AggregateSummary};
-use wsan_sim::{runner, FaultModel, RunSummary, SimConfig, SimDuration};
+use wsan_sim::{
+    runner, FaultModel, RoutingStrategy, RunSummary, SimConfig, SimDuration, TrafficPattern,
+};
 
 /// The four systems of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,7 +89,18 @@ pub enum Sweep {
     /// compromised sensors 0..=0.3 under [`FaultModel::Byzantine`], all
     /// other parameters at the paper's defaults.
     Attackers,
+    /// Heavy-traffic load curve (not a paper figure): aggregate offered
+    /// load in packets/second under a traffic matrix (all-to-all unless
+    /// the options pick another matrix), comparing REFER under
+    /// [`RoutingStrategy::Shortest`] against
+    /// [`RoutingStrategy::Regular`] instead of the four systems.
+    Load,
 }
+
+/// The two routing strategies a [`Sweep::Load`] point compares, in column
+/// order.
+pub const LOAD_ROUTINGS: [RoutingStrategy; 2] =
+    [RoutingStrategy::Shortest, RoutingStrategy::Regular];
 
 impl Sweep {
     /// The sweep's x values (simulation parameter, not the plotted axis).
@@ -97,6 +110,7 @@ impl Sweep {
             Sweep::Faults => vec![2.0, 4.0, 6.0, 8.0, 10.0],
             Sweep::Size => vec![100.0, 200.0, 300.0, 400.0],
             Sweep::Attackers => vec![0.0, 0.1, 0.2, 0.3],
+            Sweep::Load => vec![250.0, 500.0, 1000.0, 2000.0],
         }
     }
 
@@ -115,6 +129,7 @@ impl Sweep {
             Sweep::Faults => "number of faulty nodes",
             Sweep::Size => "number of sensors",
             Sweep::Attackers => "fraction of compromised sensors",
+            Sweep::Load => "offered load (packets/s)",
         }
     }
 
@@ -131,6 +146,14 @@ impl Sweep {
             Sweep::Attackers => {
                 cfg.faults.model = FaultModel::Byzantine;
                 cfg.faults.byzantine.attacker_fraction = x;
+            }
+            Sweep::Load => {
+                // A load point needs a matrix workload; if the options left
+                // the paper trickle in place, all-to-all is the default.
+                if !cfg.traffic.pattern.is_matrix() {
+                    cfg.traffic.pattern = TrafficPattern::All2All;
+                }
+                cfg.traffic.offered_pps = x;
             }
         }
     }
@@ -228,6 +251,7 @@ pub fn bench_config(fig: &Figure) -> SimConfig {
         Sweep::Faults => 10.0,
         Sweep::Size => 200.0,
         Sweep::Attackers => 0.3,
+        Sweep::Load => 2000.0,
     };
     fig.sweep.configure(&mut cfg, x);
     cfg.seed = 1;
@@ -290,6 +314,17 @@ pub struct SweepOpts {
     /// Uniform extra per-link loss probability in `[0, 1]` (0 keeps the
     /// paper's lossless links).
     pub link_pdr: f64,
+    /// Workload shape ([`TrafficPattern::Paper`] keeps the Section IV
+    /// trickle; [`Sweep::Load`] upgrades a non-matrix choice to
+    /// all-to-all per point).
+    pub workload: TrafficPattern,
+    /// Kautz next-hop strategy for every system (overridden per column by
+    /// [`Sweep::Load`], which compares both).
+    pub routing: RoutingStrategy,
+    /// Aggregate offered load for matrix workloads, packets/second network
+    /// wide; 0 keeps the per-source `rate_bps` semantics (overridden per
+    /// point by [`Sweep::Load`]).
+    pub offered_pps: f64,
 }
 
 impl Default for SweepOpts {
@@ -298,6 +333,9 @@ impl Default for SweepOpts {
             fault_model: FaultModel::default(),
             attacker_fraction: 0.0,
             link_pdr: 0.0,
+            workload: TrafficPattern::Paper,
+            routing: RoutingStrategy::Shortest,
+            offered_pps: 0.0,
         }
     }
 }
@@ -311,6 +349,37 @@ pub fn parse_fault_model(s: &str) -> Result<FaultModel, String> {
         other => Err(format!(
             "unknown fault model {other:?} (expected oracle|discovered|byzantine)"
         )),
+    }
+}
+
+/// Parses a `--workload` CLI value; the error lists the accepted names.
+pub fn parse_workload(s: &str) -> Result<TrafficPattern, String> {
+    TrafficPattern::parse(s).ok_or_else(|| {
+        format!("unknown workload {s:?} (expected paper|all2all|hotspot|incast|scan)")
+    })
+}
+
+/// Parses a `--routing` CLI value; the error lists the accepted names.
+pub fn parse_routing(s: &str) -> Result<RoutingStrategy, String> {
+    match s {
+        "shortest" => Ok(RoutingStrategy::Shortest),
+        "regular" => Ok(RoutingStrategy::Regular),
+        other => Err(format!(
+            "unknown routing strategy {other:?} (expected shortest|regular)"
+        )),
+    }
+}
+
+/// Parses an `--offered-load` CLI value: a finite, non-negative
+/// packets/second rate.
+pub fn parse_offered_load(s: &str) -> Result<f64, String> {
+    let x: f64 = s
+        .parse()
+        .map_err(|_| format!("--offered-load expects packets/second, got {s:?}"))?;
+    if x.is_finite() && x >= 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("--offered-load must be finite and non-negative, got {x}"))
     }
 }
 
@@ -369,29 +438,52 @@ pub fn run_sweep_opts(
     opts: SweepOpts,
     mut progress: impl FnMut(&str),
 ) -> SweepResult {
+    // One (x, system) batch: every seed concurrently, then aggregate.
+    // `routing` overrides the options' strategy for the Load columns.
+    let mut batch = |system: System, routing: Option<RoutingStrategy>, x: f64, tag: &str| {
+        let mut runs: Vec<Option<RunSummary>> = (0..seeds.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, &seed) in runs.iter_mut().zip(seeds) {
+                let mut cfg = base_config(scale);
+                cfg.faults.model = opts.fault_model;
+                cfg.faults.byzantine.attacker_fraction = opts.attacker_fraction;
+                cfg.radio.link_pdr = opts.link_pdr;
+                cfg.traffic.pattern = opts.workload;
+                cfg.traffic.offered_pps = opts.offered_pps;
+                cfg.routing = opts.routing;
+                sweep.configure(&mut cfg, x);
+                if let Some(routing) = routing {
+                    cfg.routing = routing;
+                }
+                cfg.seed = seed;
+                scope.spawn(move || *slot = Some(run_system(&cfg, system)));
+            }
+        });
+        let runs: Vec<RunSummary> =
+            runs.into_iter().map(|r| r.expect("every trial completes")).collect();
+        for &seed in seeds {
+            progress(&format!("{sweep:?} x={x} {tag} seed={seed}"));
+        }
+        aggregate(&runs)
+    };
     let mut points = Vec::new();
     for x in sweep.x_values() {
-        let mut systems = Vec::new();
-        for system in SYSTEMS {
-            let mut runs: Vec<Option<RunSummary>> = (0..seeds.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, &seed) in runs.iter_mut().zip(seeds) {
-                    let mut cfg = base_config(scale);
-                    cfg.faults.model = opts.fault_model;
-                    cfg.faults.byzantine.attacker_fraction = opts.attacker_fraction;
-                    cfg.radio.link_pdr = opts.link_pdr;
-                    sweep.configure(&mut cfg, x);
-                    cfg.seed = seed;
-                    scope.spawn(move || *slot = Some(run_system(&cfg, system)));
-                }
-            });
-            let runs: Vec<RunSummary> =
-                runs.into_iter().map(|r| r.expect("every trial completes")).collect();
-            for &seed in seeds {
-                progress(&format!("{sweep:?} x={x} {} seed={seed}", system.name()));
-            }
-            systems.push(aggregate(&runs));
-        }
+        let systems = if sweep == Sweep::Load {
+            // The load curve compares routing strategies within REFER, not
+            // the four systems: the question is how the same fabric behaves
+            // under shortest vs. regular next hops as pressure grows.
+            LOAD_ROUTINGS
+                .iter()
+                .map(|&routing| {
+                    batch(System::Refer, Some(routing), x, &format!("REFER/{routing:?}"))
+                })
+                .collect()
+        } else {
+            SYSTEMS
+                .iter()
+                .map(|&system| batch(system, None, x, system.name()))
+                .collect()
+        };
         points.push(SweepPoint { x, axis: sweep.axis_value(x), systems });
     }
     let fault_model = if sweep == Sweep::Attackers {
@@ -477,6 +569,49 @@ pub fn render_degradation(sweep: &SweepResult) -> String {
     out
 }
 
+/// Renders the heavy-traffic load table from a [`Sweep::Load`] result:
+/// congestion metrics per routing strategy at each offered load. Undefined
+/// cells (a NaN aggregate: nothing delivered, or no queueing observed)
+/// print as `—`.
+pub fn render_load(sweep: &SweepResult) -> String {
+    use std::fmt::Write;
+    fn num(x: f64, digits: usize) -> String {
+        if x.is_finite() {
+            format!("{x:.digits$}")
+        } else {
+            "—".to_string()
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "Heavy-traffic load response (fault model {:?})", sweep.fault_model)
+        .expect("write to string");
+    writeln!(
+        out,
+        "{:>10} {:>16} {:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "load(pps)", "routing", "deliv", "q_p50(ms)", "q_p99(ms)", "q_max(ms)", "hotlink", "miss", "cdrops"
+    )
+    .expect("write to string");
+    for point in &sweep.points {
+        for (routing, agg) in LOAD_ROUTINGS.iter().zip(&point.systems) {
+            writeln!(
+                out,
+                "{:>10} {:>16} {:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+                format!("{:.0}", point.x),
+                format!("REFER/{routing:?}"),
+                num(agg.delivery_ratio.mean, 3),
+                num(agg.queue_delay_p50_s.mean * 1e3, 2),
+                num(agg.queue_delay_p99_s.mean * 1e3, 2),
+                num(agg.queue_max_s.mean * 1e3, 1),
+                num(agg.hot_link_utilization.mean, 3),
+                num(agg.deadline_miss_ratio.mean, 3),
+                num(agg.congestion_drops.mean, 0),
+            )
+            .expect("write to string");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +668,34 @@ mod tests {
         assert!(err.contains("--attacker-fraction") && err.contains("[0, 1]"), "{err}");
         let err = parse_unit_interval("--link-pdr", "lossy").expect_err("rejects");
         assert!(err.contains("--link-pdr"), "{err}");
+    }
+
+    #[test]
+    fn load_sweep_forces_a_matrix_workload() {
+        let mut cfg = base_config(0.1);
+        Sweep::Load.configure(&mut cfg, 1000.0);
+        assert!(cfg.traffic.pattern.is_matrix());
+        assert_eq!(cfg.traffic.offered_pps, 1000.0);
+        // An explicit matrix choice survives the upgrade.
+        let mut cfg = base_config(0.1);
+        cfg.traffic.pattern = TrafficPattern::Scan;
+        Sweep::Load.configure(&mut cfg, 500.0);
+        assert_eq!(cfg.traffic.pattern, TrafficPattern::Scan);
+        assert_eq!(cfg.traffic.offered_pps, 500.0);
+    }
+
+    #[test]
+    fn workload_and_routing_flags_parse_with_clean_errors() {
+        assert_eq!(parse_workload("all2all"), Ok(TrafficPattern::All2All));
+        let err = parse_workload("bursty").expect_err("rejects");
+        assert!(err.contains("bursty") && err.contains("all2all"), "{err}");
+        assert_eq!(parse_routing("regular"), Ok(RoutingStrategy::Regular));
+        assert_eq!(parse_routing("shortest"), Ok(RoutingStrategy::Shortest));
+        let err = parse_routing("fastest").expect_err("rejects");
+        assert!(err.contains("fastest") && err.contains("regular"), "{err}");
+        assert_eq!(parse_offered_load("2500"), Ok(2500.0));
+        assert!(parse_offered_load("-1").is_err());
+        assert!(parse_offered_load("many").is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsan_sim::{
     AccuseOutcome, Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, HopReason,
-    Message, NodeId, NodeKind, Protocol, SimDuration,
+    Message, NodeId, NodeKind, Protocol, RoutingStrategy, SimDuration,
 };
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
@@ -65,6 +65,10 @@ pub struct DataFrame {
     pub dest_kid: KautzId,
     /// Conflict-path forced digit for the next relay (Proposition 3.7).
     pub forced: Option<u8>,
+    /// Regular-routing progress ([`RoutingStrategy::Regular`]): how many
+    /// digits of `dest_kid` the frame's current KID already carries.
+    /// Always 0 under the shortest-path planner.
+    pub appended: u8,
     /// Hop counter; frames exceeding [`MAX_HOPS`] are dropped.
     pub hops: u8,
 }
@@ -1005,7 +1009,32 @@ impl ReferProtocol {
         ctx: &mut Ctx<ReferMsg>,
         src: NodeId,
         access: NodeId,
+        data: DataId,
     ) -> (usize, KautzId) {
+        // A traffic-matrix packet carries its destination sensor: route to
+        // that sensor's cell (nearest centroid) and the corner actuator
+        // nearest the sensor, bypassing the cross-cell draw below — the
+        // paper trickle (no destination) keeps its exact draw sequence.
+        if let Some(dest) = ctx.data_dest(data) {
+            let layout = self.layout.as_ref().expect("cells exist");
+            let dest_cell = (0..self.cells.len())
+                .min_by(|&a, &b| {
+                    ctx.position(dest)
+                        .distance(&layout.cells[a].centroid)
+                        .partial_cmp(&ctx.position(dest).distance(&layout.cells[b].centroid))
+                        .expect("finite")
+                })
+                .expect("cells non-empty");
+            let corners = self.cells[dest_cell].corners;
+            let nearest = (0..3)
+                .min_by(|&a, &b| {
+                    ctx.distance(dest, corners[a])
+                        .partial_cmp(&ctx.distance(dest, corners[b]))
+                        .expect("finite")
+                })
+                .expect("three corners");
+            return (dest_cell, self.plan.actuator_kids[nearest].clone());
+        }
         let memberships = self.member_cells.get(&access).expect("access is a member");
         // The access member's cell; actuators belong to several — pick the
         // one whose centroid is nearest the source.
@@ -1114,6 +1143,28 @@ impl ReferProtocol {
                 return;
             }
         }
+        // Faber–Streib regular routing: walk the destination's digits one
+        // per hop. Oblivious to the source, so concurrent flows spread over
+        // distinct parallel routes instead of piling onto the one shortest
+        // path; a dead or congested regular successor falls back to the
+        // Theorem 3.8 planner below with the digit progress restarted.
+        if matches!(ctx.config().routing, RoutingStrategy::Regular) {
+            if let Some((succ_idx, appended)) =
+                self.route_table.regular_next(at_idx, dest_idx, frame.appended)
+            {
+                let next = self.cells[frame.dest_cell].roster_idx[succ_idx];
+                if let Some(next) = next.filter(|&n| {
+                    n != node && self.usable(ctx, node, n) && !ctx.is_congested(n)
+                }) {
+                    let size = ctx
+                        .data_size_bits(frame.data)
+                        .unwrap_or(ctx.config().traffic.packet_bits);
+                    let out = DataFrame { forced: None, appended, ..frame };
+                    self.send_data(ctx, node, next, size, out, HopReason::KautzNext);
+                    return;
+                }
+            }
+        }
         let choices = match route_choices_indexed(
             &self.route_table,
             at_idx,
@@ -1172,7 +1223,7 @@ impl ReferProtocol {
         let size = ctx
             .data_size_bits(frame.data)
             .unwrap_or(ctx.config().traffic.packet_bits);
-        let out = DataFrame { forced, ..frame };
+        let out = DataFrame { forced, appended: 0, ..frame };
         let reason = if idx > 0 { HopReason::Detour } else { HopReason::KautzNext };
         self.send_data(ctx, node, next, size, out, reason);
     }
@@ -1431,10 +1482,11 @@ impl Protocol for ReferProtocol {
                             .expect("finite")
                     })
                     .expect("relay has a member in range");
-                let (dest_cell, dest_kid) = self.choose_destination(ctx, src, home);
+                let (dest_cell, dest_kid) = self.choose_destination(ctx, src, home, data);
                 let size =
                     ctx.data_size_bits(data).unwrap_or(ctx.config().traffic.packet_bits);
-                let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
+                let frame =
+                    DataFrame { data, dest_cell, dest_kid, forced: None, appended: 0, hops: 0 };
                 if !self.send_data(ctx, src, relay, size, frame, HopReason::Access) {
                     ctx.drop_data_reason(data, DropReason::NoAccess);
                     self.stats.drop_no_access += 1;
@@ -1447,7 +1499,7 @@ impl Protocol for ReferProtocol {
             self.stats.drop_no_access += 1;
             return;
         };
-        let (dest_cell, dest_kid) = self.choose_destination(ctx, src, access);
+        let (dest_cell, dest_kid) = self.choose_destination(ctx, src, access, data);
         // Lowest-delay rule at the source too: a sensor standing next to
         // the destination actuator reports directly.
         if let Some(&dest) = self.cells[dest_cell].roster.get(&dest_kid) {
@@ -1459,6 +1511,7 @@ impl Protocol for ReferProtocol {
                     dest_cell,
                     dest_kid: dest_kid.clone(),
                     forced: None,
+                    appended: 0,
                     hops: 0,
                 };
                 if self.send_data(ctx, src, dest, size, frame, HopReason::Direct) {
@@ -1466,7 +1519,7 @@ impl Protocol for ReferProtocol {
                 }
             }
         }
-        let frame = DataFrame { data, dest_cell, dest_kid, forced: None, hops: 0 };
+        let frame = DataFrame { data, dest_cell, dest_kid, forced: None, appended: 0, hops: 0 };
         if access == src {
             self.forward(ctx, src, frame);
             return;

@@ -12,8 +12,9 @@
 //!   and arc counts (Lemma 3.1), the Moore bound, Eulerian circuits and
 //!   Hamiltonian cycles (the basis of the physical embedding, Section
 //!   III-A/B).
-//! * [`routing`] — the greedy shortest protocol: next hop and full path
-//!   from IDs alone.
+//! * [`routing`] — the greedy shortest protocol (next hop and full path
+//!   from IDs alone) and the Faber–Streib *regular* protocol, which trades
+//!   up to one extra hop for uniform per-arc load under all-to-all traffic.
 //! * [`disjoint`] — **Theorem 3.8**: the `d` vertex-disjoint `U -> V`
 //!   paths, their successors, lengths and the conflict-node rule
 //!   (Propositions 3.3–3.7), computed purely from the two identifiers.
@@ -59,5 +60,5 @@ pub use disjoint::{disjoint_paths, PathClass, PathPlan};
 pub use error::{KautzIdError, RoutingError};
 pub use graph::{KautzGraph, Nodes};
 pub use id::KautzId;
-pub use routing::{greedy_next_hop, greedy_path};
+pub use routing::{greedy_next_hop, greedy_path, regular_next_hop, regular_path};
 pub use table::{PlanSet, RouteTable, TablePlan};

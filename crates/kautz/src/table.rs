@@ -397,6 +397,31 @@ impl RouteTable {
         self.succ[u * self.degree as usize + succ_slot(alpha, u_last)] as usize
     }
 
+    /// One hop of the Faber–Streib regular protocol from `u` toward `v` as
+    /// two array reads; `None` when `u == v`. Mirrors
+    /// [`regular_next_hop`](crate::routing::regular_next_hop): append
+    /// `v_{appended+1}` and advance the counter, starting from `v_2` when
+    /// `v_1` collides with `u`'s last digit (the overlap is then at least
+    /// 1, so no detour digit is needed). Returns the next index and the
+    /// updated counter; inconsistent counters restart the route.
+    #[inline]
+    pub fn regular_next(&self, u: usize, v: usize, appended: u8) -> Option<(usize, u8)> {
+        if u == v {
+            return None;
+        }
+        let mut appended = if (appended as usize) < self.k {
+            appended
+        } else {
+            0
+        };
+        let u_last = self.digits[u * self.k + self.k - 1];
+        if self.digits[v * self.k + appended as usize] == u_last {
+            appended = u8::from(self.digits[v * self.k] == u_last);
+        }
+        let next_digit = self.digits[v * self.k + appended as usize];
+        Some((self.successor_by_digit(u, next_digit), appended + 1))
+    }
+
     /// The `d` disjoint path plans of Theorem 3.8 for `u -> v`, classified
     /// and sorted identically to
     /// [`disjoint_paths`](crate::disjoint::disjoint_paths) — including its
@@ -591,6 +616,41 @@ mod tests {
                     assert_eq!(table.next_hop(u, v), Some(expected), "K({d},{k}) {uid}->{vid}");
                     assert_eq!(table.overlap(u, v), uid.overlap(&vid));
                     assert_eq!(table.distance(u, v), uid.routing_distance(&vid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regular_next_matches_regular_next_hop_exhaustively() {
+        use crate::routing::regular_next_hop;
+        for (d, k) in [(2u8, 3usize), (3, 3), (4, 4)] {
+            let table = RouteTable::new(d, k).expect("valid");
+            for u in 0..table.node_count() {
+                let uid = table.id_of(u);
+                for v in 0..table.node_count() {
+                    if u == v {
+                        assert_eq!(table.regular_next(u, v, 0), None);
+                        continue;
+                    }
+                    let vid = table.id_of(v);
+                    let mut cur = u;
+                    let mut cur_id = uid.clone();
+                    let mut appended = 0u8;
+                    let mut hops = 0usize;
+                    while cur != v {
+                        let (expected, expected_app) =
+                            regular_next_hop(&cur_id, &vid, appended as usize).expect("distinct");
+                        let (got, got_app) =
+                            table.regular_next(cur, v, appended).expect("distinct");
+                        assert_eq!(got, expected.to_index(), "K({d},{k}) {cur_id}->{vid}");
+                        assert_eq!(got_app as usize, expected_app);
+                        cur = got;
+                        cur_id = expected;
+                        appended = got_app;
+                        hops += 1;
+                        assert!(hops <= k, "K({d},{k}) {uid}->{vid} exceeded bound");
+                    }
                 }
             }
         }

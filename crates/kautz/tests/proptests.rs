@@ -1,7 +1,7 @@
 //! Property-based tests for the Kautz identifier arithmetic and routing.
 
 use kautz::disjoint::{disjoint_paths, plan_route, PathClass};
-use kautz::routing::{greedy_next_hop, greedy_path};
+use kautz::routing::{greedy_next_hop, greedy_path, regular_next_hop, regular_path};
 use kautz::{KautzGraph, KautzId};
 use proptest::prelude::*;
 
@@ -58,6 +58,29 @@ proptest! {
         // Every hop is the greedy next hop of its predecessor.
         for w in path.windows(2) {
             prop_assert_eq!(&greedy_next_hop(&w[0], &v).expect("valid"), &w[1]);
+        }
+    }
+
+    #[test]
+    fn regular_route_reaches_destination_within_the_diameter((d, k) in graph_params(), a in 0usize..10_000, b in 0usize..10_000) {
+        let count = (d as usize + 1) * (d as usize).pow((k - 1) as u32);
+        let u = KautzId::from_index(a % count, d, k);
+        let v = KautzId::from_index(b % count, d, k);
+        prop_assume!(u != v);
+        let path = regular_path(&u, &v).expect("valid pair");
+        let hops = path.len() - 1;
+        // A conflict on the first digit means overlap >= 1: one fewer append.
+        let expected = if v.digits()[0] == u.last() { k - 1 } else { k };
+        prop_assert!(hops <= expected, "{} -> {} took {} hops", u, v, hops);
+        prop_assert!(hops >= u.routing_distance(&v));
+        prop_assert_eq!(path.last(), Some(&v));
+        // Every hop follows an arc and matches the stepwise API.
+        let mut appended = 0usize;
+        for w in path.windows(2) {
+            prop_assert!(w[0].is_arc_to(&w[1]));
+            let (hop, next) = regular_next_hop(&w[0], &v, appended).expect("valid");
+            prop_assert_eq!(&hop, &w[1]);
+            appended = next;
         }
     }
 

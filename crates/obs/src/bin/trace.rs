@@ -5,6 +5,8 @@
 //!               [--sensors N] [--faults N] [--mobility F]
 //!               [--fault-model oracle|discovered|byzantine]
 //!               [--attacker-fraction F] [--link-pdr P]
+//!               [--workload paper|all2all|hotspot|incast|scan]
+//!               [--offered-load PPS] [--routing shortest|regular]
 //! trace packet  <id> --in trace.jsonl      # one packet's full causal chain
 //! trace node    <id> --in trace.jsonl      # packets that crossed a node
 //! trace summary --in trace.jsonl           # counts, drops by reason, digest
@@ -13,7 +15,7 @@
 //!               [--fault-model oracle|discovered|byzantine]
 //!               [--attacker-fraction F] [--link-pdr P]
 //! trace verify  --sharded [--scale 0.05] [--seeds 3] [--sensors N]
-//!               [--threads N]
+//!               [--threads N] [--workload W] [--offered-load PPS]
 //! ```
 //!
 //! `verify` proves determinism three times over: the multiset digest of
@@ -28,9 +30,13 @@
 //! is canonical but deliberately distinct from the serial engine's — the
 //! two draw their randomness differently), so the check is
 //! `sharded(T) ≡ sharded(1)`: equal event multisets per seed *and*
-//! byte-identical JSONL streams.
+//! byte-identical JSONL streams. `--workload`/`--offered-load` swap the
+//! paper trickle for a traffic matrix, so the invariance check also covers
+//! the open-loop injector and its `PacketDest` events.
 
-use refer_bench::{base_config, run_system_with_sinks, System};
+use refer_bench::{
+    base_config, parse_offered_load, parse_routing, parse_workload, run_system_with_sinks, System,
+};
 use refer_obs::{
     from_jsonl_line, fnv1a64, EventHash, HashingSink, JsonlSink, PacketLedger, SharedBuf,
 };
@@ -66,16 +72,19 @@ fn usage(error: &str) -> ExitCode {
         "usage:\n  \
          trace record  --out FILE [--system S] [--scale F] [--seed N] [--sensors N]\n                \
          [--faults N] [--mobility F] [--fault-model oracle|discovered|byzantine]\n                \
-         [--attacker-fraction F] [--link-pdr P]\n  \
+         [--attacker-fraction F] [--link-pdr P] [--workload W]\n                \
+         [--offered-load PPS] [--routing shortest|regular]\n  \
          trace packet  <id> --in FILE\n  \
          trace node    <id> --in FILE\n  \
          trace summary --in FILE\n  \
          trace diff    <a> <b>\n  \
          trace verify  [--system S] [--scale F] [--seeds N] [--faults N]\n                \
          [--fault-model oracle|discovered|byzantine] [--attacker-fraction F]\n                \
-         [--link-pdr P]\n  \
-         trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n\
-         systems: refer (default), datree, ddear, kautz"
+         [--link-pdr P] [--workload W] [--offered-load PPS] [--routing R]\n  \
+         trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n                \
+         [--workload W] [--offered-load PPS]\n\
+         systems: refer (default), datree, ddear, kautz\n\
+         workloads: paper (default), all2all, hotspot, incast, scan"
     );
     ExitCode::from(2)
 }
@@ -157,7 +166,22 @@ fn scenario(flags: &BTreeMap<String, String>) -> Result<(SimConfig, System), Str
     cfg.faults.byzantine.attacker_fraction =
         unit_interval_flag(flags, "attacker-fraction", cfg.faults.byzantine.attacker_fraction)?;
     cfg.radio.link_pdr = unit_interval_flag(flags, "link-pdr", cfg.radio.link_pdr)?;
+    traffic_flags(&mut cfg, flags)?;
+    if let Some(raw) = flags.get("routing") {
+        cfg.routing = parse_routing(raw)?;
+    }
     Ok((cfg, system))
+}
+
+/// Applies the shared `--workload`/`--offered-load` traffic flags to `cfg`.
+fn traffic_flags(cfg: &mut SimConfig, flags: &BTreeMap<String, String>) -> Result<(), String> {
+    if let Some(raw) = flags.get("workload") {
+        cfg.traffic.pattern = parse_workload(raw)?;
+    }
+    if let Some(raw) = flags.get("offered-load") {
+        cfg.traffic.offered_pps = parse_offered_load(raw)?;
+    }
+    Ok(())
 }
 
 fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
@@ -488,6 +512,7 @@ fn cmd_verify_sharded(flags: &BTreeMap<String, String>) -> Result<ExitCode, Stri
     cfg.sensors = flag(flags, "sensors", cfg.sensors)?;
     cfg.faults.count = flag(flags, "faults", cfg.faults.count)?;
     cfg.mobility.max_speed = flag(flags, "mobility", cfg.mobility.max_speed)?;
+    traffic_flags(&mut cfg, flags)?;
     let threads: usize = flag(flags, "threads", 2)?;
     if threads < 2 {
         return Err("--threads must be ≥ 2: comparing the 1-thread reference to itself \

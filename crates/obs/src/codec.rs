@@ -94,6 +94,11 @@ pub fn event_to_value(event: &TraceEvent) -> Value {
             ("origin", node(*origin)),
             ("measured", Value::Bool(*measured)),
         ]),
+        TraceEvent::PacketDest { at, packet: p, dest } => map(vec![
+            ("at", time(*at)),
+            ("packet", packet(*p)),
+            ("dest", node(*dest)),
+        ]),
         TraceEvent::Hop { at, packet: p, from, to, reason, queue_s } => map(vec![
             ("at", time(*at)),
             ("packet", packet(*p)),
@@ -233,6 +238,11 @@ pub fn event_from_value(value: &Value) -> Result<TraceEvent, Error> {
                 .as_bool()
                 .ok_or_else(|| Error::msg("measured: expected bool"))?,
         },
+        "PacketDest" => TraceEvent::PacketDest {
+            at: get_time(body)?,
+            packet: get_packet(body)?,
+            dest: get_node(body, "dest")?,
+        },
         "Hop" => TraceEvent::Hop {
             at: get_time(body)?,
             packet: get_packet(body)?,
@@ -334,6 +344,7 @@ mod tests {
                 origin: NodeId(3),
                 measured: true,
             },
+            TraceEvent::PacketDest { at: t(1), packet: DataId(42), dest: NodeId(19) },
             TraceEvent::Hop {
                 at: t(2),
                 packet: DataId(7),

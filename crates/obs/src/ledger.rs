@@ -61,6 +61,8 @@ pub struct PacketRecord {
     pub packet: DataId,
     /// Originating sensor, if the trace caught the origin event.
     pub origin: Option<NodeId>,
+    /// Matrix-assigned destination sensor, if the workload assigned one.
+    pub dest: Option<NodeId>,
     /// Emission time, if the trace caught the origin event.
     pub created: Option<SimTime>,
     /// Whether the packet counts toward metrics (emitted after warmup).
@@ -76,11 +78,25 @@ impl PacketRecord {
         PacketRecord {
             packet,
             origin: None,
+            dest: None,
             created: None,
             measured: false,
             hops: Vec::new(),
             outcome: Outcome::InFlight,
         }
+    }
+
+    /// Total queueing delay the packet accumulated across its hops,
+    /// seconds — the congestion share of its end-to-end delay.
+    pub fn total_queue_s(&self) -> f64 {
+        self.hops.iter().map(|h| h.queue_s).sum()
+    }
+
+    /// The hop where the packet queued longest, if it hopped at all.
+    pub fn worst_queue_hop(&self) -> Option<&HopRecord> {
+        self.hops
+            .iter()
+            .max_by(|a, b| a.queue_s.total_cmp(&b.queue_s))
     }
 
     /// Every node the packet touched, in order of first appearance:
@@ -147,6 +163,9 @@ impl PacketRecord {
             }
             _ => out.push_str(&format!("packet {id}: origin not in trace\n")),
         }
+        if let Some(dest) = self.dest {
+            out.push_str(&format!("  matrix destination: node {}\n", dest.0));
+        }
         for (i, h) in self.hops.iter().enumerate() {
             out.push_str(&format!(
                 "  hop {:>2}  {}us  {} -> {}  [{}]  queue {:.1}ms\n",
@@ -171,6 +190,16 @@ impl PacketRecord {
                 drop_reason_str(*reason)
             )),
             Outcome::InFlight => out.push_str("  still in flight at end of trace\n"),
+        }
+        let queued = self.total_queue_s();
+        if queued > 0.0 {
+            let worst = self.worst_queue_hop().expect("queueing implies a hop");
+            out.push_str(&format!(
+                "  queueing: {:.1}ms total, worst {:.1}ms at node {}\n",
+                queued * 1e3,
+                worst.queue_s * 1e3,
+                worst.from.0
+            ));
         }
         out
     }
@@ -224,6 +253,9 @@ impl PacketLedger {
                 rec.origin = Some(origin);
                 rec.created = Some(at);
                 rec.measured = measured;
+            }
+            TraceEvent::PacketDest { packet, dest, .. } => {
+                self.entry(packet).dest = Some(dest);
             }
             TraceEvent::Hop { at, packet, from, to, reason, queue_s } => {
                 self.entry(packet).hops.push(HopRecord { at, from, to, reason, queue_s });
@@ -305,6 +337,21 @@ impl PacketLedger {
         }
         out
     }
+
+    /// Queue-delay attribution: per forwarding node, how many frames it
+    /// forwarded and the total queueing delay it imposed on them, seconds.
+    /// Sorting by the delay column names the congested nodes directly.
+    pub fn queue_by_node(&self) -> BTreeMap<NodeId, (usize, f64)> {
+        let mut out: BTreeMap<NodeId, (usize, f64)> = BTreeMap::new();
+        for r in self.packets() {
+            for h in &r.hops {
+                let slot = out.entry(h.from).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += h.queue_s;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +365,7 @@ mod tests {
     fn sample_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::PacketOrigin { at: t(100), packet: DataId(1), origin: NodeId(5), measured: true },
+            TraceEvent::PacketDest { at: t(100), packet: DataId(1), dest: NodeId(13) },
             TraceEvent::Hop {
                 at: t(110),
                 packet: DataId(1),
@@ -357,6 +405,7 @@ mod tests {
 
         let rec = ledger.packet(DataId(1)).expect("packet 1");
         assert_eq!(rec.origin, Some(NodeId(5)));
+        assert_eq!(rec.dest, Some(NodeId(13)));
         assert_eq!(rec.created, Some(t(100)));
         assert!(rec.measured);
         assert_eq!(rec.hops.len(), 2);
@@ -403,13 +452,29 @@ mod tests {
         let ledger = PacketLedger::from_events(sample_events());
         let text = ledger.packet(DataId(1)).expect("packet 1").describe();
         assert!(text.contains("origin 5"));
+        assert!(text.contains("matrix destination: node 13"));
         assert!(text.contains("[access]"));
         assert!(text.contains("[kautz-next]"));
         assert!(text.contains("DELIVERED at node 13"));
+        assert!(text.contains("queueing: 2.0ms total, worst 2.0ms at node 8"));
 
         let dropped = ledger.packet(DataId(2)).expect("packet 2").describe();
         assert!(dropped.contains("(warmup)"));
         assert!(dropped.contains("DROPPED"));
         assert!(dropped.contains("no-route"));
+    }
+
+    #[test]
+    fn queue_delay_attribution_sums_per_forwarding_node() {
+        let ledger = PacketLedger::from_events(sample_events());
+        let rec = ledger.packet(DataId(1)).expect("packet 1");
+        assert!((rec.total_queue_s() - 0.002).abs() < 1e-12);
+        assert_eq!(rec.worst_queue_hop().expect("has hops").from, NodeId(8));
+
+        let by_node = ledger.queue_by_node();
+        assert_eq!(by_node.get(&NodeId(5)), Some(&(1, 0.0)));
+        let (count, total) = by_node.get(&NodeId(8)).expect("node 8 forwarded");
+        assert_eq!(*count, 1);
+        assert!((total - 0.002).abs() < 1e-12);
     }
 }

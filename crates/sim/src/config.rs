@@ -4,6 +4,7 @@
 use crate::energy::EnergyModel;
 use crate::geometry::{Area, Point};
 use crate::time::SimDuration;
+use crate::traffic::TrafficPattern;
 
 /// How actuators are positioned in the area.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,14 @@ pub struct TrafficConfig {
     pub rate_bps: f64,
     /// Application packet size, bits.
     pub packet_bits: u32,
+    /// The workload shape. [`TrafficPattern::Paper`] (the default) keeps
+    /// the Section IV trickle byte-identical; every other pattern makes all
+    /// alive sensors sources with hash-assigned destination sensors.
+    pub pattern: TrafficPattern,
+    /// Aggregate open-loop injection rate for matrix patterns, packets per
+    /// second across the whole network; `0.0` (the default) falls back to
+    /// the per-source `rate_bps` semantics. Ignored by the paper trickle.
+    pub offered_pps: f64,
 }
 
 impl Default for TrafficConfig {
@@ -57,6 +66,8 @@ impl Default for TrafficConfig {
             sources_per_round: 5,
             rate_bps: 1_000_000.0,
             packet_bits: 8_000,
+            pattern: TrafficPattern::Paper,
+            offered_pps: 0.0,
         }
     }
 }
@@ -277,6 +288,29 @@ pub enum NeighborIndex {
     LinearScan,
 }
 
+/// How Kautz-routed protocols pick the next hop toward a destination
+/// identifier.
+///
+/// The strategy is a *scenario* knob (like [`FaultModel`]) rather than a
+/// protocol constructor argument so every Kautz-based system in a sweep —
+/// REFER's intra-cell forwarding, the Kautz overlay baseline, the fabric
+/// used by the heavy-traffic workloads — switches together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RoutingStrategy {
+    /// The paper's greedy shortest protocol (Section III-C1) with the
+    /// Theorem 3.8 disjoint-path planner around failures. Minimizes hops,
+    /// but under all-to-all load the overlap shortcut concentrates pairs
+    /// onto hot arcs.
+    #[default]
+    Shortest,
+    /// Faber–Streib regular routing: append the destination's digits in
+    /// order (at most one detour hop). Every route costs `k` or `k + 1`
+    /// hops, and the induced per-arc load is uniform — the better choice
+    /// under heavy all-to-all traffic.
+    Regular,
+}
+
 /// Which event-loop engine executes the run.
 ///
 /// Mirrors [`NeighborIndex`]: the serial loop stays the default and the
@@ -442,6 +476,9 @@ pub struct SimConfig {
     /// Which event-loop engine executes the run (serial by default; the
     /// sharded engine is opt-in and verified against itself at 1 thread).
     pub engine: Engine,
+    /// How Kautz-routed protocols pick next hops (greedy shortest by
+    /// default; regular routing equalizes load under traffic matrices).
+    pub routing: RoutingStrategy,
     /// Master RNG seed; every random choice in the run derives from it.
     pub seed: u64,
 }
@@ -470,6 +507,7 @@ impl SimConfig {
             qos_deadline: SimDuration::from_secs_f64(0.6),
             neighbor_index: NeighborIndex::default(),
             engine: Engine::default(),
+            routing: RoutingStrategy::default(),
             seed: 1,
         }
     }
@@ -521,6 +559,18 @@ impl SimConfig {
             "link_pdr must be within [0, 1], got {}",
             self.radio.link_pdr
         );
+        assert!(
+            self.traffic.offered_pps.is_finite() && self.traffic.offered_pps >= 0.0,
+            "offered_pps must be finite and non-negative, got {}",
+            self.traffic.offered_pps
+        );
+        if let TrafficPattern::Hotspot { targets, skew } = self.traffic.pattern {
+            assert!(targets > 0, "hotspot needs at least one target");
+            assert!(
+                (0.0..=1.0).contains(&skew),
+                "hotspot skew must be within [0, 1], got {skew}"
+            );
+        }
         let byz = &self.faults.byzantine;
         assert!(
             (0.0..=1.0).contains(&byz.attacker_fraction),
@@ -574,6 +624,9 @@ mod tests {
         assert_eq!(cfg.sensor_range, 100.0);
         assert_eq!(cfg.actuator_range, 250.0);
         assert_eq!(cfg.traffic.sources_per_round, 5);
+        assert_eq!(cfg.traffic.pattern, TrafficPattern::Paper);
+        assert_eq!(cfg.traffic.offered_pps, 0.0);
+        assert_eq!(cfg.routing, RoutingStrategy::Shortest);
         assert_eq!(cfg.qos_deadline.as_secs_f64(), 0.6);
         assert_eq!(cfg.warmup.as_secs_f64(), 100.0);
         assert_eq!(cfg.duration.as_secs_f64(), 1000.0);
@@ -593,6 +646,17 @@ mod tests {
     fn explicit_placement_must_match_count() {
         let mut cfg = SimConfig::paper();
         cfg.placement = ActuatorPlacement::Explicit(vec![Point::new(0.0, 0.0)]);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot skew must be within [0, 1]")]
+    fn hotspot_skew_is_validated() {
+        let mut cfg = SimConfig::paper();
+        cfg.traffic.pattern = TrafficPattern::Hotspot {
+            targets: 4,
+            skew: 1.5,
+        };
         cfg.validate();
     }
 

@@ -27,8 +27,10 @@ pub(crate) enum EventKind<P> {
     /// A protocol timer fires.
     Timer { node: NodeId, tag: u64 },
     /// One application packet is emitted by a traffic source; `remaining`
-    /// packets follow at the configured gap.
-    EmitPacket { node: NodeId, remaining: u64 },
+    /// packets follow, each `gap_micros` after the previous one (the gap is
+    /// computed once per traffic round, where the alive-source count is
+    /// known, and carried here so shards never need it).
+    EmitPacket { node: NodeId, remaining: u64, gap_micros: u64 },
     /// New traffic sources are drawn.
     TrafficRound,
     /// The faulty-node set rotates.
@@ -747,8 +749,12 @@ impl<P> Ctx<P> {
     /// protocol does not track hops.
     pub fn deliver_data_with_hops(&mut self, data: DataId, at: NodeId, hops: u32) {
         debug_assert!(
-            matches!(self.nodes[at.index()].kind, NodeKind::Actuator),
-            "data must be delivered to an actuator"
+            matches!(self.nodes[at.index()].kind, NodeKind::Actuator)
+                || self
+                    .data
+                    .get(&data)
+                    .is_none_or(|record| record.dest == Some(at)),
+            "data must be delivered to an actuator or its matrix-assigned sensor"
         );
         let now = self.now;
         if let Some(ctl) = self.shard.as_ref() {
@@ -991,6 +997,15 @@ impl<P> Ctx<P> {
         self.data.get(&data).map(|r| r.size_bits)
     }
 
+    /// The destination sensor a traffic matrix assigned to `data`: `None`
+    /// under the paper trickle (the protocol picks an actuator itself), and
+    /// also for records owned by another shard — protocols must read it in
+    /// `on_app_data`, where the origin's record is local, and carry it in
+    /// their frames from there.
+    pub fn data_dest(&self, data: DataId) -> Option<NodeId> {
+        self.data.get(&data).and_then(|r| r.dest)
+    }
+
     // ----- internals ----------------------------------------------------
 
     pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<P>) {
@@ -1044,13 +1059,27 @@ impl<P> Ctx<P> {
     }
 
     /// Queues the frame on the sender's radio and returns the time its
-    /// transmission completes (before jitter).
+    /// transmission completes (before jitter). Every frame accepted here in
+    /// the measured window feeds the congestion accounting: its queue wait
+    /// (how long the radio was already busy) goes to the queue-delay
+    /// histogram, its airtime to the sender's utilization counter.
+    /// Setup-phase traffic (`unbounded_queue`) stays invisible, like the
+    /// queue-overflow checks.
     fn tx_base_schedule(&mut self, from: NodeId, size_bits: u32) -> SimTime {
         let service = self.service_time(size_bits);
+        let now = self.now.as_micros();
+        let measured =
+            !self.unbounded_queue && now >= (SimTime::ZERO + self.cfg.warmup).as_micros();
         let node = &mut self.nodes[from.index()];
-        let start = self.now.as_micros().max(node.busy_until_micros);
+        let start = now.max(node.busy_until_micros);
         let done = start + service.as_micros();
         node.busy_until_micros = done;
+        if measured {
+            let wait = start - now;
+            self.metrics.queue_hist.record(wait);
+            self.metrics.queue_max_us = self.metrics.queue_max_us.max(wait);
+            node.tx_busy_micros += service.as_micros();
+        }
         SimTime::from_micros(done)
     }
 

@@ -113,6 +113,18 @@ pub struct AggregateSummary {
     pub hop_p50: CiStat,
     /// 99th-percentile end-to-end hop count.
     pub hop_p99: CiStat,
+    /// Median transmit-queue wait, seconds.
+    pub queue_delay_p50_s: CiStat,
+    /// 95th-percentile transmit-queue wait, seconds.
+    pub queue_delay_p95_s: CiStat,
+    /// 99th-percentile transmit-queue wait, seconds.
+    pub queue_delay_p99_s: CiStat,
+    /// Worst single transmit-queue wait, seconds.
+    pub queue_max_s: CiStat,
+    /// Busiest node's transmit airtime share of the measured window.
+    pub hot_link_utilization: CiStat,
+    /// Frames dropped at full transmit queues per run.
+    pub congestion_drops: CiStat,
 }
 
 /// Aggregates per-run summaries into means with 95% confidence intervals.
@@ -154,6 +166,12 @@ pub fn aggregate(runs: &[RunSummary]) -> AggregateSummary {
         deadline_miss_ratio: col(runs, |r| r.deadline_miss_ratio),
         hop_p50: col(runs, |r| r.hop_p50),
         hop_p99: col(runs, |r| r.hop_p99),
+        queue_delay_p50_s: col(runs, |r| r.queue_delay_p50_s),
+        queue_delay_p95_s: col(runs, |r| r.queue_delay_p95_s),
+        queue_delay_p99_s: col(runs, |r| r.queue_delay_p99_s),
+        queue_max_s: col(runs, |r| r.queue_max_s),
+        hot_link_utilization: col(runs, |r| r.hot_link_utilization),
+        congestion_drops: col(runs, |r| r.congestion_drops as f64),
     }
 }
 
@@ -208,6 +226,12 @@ mod tests {
             deadline_miss_ratio: 0.1,
             hop_p50: 3.0,
             hop_p99: 7.0,
+            queue_delay_p50_s: 0.002,
+            queue_delay_p95_s: 0.02,
+            queue_delay_p99_s: 0.0625,
+            queue_max_s: 0.25,
+            hot_link_utilization: 0.5,
+            congestion_drops: 5,
         };
         let agg = aggregate(&[run.clone(), run.clone(), run]);
         assert_eq!(agg.throughput_bps.mean, 100.0);
@@ -219,6 +243,9 @@ mod tests {
         assert_eq!(agg.wrongful_evictions.mean, 1.0);
         assert_eq!(agg.containment_time_s.mean, 1.5);
         assert_eq!(agg.containment_time_s.n, 3);
+        assert_eq!(agg.queue_delay_p99_s.mean, 0.0625);
+        assert_eq!(agg.hot_link_utilization.mean, 0.5);
+        assert_eq!(agg.congestion_drops.mean, 5.0);
     }
 
     #[test]

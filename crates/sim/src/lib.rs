@@ -54,11 +54,12 @@ pub mod shard;
 pub mod stats;
 mod time;
 pub mod trace;
+pub mod traffic;
 
 pub use config::{
     ActuatorPlacement, ByzantineConfig, Engine, FaultConfig, FaultModel, LinkModel, MobilityConfig,
-    MobilityModel, NeighborIndex, RadioConfig, SensorPlacement, ShardedConfig, SimConfig,
-    TrafficConfig,
+    MobilityModel, NeighborIndex, RadioConfig, RoutingStrategy, SensorPlacement, ShardedConfig,
+    SimConfig, TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
@@ -73,3 +74,4 @@ pub use protocol::Protocol;
 pub use shard::{run_engine, run_engine_with_sinks, run_sharded, run_sharded_with_sinks, ShardableProtocol};
 pub use time::{SimDuration, SimTime};
 pub use trace::{HopReason, TraceEvent, TraceLog, TraceSink};
+pub use traffic::TrafficPattern;

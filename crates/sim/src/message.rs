@@ -52,6 +52,10 @@ pub struct DataRecord {
     /// Whether the packet was created during the measured window (after
     /// warmup).
     pub measured: bool,
+    /// The destination *sensor* assigned by a traffic matrix
+    /// ([`TrafficPattern`](crate::traffic::TrafficPattern)); `None` under
+    /// the paper trickle, where the protocol picks an actuator itself.
+    pub dest: Option<NodeId>,
 }
 
 impl DataRecord {
@@ -74,6 +78,7 @@ mod tests {
             size_bits: 8000,
             delivered: None,
             measured: true,
+            dest: None,
         };
         assert_eq!(r.delay(), None);
         r.delivered = Some(SimTime::from_secs(100) + SimDuration::from_millis(420));

@@ -89,6 +89,14 @@ pub struct Metrics {
     pub first_suspected: std::collections::BTreeMap<u32, u64>,
     /// Energy totals per account and mode.
     pub energy: EnergyLedger,
+    /// Per-frame radio queue waits (time between a frame being handed to
+    /// the sender's radio and the transmission actually starting),
+    /// microseconds, measured window only. The congestion signal a traffic
+    /// matrix is designed to provoke.
+    pub queue_hist: LogHistogram,
+    /// Deepest queue wait observed in the measured window, microseconds.
+    /// Max-merged across shards (the only non-additive scalar here).
+    pub queue_max_us: u64,
     /// End-to-end delays of all measured deliveries, microseconds.
     pub delay_hist: LogHistogram,
     /// End-to-end hop counts of measured deliveries whose protocol
@@ -181,6 +189,26 @@ pub struct RunSummary {
     pub hop_p50: f64,
     /// 99th-percentile end-to-end hop count (NaN when none reported).
     pub hop_p99: f64,
+    /// Median per-frame radio queue wait, seconds (NaN when no frame was
+    /// queued in the measured window).
+    pub queue_delay_p50_s: f64,
+    /// 95th-percentile per-frame radio queue wait, seconds (NaN when no
+    /// frame was queued).
+    pub queue_delay_p95_s: f64,
+    /// 99th-percentile per-frame radio queue wait, seconds (NaN when no
+    /// frame was queued) — the congestion tail the Faber–Streib comparison
+    /// is judged on.
+    pub queue_delay_p99_s: f64,
+    /// Deepest per-frame radio queue wait, seconds (NaN when no frame was
+    /// queued).
+    pub queue_max_s: f64,
+    /// Highest per-node link utilization: the busiest node's transmit
+    /// airtime divided by the measured duration. NaN when the engine did
+    /// not compute it (summaries built directly from [`Metrics`]).
+    pub hot_link_utilization: f64,
+    /// Frames tail-dropped by full interface queues in the measured window
+    /// — losses attributable to congestion rather than faults.
+    pub congestion_drops: u64,
 }
 
 /// Bitwise float equality, so the NaN tails of a run that delivered
@@ -224,6 +252,12 @@ impl PartialEq for RunSummary {
             && f(self.deadline_miss_ratio, other.deadline_miss_ratio)
             && f(self.hop_p50, other.hop_p50)
             && f(self.hop_p99, other.hop_p99)
+            && f(self.queue_delay_p50_s, other.queue_delay_p50_s)
+            && f(self.queue_delay_p95_s, other.queue_delay_p95_s)
+            && f(self.queue_delay_p99_s, other.queue_delay_p99_s)
+            && f(self.queue_max_s, other.queue_max_s)
+            && f(self.hot_link_utilization, other.hot_link_utilization)
+            && self.congestion_drops == other.congestion_drops
     }
 }
 
@@ -276,6 +310,8 @@ impl Metrics {
                 .or_insert(at);
         }
         self.energy.merge(&other.energy);
+        self.queue_hist.merge(&other.queue_hist);
+        self.queue_max_us = self.queue_max_us.max(other.queue_max_us);
         self.delay_hist.merge(&other.delay_hist);
         self.hop_hist.merge(&other.hop_hist);
     }
@@ -344,6 +380,18 @@ impl Metrics {
             },
             hop_p50: self.hop_hist.quantile(0.50).map_or(f64::NAN, |h| h as f64),
             hop_p99: self.hop_hist.quantile(0.99).map_or(f64::NAN, |h| h as f64),
+            queue_delay_p50_s: self.queue_hist.quantile_secs(0.50),
+            queue_delay_p95_s: self.queue_hist.quantile_secs(0.95),
+            queue_delay_p99_s: self.queue_hist.quantile_secs(0.99),
+            queue_max_s: if self.queue_hist.is_empty() {
+                f64::NAN
+            } else {
+                self.queue_max_us as f64 / 1e6
+            },
+            // Needs per-node airtime the engines gather after summarize —
+            // same post-hoc convention as hotspot_energy_j above.
+            hot_link_utilization: f64::NAN,
+            congestion_drops: self.frames_queue_dropped,
         }
     }
 }
@@ -438,5 +486,31 @@ mod tests {
         assert!(s.delay_p99_s.is_nan());
         assert!(s.deadline_miss_ratio.is_nan());
         assert!(s.hop_p50.is_nan());
+        assert!(s.queue_delay_p99_s.is_nan());
+        assert!(s.queue_max_s.is_nan());
+        assert!(s.hot_link_utilization.is_nan());
+        assert_eq!(s.congestion_drops, 0);
+    }
+
+    #[test]
+    fn queue_metrics_merge_and_summarize() {
+        let mut a = Metrics::default();
+        a.queue_hist.record(0);
+        // Exact bucket edges (powers of two), so quantiles recover them.
+        a.queue_hist.record(8_192);
+        a.queue_max_us = 8_192;
+        a.frames_queue_dropped = 2;
+        let mut b = Metrics::default();
+        b.queue_hist.record(524_288);
+        b.queue_max_us = 524_288;
+        b.frames_queue_dropped = 1;
+        a.merge(&b);
+        assert_eq!(a.queue_hist.count(), 3);
+        assert_eq!(a.queue_max_us, 524_288);
+        let s = a.summarize(SimDuration::from_secs(10));
+        assert_eq!(s.congestion_drops, 3);
+        assert_eq!(s.queue_max_s, 0.524288);
+        assert_eq!(s.queue_delay_p50_s, 0.008192);
+        assert!(s.queue_delay_p99_s >= s.queue_delay_p50_s);
     }
 }

@@ -67,6 +67,11 @@ pub struct NodeState {
     /// The earliest time the node's radio is free to start a new
     /// transmission (microseconds); drives the queueing-delay model.
     pub busy_until_micros: u64,
+    /// Total radio airtime this node spent *transmitting* during the
+    /// measured window (microseconds). Airtime / measured duration is the
+    /// node's link utilization; the maximum over all nodes is the
+    /// `hot_link_utilization` congestion metric.
+    pub tx_busy_micros: u64,
     /// Random-waypoint state: current movement target.
     pub waypoint: Point,
     /// Random-waypoint state: current speed, m/s.
@@ -89,6 +94,7 @@ impl NodeState {
             battery,
             consumed: 0.0,
             busy_until_micros: 0,
+            tx_busy_micros: 0,
             waypoint: position,
             speed: 0.0,
             velocity: (0.0, 0.0),

@@ -101,8 +101,8 @@ pub fn run_with_sinks<P: Protocol>(
                 // check `ctx.is_faulty` before acting.
                 protocol.on_timer(&mut ctx, node, tag);
             }
-            EventKind::EmitPacket { node, remaining } => {
-                emit_packet(&mut ctx, protocol, node, remaining);
+            EventKind::EmitPacket { node, remaining, gap_micros } => {
+                emit_packet(&mut ctx, protocol, node, remaining, gap_micros);
             }
             EventKind::TrafficRound => {
                 traffic_round(&mut ctx);
@@ -126,12 +126,26 @@ pub fn run_with_sinks<P: Protocol>(
         .collect();
     summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
     summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
+    summary.hot_link_utilization = hot_link_utilization(&ctx.nodes, &ctx.cfg);
     summary.oracle_queries = ctx.oracle_queries.get();
     let mut sinks = std::mem::take(&mut ctx.sinks);
     for sink in &mut sinks {
         sink.flush();
     }
     (summary, sinks)
+}
+
+/// The busiest node's share of the measured window spent transmitting —
+/// the `hot_link_utilization` congestion metric. Computed post-summarize
+/// from per-node airtime (the serial engine here; the sharded engine after
+/// gathering airtime from every shard by owner).
+pub(crate) fn hot_link_utilization(nodes: &[NodeState], cfg: &SimConfig) -> f64 {
+    let window = cfg.duration.as_micros();
+    if window == 0 {
+        return f64::NAN;
+    }
+    let busiest = nodes.iter().map(|n| n.tx_busy_micros).max().unwrap_or(0);
+    busiest as f64 / window as f64
 }
 
 /// The ACK timeout of pending acknowledged frame `id` fired: retransmit
@@ -306,23 +320,56 @@ fn sensor_position(
 }
 
 pub(crate) fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
-    // Draw the new source set among alive sensors.
+    // Alive sensors are the candidate sources under every pattern.
     let alive: Vec<NodeId> = ctx
         .sensors
         .iter()
         .copied()
         .filter(|id| !ctx.nodes[id.index()].faulty)
         .collect();
-    let n = ctx.cfg.traffic.sources_per_round.min(alive.len());
-    let sources: Vec<NodeId> = alive
-        .choose_multiple(&mut ctx.rng, n)
-        .copied()
-        .collect();
-    let packets = ctx.cfg.packets_per_round();
     let now = ctx.now;
-    for src in sources {
+    if ctx.cfg.traffic.pattern.is_matrix() {
+        // Traffic matrix: every alive sensor sources. The per-source packet
+        // count and gap derive from the aggregate offered rate *here*,
+        // where the alive count is known (this driver runs centrally under
+        // sharding), and ride in the events so shards never need it. No
+        // RNG is consumed: destinations are per-packet hashes.
+        let nsources = alive.len() as u64;
+        let interval = ctx.cfg.traffic.round_interval;
+        let (packets, gap_micros) = if ctx.cfg.traffic.offered_pps > 0.0 {
+            let per_source = (ctx.cfg.traffic.offered_pps * interval.as_secs_f64()
+                / (nsources.max(1)) as f64)
+                .floor() as u64;
+            (per_source, interval.as_micros() / per_source.max(1))
+        } else {
+            (ctx.cfg.packets_per_round(), ctx.cfg.packet_gap().as_micros())
+        };
         if packets > 0 {
-            ctx.push(now, EventKind::EmitPacket { node: src, remaining: packets - 1 });
+            for src in alive {
+                ctx.push(
+                    now,
+                    EventKind::EmitPacket { node: src, remaining: packets - 1, gap_micros },
+                );
+            }
+        }
+    } else {
+        // The paper trickle: draw the new source set among alive sensors
+        // (this draw sequence predates the matrix patterns and must stay
+        // byte-identical under them being off).
+        let n = ctx.cfg.traffic.sources_per_round.min(alive.len());
+        let sources: Vec<NodeId> = alive
+            .choose_multiple(&mut ctx.rng, n)
+            .copied()
+            .collect();
+        let packets = ctx.cfg.packets_per_round();
+        let gap_micros = ctx.cfg.packet_gap().as_micros();
+        for src in sources {
+            if packets > 0 {
+                ctx.push(
+                    now,
+                    EventKind::EmitPacket { node: src, remaining: packets - 1, gap_micros },
+                );
+            }
         }
     }
     let next = now + ctx.cfg.traffic.round_interval;
@@ -336,34 +383,59 @@ pub(crate) fn emit_packet<P: Protocol>(
     protocol: &mut P,
     node: NodeId,
     remaining: u64,
+    gap_micros: u64,
 ) {
     if !ctx.nodes[node.index()].faulty {
-        let id = ctx.alloc_data_id(node);
-        let measured = ctx.now >= SimTime::ZERO + ctx.cfg.warmup;
-        ctx.data.insert(
-            id,
-            DataRecord {
+        // Matrix patterns assign each packet a destination sensor by pure
+        // hash — engine- and thread-invariant, no RNG draw. A `None` under
+        // a matrix pattern (an incast sink's own slot) emits nothing.
+        let pattern = ctx.cfg.traffic.pattern;
+        let dest = if pattern.is_matrix() {
+            let round =
+                ctx.now.as_micros() / ctx.cfg.traffic.round_interval.as_micros().max(1);
+            crate::traffic::destination(
+                pattern,
+                ctx.cfg.seed,
+                node,
+                round,
+                remaining,
+                ctx.sensors.len(),
+            )
+        } else {
+            None
+        };
+        if !pattern.is_matrix() || dest.is_some() {
+            let id = ctx.alloc_data_id(node);
+            let measured = ctx.now >= SimTime::ZERO + ctx.cfg.warmup;
+            ctx.data.insert(
+                id,
+                DataRecord {
+                    origin: node,
+                    created: ctx.now,
+                    size_bits: ctx.cfg.traffic.packet_bits,
+                    delivered: None,
+                    measured,
+                    dest,
+                },
+            );
+            if measured {
+                ctx.metrics.offered_packets += 1;
+            }
+            ctx.record(|at| crate::trace::TraceEvent::PacketOrigin {
+                at,
+                packet: id,
                 origin: node,
-                created: ctx.now,
-                size_bits: ctx.cfg.traffic.packet_bits,
-                delivered: None,
                 measured,
-            },
-        );
-        if measured {
-            ctx.metrics.offered_packets += 1;
+            });
+            if let Some(dest) = dest {
+                ctx.record(|at| crate::trace::TraceEvent::PacketDest { at, packet: id, dest });
+            }
+            protocol.on_app_data(ctx, node, id);
         }
-        ctx.record(|at| crate::trace::TraceEvent::PacketOrigin {
-            at,
-            packet: id,
-            origin: node,
-            measured,
-        });
-        protocol.on_app_data(ctx, node, id);
     }
     if remaining > 0 {
-        let next = ctx.now + ctx.cfg.packet_gap();
-        ctx.push(next, EventKind::EmitPacket { node, remaining: remaining - 1 });
+        let next = ctx.now + crate::time::SimDuration::from_micros(gap_micros);
+        ctx.push(next, EventKind::EmitPacket { node, remaining: remaining - 1, gap_micros });
     }
 }
 

@@ -532,6 +532,9 @@ where
     let mut oracle = master.oracle_queries.get();
     let sensors = master.sensors.clone();
     let mut consumed = vec![0.0f64; sensors.len()];
+    // Per-node transmit airtime gathered from each node's owner, same
+    // as per-sensor energy, so hot_link_utilization sees every radio.
+    let mut airtime = vec![0u64; n];
     for (sh, state) in states.into_iter().enumerate() {
         let st = state.into_inner().unwrap();
         metrics.merge(&st.ctx.metrics);
@@ -541,10 +544,20 @@ where
                 *slot = st.ctx.nodes[id.index()].consumed;
             }
         }
+        for (id, slot) in airtime.iter_mut().enumerate() {
+            if map.owner[id] == sh as u32 {
+                *slot = st.ctx.nodes[id].tx_busy_micros;
+            }
+        }
     }
     let mut summary = metrics.summarize(master.cfg.duration);
     summary.hotspot_energy_j = consumed.iter().cloned().fold(0.0, f64::max);
     summary.energy_fairness = crate::metrics::jain_fairness(&consumed);
+    for (id, &t) in airtime.iter().enumerate() {
+        master.nodes[id].tx_busy_micros = t;
+    }
+    summary.hot_link_utilization =
+        crate::runner::hot_link_utilization(&master.nodes, &master.cfg);
     summary.oracle_queries = oracle;
     let mut sinks = std::mem::take(&mut master.sinks);
     for sink in &mut sinks {
@@ -844,8 +857,8 @@ where
                 }
                 EventKind::AckExpire { id } => crate::runner::ack_expire(ctx, protocol, id),
                 EventKind::Timer { node, tag } => protocol.on_timer(ctx, node, tag),
-                EventKind::EmitPacket { node, remaining } => {
-                    crate::runner::emit_packet(ctx, protocol, node, remaining);
+                EventKind::EmitPacket { node, remaining, gap_micros } => {
+                    crate::runner::emit_packet(ctx, protocol, node, remaining, gap_micros);
                 }
                 EventKind::TrafficRound
                 | EventKind::FaultRotation

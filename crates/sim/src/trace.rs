@@ -82,6 +82,17 @@ pub enum TraceEvent {
         /// Whether the packet counts toward metrics (emitted after warmup).
         measured: bool,
     },
+    /// A traffic matrix assigned the packet an explicit destination sensor
+    /// (emitted right after [`TraceEvent::PacketOrigin`]; absent under the
+    /// paper trickle, where the protocol picks the destination).
+    PacketDest {
+        /// When.
+        at: SimTime,
+        /// The application packet.
+        packet: DataId,
+        /// The destination sensor chosen by the workload pattern.
+        dest: NodeId,
+    },
     /// A protocol forwarded an application packet one hop, with the
     /// routing decision behind the choice.
     Hop {
@@ -227,6 +238,7 @@ impl TraceEvent {
     pub fn at(&self) -> SimTime {
         match self {
             TraceEvent::PacketOrigin { at, .. }
+            | TraceEvent::PacketDest { at, .. }
             | TraceEvent::Hop { at, .. }
             | TraceEvent::Send { at, .. }
             | TraceEvent::SendFailed { at, .. }
@@ -248,6 +260,7 @@ impl TraceEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::PacketOrigin { .. } => "PacketOrigin",
+            TraceEvent::PacketDest { .. } => "PacketDest",
             TraceEvent::Hop { .. } => "Hop",
             TraceEvent::Send { .. } => "Send",
             TraceEvent::SendFailed { .. } => "SendFailed",

@@ -12,6 +12,7 @@ use wsan_sim::trace::{TraceEvent, TraceSink};
 use wsan_sim::{
     Ctx, DataId, EnergyAccount, Engine, FaultModel, LinkModel, Message, MobilityModel, NodeId,
     Protocol, RunSummary, ShardableProtocol, ShardedConfig, SimConfig, SimDuration,
+    TrafficPattern,
 };
 
 /// Collects the canonical merged trace stream for byte-level comparison.
@@ -83,6 +84,41 @@ fn thread_count_is_invisible() {
             "trace stream at {threads} threads diverged from the 1-thread reference"
         );
     }
+}
+
+#[test]
+fn all2all_matrix_is_thread_invariant() {
+    // The open-loop injector draws matrix destinations and arrival jitter
+    // from per-node streams, so an all-to-all run must stay bit-identical
+    // across worker-thread counts — summary, congestion metrics and trace.
+    let cfg = |threads| {
+        let mut cfg = sharded_cfg(23, threads);
+        cfg.traffic.pattern = TrafficPattern::All2All;
+        cfg.traffic.offered_pps = 150.0;
+        cfg
+    };
+    let reference = traced_run(cfg(1), &mut FloodProtocol::new(6));
+    for threads in [3, 8] {
+        let run = traced_run(cfg(threads), &mut FloodProtocol::new(6));
+        assert_eq!(
+            reference.0, run.0,
+            "all-to-all summary at {threads} threads diverged from the 1-thread reference"
+        );
+        assert_eq!(
+            reference.1, run.1,
+            "all-to-all trace at {threads} threads diverged from the 1-thread reference"
+        );
+    }
+    let dests = reference
+        .1
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::PacketDest { .. }))
+        .count();
+    assert!(dests > 0, "matrix workloads must announce each packet's destination");
+    assert!(
+        reference.0.queue_delay_p99_s.is_finite(),
+        "matrix load should produce a measurable queue-delay distribution"
+    );
 }
 
 #[test]

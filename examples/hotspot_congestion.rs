@@ -1,0 +1,74 @@
+//! Congestion vs routing strategy: the Faber–Streib effect and its limits.
+//!
+//! The Kautz fabric (`refer_baselines::fabric_config`) maps one sensor to
+//! each vertex of `K(2, 8)` (384 nodes) and routes every packet over the
+//! overlay arcs, on the sharded engine — the same setup as
+//! `perfbench`/`compare` (DESIGN.md §13). Two traffic matrices, two
+//! routing strategies:
+//!
+//! - Under **all-to-all** load, greedy shortest routing concentrates flows
+//!   on structurally hot arcs; Faber–Streib *regular* routing pays ~1
+//!   extra hop to spread the same flows uniformly, so its queue tail stays
+//!   flat well past the point where shortest's hottest vertex saturates.
+//! - Under a **hotspot** matrix (32 popular sensors draw 60% of traffic),
+//!   the verdict flips: every regular route to destination `v` ends with
+//!   the *same* vertex sequence (the prefixes of `v`) regardless of the
+//!   source, so a popular destination's traffic funnels through one
+//!   in-arc chain. Shortest routing exploits source/destination overlap to
+//!   enter `v` from all of its predecessors and wins.
+//!
+//! Regular routing uniformizes *uniform* matrices — which strategy is
+//! right depends on the workload, not just the topology.
+//!
+//! ```text
+//! cargo run --example hotspot_congestion --release
+//! ```
+
+use refer_wsan::refer_baselines::{fabric_config, KautzFabricProtocol};
+use refer_wsan::wsan_sim::{
+    run_sharded, Engine, RoutingStrategy, ShardedConfig, SimDuration, TrafficPattern,
+};
+
+fn main() {
+    println!("K(2,8) fabric congestion: all-to-all vs hotspot, shortest vs regular\n");
+    let workloads: [(&str, TrafficPattern, [f64; 2]); 2] = [
+        ("all2all", TrafficPattern::All2All, [4_200.0, 5_200.0]),
+        ("hotspot", TrafficPattern::Hotspot { targets: 32, skew: 0.6 }, [1_500.0, 3_000.0]),
+    ];
+    println!(
+        "{:>8} {:>9} | {:>8} | {:>7} {:>9} {:>9} {:>8} {:>6} {:>6}",
+        "workload", "load(pps)", "routing", "deliv", "q p50", "q p99", "hotlink", "miss", "cdrops"
+    );
+    for (name, pattern, loads) in workloads {
+        for offered in loads {
+            for routing in [RoutingStrategy::Shortest, RoutingStrategy::Regular] {
+                let mut cfg = fabric_config(2, 8, offered);
+                cfg.traffic.pattern = pattern;
+                cfg.routing = routing;
+                cfg.warmup = SimDuration::from_secs(5);
+                cfg.duration = SimDuration::from_secs(15);
+                cfg.engine =
+                    Engine::Sharded(ShardedConfig { shards: 0, threads: 1, window_micros: 0 });
+                let s = run_sharded(cfg, &mut KautzFabricProtocol::new(2, 8));
+                println!(
+                    "{:>8} {:>9.0} | {:>8} | {:>6.1}% {:>7.1}ms {:>7.1}ms {:>8.3} {:>5.1}% {:>6}",
+                    name,
+                    offered,
+                    format!("{routing:?}"),
+                    s.delivery_ratio * 100.0,
+                    s.queue_delay_p50_s * 1e3,
+                    s.queue_delay_p99_s * 1e3,
+                    s.hot_link_utilization,
+                    s.deadline_miss_ratio * 100.0,
+                    s.congestion_drops,
+                );
+            }
+        }
+        println!();
+    }
+    println!("all-to-all: regular routing's uniform arc load keeps the p99 queue");
+    println!("wait and deadline misses flat after shortest's hot arcs saturate.");
+    println!("hotspot: regular funnels each popular destination's flows through");
+    println!("one source-invariant path tail, so shortest wins — match the");
+    println!("routing strategy to the traffic matrix, not just the topology.");
+}
