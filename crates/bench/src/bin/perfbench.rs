@@ -4,11 +4,12 @@
 //! its own 1-thread execution).
 //!
 //! ```text
-//! perfbench [--quick] [--force] [--out results/BENCH_8.json]
+//! perfbench [--quick] [--force] [--out results/BENCH_9.json]
 //!           [--fault-model oracle|discovered|byzantine]
 //!           [--attacker-fraction F] [--link-pdr P]
 //!           [--workload all2all|hotspot|incast|scan]
 //!           [--routing shortest|regular] [--offered-load PPS]
+//!           [--scheduler wheel|heap]
 //! ```
 //!
 //! The fault-model flags apply to the end-to-end workloads (flood, faulty
@@ -29,6 +30,13 @@
 //! run once on the serial engine and once per worker-thread count
 //! {1, 2, 4, 8} on the sharded engine.
 //!
+//! Scheduler section — the timing wheel against the reference binary heap
+//! on a duty-cycle workload that keeps one timer armed per node: a
+//! timer-churn microbenchmark (ns/event at n = 100 000) and end-to-end
+//! serial rows at n ∈ {100 000, 1 000 000}. The wheel and heap summaries
+//! must be bit-identical; `--scheduler` selects the queue used by every
+//! *other* section (default wheel), and is stamped into the dump.
+//!
 //! Traffic section — the heavy-traffic Kautz fabric (all-to-all matrix at
 //! an offered load past the shortest-routing saturation point, `K(2,13)`
 //! with 12 288 vertices, or `K(2,8)` under `--quick`) timed on the sharded
@@ -43,7 +51,7 @@
 //! sharded is *not* compared — the two engines define distinct canonical
 //! schedules; the serial run is timed only as the speedup baseline.)
 //!
-//! Results are dumped as JSON (`--out`, default `results/BENCH_8.json`),
+//! Results are dumped as JSON (`--out`, default `results/BENCH_9.json`),
 //! written atomically (temp file + rename) and never over an existing
 //! file unless `--force` is given. The dump records the host's CPU count:
 //! thread-sweep numbers from a 1-core host are honest but say nothing
@@ -63,15 +71,16 @@ use std::process::ExitCode;
 use std::time::Instant;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::{
-    runner, Area, Ctx, DataId, Engine, FaultModel, Message, NeighborIndex, NodeId, Protocol,
-    RoutingStrategy, RunSummary, SensorPlacement, ShardedConfig, SimConfig, SimDuration,
-    TrafficPattern,
+    runner, Area, Ctx, DataId, Engine, EnergyAccount, FaultModel, Message, NeighborIndex, NodeId,
+    Protocol, RoutingStrategy, RunSummary, Scheduler, SensorPlacement, ShardedConfig, SimConfig,
+    SimDuration, TrafficPattern,
 };
 
 /// Schema version of the dump written by `perfbench` (kept in lockstep
 /// with the sweep dumps in `refer_bench::json`). Bumped to 5 when the
-/// heavy-traffic section and its congestion metrics were added.
-const SCHEMA_VERSION: u64 = 5;
+/// heavy-traffic section and its congestion metrics were added, to 6 when
+/// the scheduler section and the `scheduler` stamp were added.
+const SCHEMA_VERSION: u64 = 6;
 
 /// Scenario overrides shared by the end-to-end workloads.
 #[derive(Clone, Copy)]
@@ -79,6 +88,7 @@ struct Scenario {
     fault_model: FaultModel,
     attacker_fraction: f64,
     link_pdr: f64,
+    scheduler: Scheduler,
 }
 
 impl Scenario {
@@ -86,6 +96,7 @@ impl Scenario {
         cfg.faults.model = self.fault_model;
         cfg.faults.byzantine.attacker_fraction = self.attacker_fraction;
         cfg.radio.link_pdr = self.link_pdr;
+        cfg.scheduler = self.scheduler;
     }
 }
 
@@ -98,15 +109,25 @@ const SHARDED_SIZES: [usize; 2] = [10_000, 100_000];
 /// Worker-thread counts swept in the sharded section.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Network sizes for the scheduler section's end-to-end rows. The serial
+/// engine carries both rows: with one duty-cycle timer armed per node the
+/// queue permanently holds `n` events, which is exactly the regime where
+/// the heap's `O(log n)` per operation hurts and the wheel's `O(1)` pays.
+const SCHED_SIZES: [usize; 2] = [100_000, 1_000_000];
+
+/// Quick-mode scheduler sizes, small enough for CI.
+const SCHED_SIZES_QUICK: [usize; 1] = [10_000];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut force = false;
-    let mut out = "results/BENCH_8.json".to_string();
+    let mut out = "results/BENCH_9.json".to_string();
     let mut scenario = Scenario {
         fault_model: FaultModel::default(),
         attacker_fraction: 0.0,
         link_pdr: 0.0,
+        scheduler: Scheduler::default(),
     };
     let mut traffic = TrafficOpts::default();
     let mut it = args.iter();
@@ -162,6 +183,14 @@ fn main() -> ExitCode {
                     Err(e) => return usage(&e),
                 },
                 None => return usage("--link-pdr needs a value"),
+            },
+            "--scheduler" => match it.next().map(String::as_str) {
+                Some("wheel") => scenario.scheduler = Scheduler::Wheel,
+                Some("heap") => scenario.scheduler = Scheduler::Heap,
+                Some(other) => {
+                    return usage(&format!("unknown scheduler `{other}` (wheel, heap)"))
+                }
+                None => return usage("--scheduler needs a value"),
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -253,6 +282,47 @@ fn main() -> ExitCode {
         }
     }
 
+    let sched_sizes: &[usize] = if quick { &SCHED_SIZES_QUICK } else { &SCHED_SIZES };
+    println!(
+        "perfbench: wheel vs heap scheduler, duty-cycle timers, sizes {sched_sizes:?}{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let micro = time_sched_micro(if quick { 10_000 } else { 100_000 }, scenario);
+    match &micro {
+        Ok(row) => println!(
+            "  n={:<7} timer churn      wheel {:>8.0} ns/event  heap {:>8.0} ns/event  \
+             speedup {:.2}x",
+            row.n,
+            row.wheel_ns,
+            row.heap_ns,
+            row.heap_ns / row.wheel_ns
+        ),
+        Err(msg) => {
+            eprintln!("scheduler microbench: {msg}");
+            diverged = true;
+        }
+    }
+    let mut schedrows: Vec<SchedRow> = Vec::new();
+    for &n in sched_sizes {
+        match time_sched_e2e(n, scenario) {
+            Ok(row) => {
+                println!(
+                    "  n={:<7} end-to-end       wheel {:>8.0} ms        heap {:>8.0} ms        \
+                     speedup {:.2}x",
+                    row.n,
+                    row.wheel_ms,
+                    row.heap_ms,
+                    row.heap_ms / row.wheel_ms
+                );
+                schedrows.push(row);
+            }
+            Err(msg) => {
+                eprintln!("n={n}: {msg}");
+                diverged = true;
+            }
+        }
+    }
+
     let (graph, n) = if quick { ((2, 8), 384) } else { ((2, 13), 12_288) };
     println!(
         "perfbench: heavy-traffic fabric K({}, {}) (n = {n}), {} workload, both routings",
@@ -285,7 +355,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = to_json(&rows, &srows, &trows, host_cpus, quick, diverged, scenario);
+    let json =
+        to_json(&rows, &srows, micro.as_ref().ok(), &schedrows, &trows, host_cpus, quick, diverged, scenario);
     if let Err(e) = write_atomically(&out, &json, force) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -332,7 +403,8 @@ fn usage(error: &str) -> ExitCode {
          [--fault-model oracle|discovered|byzantine] \
          [--attacker-fraction F] [--link-pdr P] \
          [--workload all2all|hotspot|incast|scan] \
-         [--routing shortest|regular] [--offered-load PPS]"
+         [--routing shortest|regular] [--offered-load PPS] \
+         [--scheduler wheel|heap]"
     );
     ExitCode::from(2)
 }
@@ -541,6 +613,138 @@ fn time_sharded(n: usize, quick: bool, scenario: Scenario) -> Result<ShardedRow,
     Ok(ShardedRow { n, serial_ms, sharded_ms })
 }
 
+/// The scheduler microbenchmark's measurements: nanoseconds of wall clock
+/// per timer event, with one timer permanently armed per node.
+struct SchedMicroRow {
+    n: usize,
+    events: u64,
+    wheel_ns: f64,
+    heap_ns: f64,
+}
+
+/// One network size's end-to-end wheel-vs-heap measurements.
+struct SchedRow {
+    n: usize,
+    wheel_ms: f64,
+    heap_ms: f64,
+}
+
+/// Every node runs a periodic duty-cycle timer (staggered phase, fixed
+/// per-node jitter), so the event queue permanently holds one entry per
+/// node — the million-node regime the timing wheel targets. Application
+/// packets make one local broadcast and are accounted at the source, so
+/// the end-to-end rows also carry radio traffic.
+struct DutyCycle {
+    period_us: u64,
+    fires: u64,
+}
+
+impl DutyCycle {
+    fn new(period_us: u64) -> Self {
+        DutyCycle { period_us, fires: 0 }
+    }
+}
+
+impl Protocol for DutyCycle {
+    type Payload = DataId;
+
+    fn name(&self) -> &'static str {
+        "DutyCycle"
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<DataId>) {
+        let ids: Vec<NodeId> = ctx.node_ids().collect();
+        for id in ids {
+            // Stagger the phases so every wheel slot (and heap level) stays
+            // populated instead of all n timers colliding on one instant.
+            let phase = (u64::from(id.0) * 7919) % self.period_us;
+            ctx.set_timer(id, SimDuration::from_micros(phase), 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<DataId>, node: NodeId, _tag: u64) {
+        self.fires += 1;
+        let jitter = (u64::from(node.0) * 104_729) % 1_024;
+        ctx.set_timer(node, SimDuration::from_micros(self.period_us + jitter), 0);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<DataId>, src: NodeId, data: DataId) {
+        let size = ctx.config().traffic.packet_bits;
+        ctx.broadcast(src, size, EnergyAccount::Communication, data);
+        ctx.drop_data(data);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<DataId>, _at: NodeId, _msg: Message<DataId>) {}
+}
+
+/// The scheduler section's scenario: `n` static sensors, each holding one
+/// armed duty-cycle timer at all times. `sources` > 0 adds the light
+/// broadcast traffic of the end-to-end rows.
+fn sched_scenario(n: usize, sources: usize, scenario: Scenario) -> SimConfig {
+    let mut cfg = SimConfig::paper();
+    scenario.apply(&mut cfg);
+    cfg.sensors = n;
+    cfg.area = scaled_area(n);
+    cfg.sensor_placement = SensorPlacement::UniformArea;
+    cfg.neighbor_index = NeighborIndex::Grid;
+    // Static nodes and one mobility sweep: the queue, not position
+    // updates, must be what the rows measure.
+    cfg.mobility.max_speed = 0.0;
+    cfg.mobility.tick = SimDuration::from_secs(2);
+    cfg.faults.count = 0;
+    cfg.warmup = SimDuration::ZERO;
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.traffic.sources_per_round = sources;
+    cfg.traffic.round_interval = SimDuration::from_secs(1);
+    cfg.traffic.rate_bps = 8_000.0;
+    cfg.seed = 9;
+    cfg
+}
+
+/// Times one serial duty-cycle run under `sched`; returns wall-clock ms,
+/// the summary and the number of timer fires.
+fn time_sched_run(cfg: &SimConfig, sched: Scheduler) -> (f64, RunSummary, u64) {
+    let mut cfg = cfg.clone();
+    cfg.scheduler = sched;
+    let mut protocol = DutyCycle::new(250_000);
+    let start = Instant::now();
+    let summary = runner::run(cfg, &mut protocol);
+    (start.elapsed().as_secs_f64() * 1e3, summary, protocol.fires)
+}
+
+/// Timer-churn microbenchmark: no app traffic, just `n` armed timers
+/// cycling through the queue. Reported as ns per timer event.
+fn time_sched_micro(n: usize, scenario: Scenario) -> Result<SchedMicroRow, String> {
+    let cfg = sched_scenario(n, 0, scenario);
+    let (wheel_ms, wheel_sum, wheel_fires) = time_sched_run(&cfg, Scheduler::Wheel);
+    let (heap_ms, heap_sum, heap_fires) = time_sched_run(&cfg, Scheduler::Heap);
+    if wheel_sum != heap_sum || wheel_fires != heap_fires {
+        return Err("microbench summaries DIVERGE between wheel and heap".to_string());
+    }
+    if wheel_fires == 0 {
+        return Err("microbench fired no timers".to_string());
+    }
+    Ok(SchedMicroRow {
+        n,
+        events: wheel_fires,
+        wheel_ns: wheel_ms * 1e6 / wheel_fires as f64,
+        heap_ns: heap_ms * 1e6 / heap_fires as f64,
+    })
+}
+
+/// End-to-end wheel-vs-heap row at size `n` on the serial engine: the
+/// duty-cycle workload plus light broadcast traffic. The two summaries
+/// must be bit-identical — the wheel is the same simulation, faster.
+fn time_sched_e2e(n: usize, scenario: Scenario) -> Result<SchedRow, String> {
+    let cfg = sched_scenario(n, (n / 1_000).max(5), scenario);
+    let (wheel_ms, wheel_sum, wheel_fires) = time_sched_run(&cfg, Scheduler::Wheel);
+    let (heap_ms, heap_sum, heap_fires) = time_sched_run(&cfg, Scheduler::Heap);
+    if wheel_sum != heap_sum || wheel_fires != heap_fires {
+        return Err("end-to-end summaries DIVERGE between wheel and heap".to_string());
+    }
+    Ok(SchedRow { n, wheel_ms, heap_ms })
+}
+
 /// Overrides for the heavy-traffic section from the CLI.
 #[derive(Clone, Copy)]
 struct TrafficOpts {
@@ -644,9 +848,12 @@ fn time_faulty(
 
 /// Serializes the measurements (hand-rolled JSON — the workspace vendors
 /// no serde_json; layout mirrors `refer_bench::json`).
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     rows: &[Row],
     srows: &[ShardedRow],
+    micro: Option<&SchedMicroRow>,
+    schedrows: &[SchedRow],
     trows: &[TrafficRow],
     host_cpus: usize,
     quick: bool,
@@ -658,6 +865,7 @@ fn to_json(
     let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"bench\": \"perfbench\",");
     let _ = writeln!(out, "  \"git_commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"scheduler\": \"{:?}\",", scenario.scheduler);
     let _ = writeln!(out, "  \"fault_model\": \"{:?}\",", scenario.fault_model);
     let _ = writeln!(out, "  \"attacker_fraction\": {},", fmt(scenario.attacker_fraction));
     let _ = writeln!(out, "  \"link_pdr\": {},", fmt(scenario.link_pdr));
@@ -715,6 +923,36 @@ fn to_json(
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
+    out.push_str("  \"scheduler_bench\": {\n");
+    match micro {
+        Some(m) => {
+            let _ = writeln!(
+                out,
+                "    \"timer_churn\": {{ \"n\": {}, \"events\": {}, \"wheel_ns_per_event\": {}, \
+                 \"heap_ns_per_event\": {}, \"speedup\": {} }},",
+                m.n,
+                m.events,
+                fmt(m.wheel_ns),
+                fmt(m.heap_ns),
+                fmt(m.heap_ns / m.wheel_ns)
+            );
+        }
+        None => out.push_str("    \"timer_churn\": null,\n"),
+    }
+    out.push_str("    \"end_to_end\": [\n");
+    for (i, row) in schedrows.iter().enumerate() {
+        let comma = if i + 1 < schedrows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{ \"n\": {}, \"wheel_ms\": {}, \"heap_ms\": {}, \"speedup\": {} }}{comma}",
+            row.n,
+            fmt(row.wheel_ms),
+            fmt(row.heap_ms),
+            fmt(row.heap_ms / row.wheel_ms)
+        );
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"traffic\": [\n");
     for (i, row) in trows.iter().enumerate() {
         out.push_str("    {\n");

@@ -7,6 +7,7 @@
 //!               [--attacker-fraction F] [--link-pdr P]
 //!               [--workload paper|all2all|hotspot|incast|scan]
 //!               [--offered-load PPS] [--routing shortest|regular]
+//!               [--scheduler wheel|heap]
 //! trace packet  <id> --in trace.jsonl      # one packet's full causal chain
 //! trace node    <id> --in trace.jsonl      # packets that crossed a node
 //! trace summary --in trace.jsonl           # counts, drops by reason, digest
@@ -18,12 +19,13 @@
 //!               [--threads N] [--workload W] [--offered-load PPS]
 //! ```
 //!
-//! `verify` proves determinism three times over: the multiset digest of
+//! `verify` proves determinism four times over: the multiset digest of
 //! all events from serial per-seed runs must equal the digest from the
 //! same runs on parallel threads; runs under the spatial grid neighbor
 //! index must produce the same event multiset as runs on the reference
-//! linear scan; and recording the same seed twice must give byte-identical
-//! JSONL. A mismatch exits nonzero.
+//! linear scan; runs on the timing-wheel scheduler must stream the same
+//! bytes as runs on the reference binary heap; and recording the same
+//! seed twice must give byte-identical JSONL. A mismatch exits nonzero.
 //!
 //! `verify --sharded` proves the sharded engine's thread-invariance: its
 //! verified reference is its own 1-thread execution (the sharded schedule
@@ -44,7 +46,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::trace::TraceEvent;
-use wsan_sim::{DataId, Engine, FaultModel, NeighborIndex, NodeId, ShardedConfig, SimConfig};
+use wsan_sim::{
+    DataId, Engine, FaultModel, NeighborIndex, NodeId, Scheduler, ShardedConfig, SimConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,7 +84,8 @@ fn usage(error: &str) -> ExitCode {
          trace diff    <a> <b>\n  \
          trace verify  [--system S] [--scale F] [--seeds N] [--faults N]\n                \
          [--fault-model oracle|discovered|byzantine] [--attacker-fraction F]\n                \
-         [--link-pdr P] [--workload W] [--offered-load PPS] [--routing R]\n  \
+         [--link-pdr P] [--workload W] [--offered-load PPS] [--routing R]\n                \
+         [--scheduler wheel|heap]\n  \
          trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n                \
          [--workload W] [--offered-load PPS]\n\
          systems: refer (default), datree, ddear, kautz\n\
@@ -112,6 +117,14 @@ fn parse_system(name: &str) -> Result<System, String> {
         "ddear" => Ok(System::Ddear),
         "kautz" | "kautz-overlay" => Ok(System::KautzOverlay),
         other => Err(format!("unknown system `{other}` (refer, datree, ddear, kautz)")),
+    }
+}
+
+fn parse_scheduler(name: &str) -> Result<Scheduler, String> {
+    match name {
+        "wheel" => Ok(Scheduler::Wheel),
+        "heap" => Ok(Scheduler::Heap),
+        other => Err(format!("unknown scheduler `{other}` (wheel, heap)")),
     }
 }
 
@@ -166,6 +179,9 @@ fn scenario(flags: &BTreeMap<String, String>) -> Result<(SimConfig, System), Str
     cfg.faults.byzantine.attacker_fraction =
         unit_interval_flag(flags, "attacker-fraction", cfg.faults.byzantine.attacker_fraction)?;
     cfg.radio.link_pdr = unit_interval_flag(flags, "link-pdr", cfg.radio.link_pdr)?;
+    if let Some(raw) = flags.get("scheduler") {
+        cfg.scheduler = parse_scheduler(raw)?;
+    }
     traffic_flags(&mut cfg, flags)?;
     if let Some(raw) = flags.get("routing") {
         cfg.routing = parse_routing(raw)?;
@@ -473,6 +489,39 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         println!("  linear scan {}", by_index[1].digest());
     }
 
+    // Scheduler pass: the timing wheel orders events by the same
+    // `(at, seq)` key as the reference binary heap, so swapping the queue
+    // must leave the event multiset *and* the byte stream untouched.
+    let mut by_sched = [EventHash::new(), EventHash::new()];
+    for (i, scheduler) in [Scheduler::Wheel, Scheduler::Heap].into_iter().enumerate() {
+        for &seed in &seeds {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            cfg.scheduler = scheduler;
+            let (sink, hash) = HashingSink::new();
+            run_system_with_sinks(&cfg, system, vec![Box::new(sink)]);
+            by_sched[i].merge(&hash.get());
+        }
+    }
+    let sched_bytes = [Scheduler::Wheel, Scheduler::Heap].map(|scheduler| {
+        let mut cfg = cfg.clone();
+        cfg.scheduler = scheduler;
+        record_bytes(&cfg, system)
+    });
+    let sched_ok = by_sched[0] == by_sched[1] && sched_bytes[0] == sched_bytes[1];
+    println!(
+        "wheel/heap scheduler: {} ({} events, digest {}; {} bytes, fnv1a {:016x})",
+        if sched_ok { "IDENTICAL" } else { "MISMATCH" },
+        by_sched[0].count,
+        by_sched[0].digest(),
+        sched_bytes[0].len(),
+        fnv1a64(&sched_bytes[0])
+    );
+    if !sched_ok {
+        println!("  wheel {} fnv1a {:016x}", by_sched[0].digest(), fnv1a64(&sched_bytes[0]));
+        println!("  heap  {} fnv1a {:016x}", by_sched[1].digest(), fnv1a64(&sched_bytes[1]));
+    }
+
     // Record/replay pass: same seed twice must stream identical bytes.
     let record = record_bytes(&cfg, system);
     let replay = record_bytes(&cfg, system);
@@ -484,7 +533,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         fnv1a64(&record)
     );
 
-    if order_ok && index_ok && replay_ok {
+    if order_ok && index_ok && sched_ok && replay_ok {
         println!("verify PASSED");
         Ok(ExitCode::SUCCESS)
     } else {
@@ -573,7 +622,26 @@ fn cmd_verify_sharded(flags: &BTreeMap<String, String>) -> Result<ExitCode, Stri
         fnv1a64(&one)
     );
 
-    if multiset_ok && bytes_ok {
+    // Scheduler pass: per-shard timing wheels must replay the per-shard
+    // binary heaps byte-for-byte under the same window barriers.
+    let sched_streams = [Scheduler::Wheel, Scheduler::Heap].map(|scheduler| {
+        let mut cfg = cfg.clone();
+        cfg.scheduler = scheduler;
+        bytes(&cfg, threads)
+    });
+    let sched_ok = sched_streams[0] == sched_streams[1];
+    println!(
+        "wheel/heap sharded({threads}) JSONL: {} ({} bytes, fnv1a {:016x})",
+        if sched_ok { "BIT-IDENTICAL" } else { "MISMATCH" },
+        sched_streams[0].len(),
+        fnv1a64(&sched_streams[0])
+    );
+    if !sched_ok {
+        println!("  wheel fnv1a {:016x}", fnv1a64(&sched_streams[0]));
+        println!("  heap  fnv1a {:016x}", fnv1a64(&sched_streams[1]));
+    }
+
+    if multiset_ok && bytes_ok && sched_ok {
         println!("verify --sharded PASSED");
         Ok(ExitCode::SUCCESS)
     } else {

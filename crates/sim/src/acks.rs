@@ -1,0 +1,223 @@
+//! Slab storage for in-flight ACK-pending transmissions.
+//!
+//! The ACK layer used to key `PendingAck` entries by a `HashMap<u64, _>`,
+//! paying a hash + probe on every transmit attempt, ACK arrival, and
+//! expiry — three lookups per acked frame on the hot path. [`AckTable`]
+//! replaces it with a dense generation-indexed slab: the public id is
+//! still an opaque `u64` (the engines route on its high 32 bits, see
+//! below), but it now *encodes* the slot index, so every lookup is one
+//! bounds-checked array access plus an id compare. Stale ids — late or
+//! duplicate ACKs arriving after the entry was removed — miss exactly
+//! like they missed in the map, because removal bumps the slot's
+//! generation and the stored full id no longer matches.
+//!
+//! # Id encodings
+//!
+//! The sharded engine requires `id >> 32` to be the *owning node* of the
+//! frame's source ([`EventKind::home`](crate::ctx::EventKind)), so the two
+//! modes encode differently:
+//!
+//! * **Serial:** `gen << 32 | slot`. Generations wrap on `u32`; a stale
+//!   id could only alias a live one after 2^32 reuses of a single slot,
+//!   which no run approaches. Ids minted before the event loop starts
+//!   (protocol `on_init`) have `gen == 0`, so `id >> 32 == 0` — the same
+//!   value the pre-slab sequential counter produced for construction-era
+//!   ids, keeping the sharded engine's central-event routing unchanged.
+//! * **Sharded (per-shard tables):** `node << 32 | gen << 20 | slot`.
+//!   Slots and generations share the low 32 bits (20 + 12); when a
+//!   slot's generation saturates it is retired rather than wrapped, so
+//!   aliasing is impossible by construction.
+
+use crate::ctx::PendingAck;
+use crate::node::NodeId;
+
+/// Slot-index bits in the sharded encoding (low 32 bits = gen·12 | slot·20).
+const SHARDED_SLOT_BITS: u32 = 20;
+const SHARDED_SLOT_MASK: u64 = (1 << SHARDED_SLOT_BITS) - 1;
+/// Generations per slot in the sharded encoding before the slot retires.
+const SHARDED_GEN_LIMIT: u32 = 1 << (32 - SHARDED_SLOT_BITS);
+
+struct AckSlot<P> {
+    gen: u32,
+    /// The full public id and the entry; `None` when free or retired.
+    entry: Option<(u64, PendingAck<P>)>,
+}
+
+/// Dense generation-indexed storage for pending ACK entries; see the
+/// module docs for the id encodings.
+pub(crate) struct AckTable<P> {
+    slots: Vec<AckSlot<P>>,
+    free: Vec<u32>,
+    sharded: bool,
+}
+
+impl<P> AckTable<P> {
+    pub(crate) fn serial() -> Self {
+        AckTable { slots: Vec::new(), free: Vec::new(), sharded: false }
+    }
+
+    pub(crate) fn sharded() -> Self {
+        AckTable { slots: Vec::new(), free: Vec::new(), sharded: true }
+    }
+
+    /// Stores `entry` and mints its id. `home` is the owning node under
+    /// the sharded engine (stamped into the id's high 32 bits for event
+    /// routing) and `None` in serial mode.
+    pub(crate) fn insert(&mut self, home: Option<NodeId>, entry: PendingAck<P>) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(AckSlot { gen: 0, entry: None });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        let id = match home {
+            Some(node) => {
+                assert!(
+                    u64::from(slot) <= SHARDED_SLOT_MASK,
+                    "more than 2^20 concurrently pending ACKs on one shard"
+                );
+                (u64::from(node.0) << 32) | (u64::from(gen) << SHARDED_SLOT_BITS) | u64::from(slot)
+            }
+            None => (u64::from(gen) << 32) | u64::from(slot),
+        };
+        debug_assert_eq!(home.is_some(), self.sharded);
+        self.slots[slot as usize].entry = Some((id, entry));
+        id
+    }
+
+    #[inline]
+    fn slot_of(&self, id: u64) -> usize {
+        if self.sharded {
+            (id & SHARDED_SLOT_MASK) as usize
+        } else {
+            (id & u32::MAX as u64) as usize
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: u64) -> Option<&PendingAck<P>> {
+        self.slots
+            .get(self.slot_of(id))
+            .and_then(|s| s.entry.as_ref())
+            .filter(|(stored, _)| *stored == id)
+            .map(|(_, e)| e)
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut PendingAck<P>> {
+        let slot = self.slot_of(id);
+        self.slots
+            .get_mut(slot)
+            .and_then(|s| s.entry.as_mut())
+            .filter(|(stored, _)| *stored == id)
+            .map(|(_, e)| e)
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Removes and returns the entry for `id`, or `None` if it is stale.
+    /// The slot's generation advances so the old id can never resolve
+    /// again; in sharded mode a generation-saturated slot is retired
+    /// instead of returned to the free list.
+    pub(crate) fn remove(&mut self, id: u64) -> Option<PendingAck<P>> {
+        let slot = self.slot_of(id);
+        let s = self.slots.get_mut(slot)?;
+        if s.entry.as_ref().is_none_or(|(stored, _)| *stored != id) {
+            return None;
+        }
+        let (_, entry) = s.entry.take().unwrap();
+        s.gen = s.gen.wrapping_add(1);
+        if !self.sharded || s.gen < SHARDED_GEN_LIMIT {
+            self.free.push(slot as u32);
+        }
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::PendingAck;
+    use crate::energy::EnergyAccount;
+
+    fn entry(from: u32, to: u32) -> PendingAck<u64> {
+        PendingAck {
+            from: NodeId(from),
+            to: NodeId(to),
+            size_bits: 64,
+            account: EnergyAccount::Communication,
+            payload: u64::from(from) * 1000 + u64::from(to),
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn serial_ids_route_like_construction_era_counters() {
+        let mut t = AckTable::serial();
+        // Before any removal every id has gen 0, so the high 32 bits —
+        // what EventKind::home reads — are zero, matching the old
+        // sequential counter for construction-era ids.
+        for i in 0..10u32 {
+            let id = t.insert(None, entry(i, 99));
+            assert_eq!(id >> 32, 0);
+            assert_eq!(id & 0xffff_ffff, u64::from(i));
+        }
+    }
+
+    #[test]
+    fn stale_ids_miss_after_removal_and_reuse() {
+        let mut t = AckTable::serial();
+        let a = t.insert(None, entry(1, 2));
+        assert!(t.contains(a));
+        assert_eq!(t.remove(a).map(|e| e.payload), Some(1002));
+        assert!(!t.contains(a));
+        assert!(t.remove(a).is_none(), "double-remove must miss");
+        // The slot is reused with a bumped generation: new id resolves,
+        // old one still misses.
+        let b = t.insert(None, entry(3, 4));
+        assert_eq!(b & 0xffff_ffff, a & 0xffff_ffff, "slot reused");
+        assert_ne!(a, b);
+        assert!(!t.contains(a));
+        assert_eq!(t.get(b).map(|e| e.payload), Some(3004));
+    }
+
+    #[test]
+    fn sharded_ids_carry_the_home_node_in_high_bits() {
+        let mut t = AckTable::sharded();
+        let id = t.insert(Some(NodeId(7)), entry(7, 8));
+        assert_eq!(id >> 32, 7);
+        assert_eq!(t.get(id).map(|e| e.payload), Some(7008));
+        let id2 = t.insert(Some(NodeId(1 << 20)), entry(5, 6));
+        assert_eq!(id2 >> 32, 1 << 20, "node ids above the slot mask are fine");
+    }
+
+    #[test]
+    fn sharded_slot_retires_at_generation_limit() {
+        let mut t = AckTable::sharded();
+        // Burn through one slot's whole generation space.
+        let mut last = 0u64;
+        for _ in 0..SHARDED_GEN_LIMIT {
+            last = t.insert(Some(NodeId(3)), entry(3, 4));
+            assert!(t.remove(last).is_some());
+        }
+        assert!(t.remove(last).is_none());
+        // The next insert must use a fresh slot, not the retired one.
+        let next = t.insert(Some(NodeId(3)), entry(3, 4));
+        assert_ne!(next & SHARDED_SLOT_MASK, last & SHARDED_SLOT_MASK);
+        assert_eq!(t.get(next).map(|e| e.payload), Some(3004));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = AckTable::serial();
+        let id = t.insert(None, entry(1, 2));
+        t.get_mut(id).unwrap().attempt = 5;
+        assert_eq!(t.get(id).unwrap().attempt, 5);
+    }
+}

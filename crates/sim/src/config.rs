@@ -311,6 +311,26 @@ pub enum RoutingStrategy {
     Regular,
 }
 
+/// Which priority-queue implementation orders the event loop.
+///
+/// Mirrors [`NeighborIndex`]: both implementations pop events in exactly
+/// the same `(at, seq)` order, so every run is bit-identical under either
+/// — `trace verify` proves the event multisets and JSONL streams match.
+/// The wheel is the default because its bucketed inserts and bitmap-driven
+/// pops are O(1) where the heap pays O(log n) sifts of full event
+/// payloads; the heap stays available as the verified reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Scheduler {
+    /// Hierarchical timing wheel (`wheel` module): 8 levels × 256 buckets
+    /// over the microsecond clock, cascading overflow, per-bucket `seq`
+    /// ordering.
+    #[default]
+    Wheel,
+    /// `BinaryHeap` reference implementation.
+    Heap,
+}
+
 /// Which event-loop engine executes the run.
 ///
 /// Mirrors [`NeighborIndex`]: the serial loop stays the default and the
@@ -476,6 +496,10 @@ pub struct SimConfig {
     /// Which event-loop engine executes the run (serial by default; the
     /// sharded engine is opt-in and verified against itself at 1 thread).
     pub engine: Engine,
+    /// Which priority-queue implementation orders events (timing wheel by
+    /// default; the binary heap is the verified-against reference — both
+    /// pop in identical `(at, seq)` order).
+    pub scheduler: Scheduler,
     /// How Kautz-routed protocols pick next hops (greedy shortest by
     /// default; regular routing equalizes load under traffic matrices).
     pub routing: RoutingStrategy,
@@ -507,6 +531,7 @@ impl SimConfig {
             qos_deadline: SimDuration::from_secs_f64(0.6),
             neighbor_index: NeighborIndex::default(),
             engine: Engine::default(),
+            scheduler: Scheduler::default(),
             routing: RoutingStrategy::default(),
             seed: 1,
         }

@@ -1,5 +1,6 @@
 //! The simulation context: world state plus the API protocols use to act.
 
+use crate::acks::AckTable;
 use crate::config::{NeighborIndex, SimConfig};
 use crate::energy::EnergyAccount;
 use crate::geometry::Point;
@@ -8,11 +9,11 @@ use crate::message::{DataId, DataRecord, Message};
 use crate::metrics::{DropReason, Metrics};
 use crate::node::{NodeId, NodeKind, NodeState};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::EventQueue;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cell::Cell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// An event awaiting dispatch.
 #[derive(Debug)]
@@ -115,14 +116,13 @@ pub struct Ctx<P> {
     pub(crate) nodes: Vec<NodeState>,
     pub(crate) actuators: Vec<NodeId>,
     pub(crate) sensors: Vec<NodeId>,
-    pub(crate) queue: BinaryHeap<Reverse<Scheduled<P>>>,
+    pub(crate) queue: EventQueue<P>,
     pub(crate) seq: u64,
     pub(crate) rng: StdRng,
     pub(crate) metrics: Metrics,
     pub(crate) data: HashMap<DataId, DataRecord>,
     pub(crate) next_data_id: u64,
-    pub(crate) pending_acks: HashMap<u64, PendingAck<P>>,
-    pub(crate) next_ack_id: u64,
+    pub(crate) pending_acks: AckTable<P>,
     /// Fault-oracle consultations made through the public API. A `Cell` so
     /// the read-only query methods can stay `&self`.
     pub(crate) oracle_queries: Cell<u64>,
@@ -144,6 +144,9 @@ pub struct Ctx<P> {
     /// Reusable receiver buffer for [`Ctx::broadcast`] (no per-broadcast
     /// allocation).
     pub(crate) recv_buf: Vec<NodeId>,
+    /// Reusable alive-roster buffer for the traffic round driver (no
+    /// per-round allocation).
+    pub(crate) alive_buf: Vec<NodeId>,
     /// `Some` when this context is one shard of the sharded engine
     /// (`shard::run_sharded`): event pushes route by home shard, simulator
     /// randomness comes from per-node streams, and delivery bookkeeping
@@ -542,28 +545,23 @@ impl<P> Ctx<P> {
     ) where
         P: Clone,
     {
-        let id = match self.shard.as_mut() {
-            // Pack the sender into the high bits so ACK traffic can route
-            // home: the pending entry (and its retries/expiry) live at the
-            // sender's shard.
+        // Under the sharded engine the sender is packed into the id's high
+        // bits so ACK traffic can route home: the pending entry (and its
+        // retries/expiry) live at the sender's shard.
+        let home = match self.shard.as_ref() {
             Some(ctl) => {
                 debug_assert_eq!(
                     ctl.owner[from.index()],
                     ctl.me,
                     "send_acked must be called from the sending node's own shard"
                 );
-                let c = ctl.next_ack[from.index()];
-                ctl.next_ack[from.index()] = c + 1;
-                (u64::from(from.0) << 32) | u64::from(c)
+                Some(from)
             }
-            None => {
-                let id = self.next_ack_id;
-                self.next_ack_id += 1;
-                id
-            }
+            None => None,
         };
-        self.pending_acks
-            .insert(id, PendingAck { from, to, size_bits, account, payload, attempt: 0 });
+        let id = self
+            .pending_acks
+            .insert(home, PendingAck { from, to, size_bits, account, payload, attempt: 0 });
         self.transmit_attempt(id);
     }
 
@@ -573,7 +571,7 @@ impl<P> Ctx<P> {
     where
         P: Clone,
     {
-        let Some(p) = self.pending_acks.get(&id) else { return };
+        let Some(p) = self.pending_acks.get(id) else { return };
         let (from, to, size_bits, account, attempt) =
             (p.from, p.to, p.size_bits, p.account, p.attempt);
         // A compromised sender may redirect each attempt independently; the
@@ -610,7 +608,7 @@ impl<P> Ctx<P> {
             self.record(|at| crate::trace::TraceEvent::Send { at, from, to, size_bits, account });
             let arrival = self.tx_schedule(from, to, size_bits);
             let payload =
-                self.pending_acks.get(&id).map(|p| p.payload.clone()).expect("pending present");
+                self.pending_acks.get(id).map(|p| p.payload.clone()).expect("pending present");
             let msg = Message { from, size_bits, account, broadcast: false, payload };
             self.push(arrival, EventKind::Deliver { to, msg, ack_id: Some(id) });
             self.push(arrival + timeout, EventKind::AckExpire { id });
@@ -640,7 +638,7 @@ impl<P> Ctx<P> {
         // remote sender's frame cannot see it, so it always ACKs and the
         // sender discards duplicates (counted in `stale_acks`). Serially
         // the entry is local and the duplicate ACK is elided up front.
-        if self.shard.is_none() && !self.pending_acks.contains_key(&id) {
+        if self.shard.is_none() && !self.pending_acks.contains(id) {
             return; // duplicate delivery of an already-acknowledged frame
         }
         let prob = self.cfg.radio.link.delivery_prob_with_pdr(
@@ -689,6 +687,12 @@ impl<P> Ctx<P> {
         // One service occupancy at the sender for the broadcast frame.
         let base = self.tx_base_schedule(from, size_bits);
         let pdr = self.cfg.radio.link_pdr;
+        // Clone the payload n−1 times and *move* it into the final copy:
+        // each surviving receiver's push is deferred by one iteration so
+        // the last one is known when the loop ends. RNG draws, occupancy
+        // bumps and push order (hence `seq` assignment) are untouched —
+        // only the clone count changes.
+        let mut staged: Option<(NodeId, SimTime)> = None;
         for &to in &receivers {
             // Lossy links drop each receiver's copy independently; the
             // draw is gated on `pdr > 0` so lossless runs make no extra
@@ -699,12 +703,18 @@ impl<P> Ctx<P> {
             let jitter = self.sample_jitter();
             let arrival = base + jitter;
             self.bump_receiver(to, arrival);
-            let msg =
-                Message { from, size_bits, account, broadcast: true, payload: payload.clone() };
-            self.push(arrival, EventKind::Deliver { to, msg, ack_id: None });
+            if let Some((prev_to, prev_at)) = staged.replace((to, arrival)) {
+                let msg =
+                    Message { from, size_bits, account, broadcast: true, payload: payload.clone() };
+                self.push(prev_at, EventKind::Deliver { to: prev_to, msg, ack_id: None });
+            }
         }
         let n = receivers.len();
         self.recv_buf = receivers;
+        if let Some((to, arrival)) = staged {
+            let msg = Message { from, size_bits, account, broadcast: true, payload };
+            self.push(arrival, EventKind::Deliver { to, msg, ack_id: None });
+        }
         self.record(|at| crate::trace::TraceEvent::Broadcast { at, from, receivers: n, account });
         n
     }
@@ -1019,7 +1029,7 @@ impl<P> Ctx<P> {
             let dest = ctl.owner[home.index()];
             if dest == ctl.me {
                 let seq = ctl.alloc_seq(home);
-                self.queue.push(Reverse(Scheduled { at, seq, kind }));
+                self.queue.push(Scheduled { at, seq, kind });
             } else {
                 ctl.outbox[dest as usize].push((at, kind));
             }
@@ -1027,7 +1037,7 @@ impl<P> Ctx<P> {
         }
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.push(Scheduled { at, seq, kind });
     }
 
     /// Allocates the next application data id for a packet originating at

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod acks;
 pub mod config;
 mod ctx;
 mod energy;
@@ -55,11 +56,12 @@ pub mod stats;
 mod time;
 pub mod trace;
 pub mod traffic;
+mod wheel;
 
 pub use config::{
     ActuatorPlacement, ByzantineConfig, Engine, FaultConfig, FaultModel, LinkModel, MobilityConfig,
-    MobilityModel, NeighborIndex, RadioConfig, RoutingStrategy, SensorPlacement, ShardedConfig,
-    SimConfig, TrafficConfig,
+    MobilityModel, NeighborIndex, RadioConfig, RoutingStrategy, Scheduler, SensorPlacement,
+    ShardedConfig, SimConfig, TrafficConfig,
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};

@@ -59,7 +59,7 @@ pub fn run_with_sinks<P: Protocol>(
 
     let end = ctx.end;
     let mut faulty_set: Vec<NodeId> = Vec::new();
-    while let Some(std::cmp::Reverse(ev)) = ctx.queue.pop() {
+    while let Some(ev) = ctx.queue.pop() {
         if ev.at > end {
             break;
         }
@@ -81,7 +81,7 @@ pub fn run_with_sinks<P: Protocol>(
                 protocol.on_message(&mut ctx, to, msg);
             }
             EventKind::AckArrive { id } => {
-                if let Some(p) = ctx.pending_acks.remove(&id) {
+                if let Some(p) = ctx.pending_acks.remove(id) {
                     if !ctx.nodes[p.from.index()].faulty {
                         protocol.on_ack(&mut ctx, p.from, p.to);
                     }
@@ -159,23 +159,23 @@ pub(crate) fn ack_expire<P: Protocol>(ctx: &mut Ctx<P::Payload>, protocol: &mut 
     // ACKs, retries and expiries (including ones future lossy/Byzantine
     // link models may produce) can panic the run.
     let Some((from, to, attempt)) =
-        ctx.pending_acks.get(&id).map(|p| (p.from, p.to, p.attempt))
+        ctx.pending_acks.get(id).map(|p| (p.from, p.to, p.attempt))
     else {
         return; // already acknowledged
     };
     if ctx.nodes[from.index()].faulty {
         // The sender broke down while waiting; its MAC state is gone.
-        ctx.pending_acks.remove(&id);
+        ctx.pending_acks.remove(id);
         return;
     }
     if attempt >= ctx.cfg.radio.max_retries {
-        if let Some(p) = ctx.pending_acks.remove(&id) {
+        if let Some(p) = ctx.pending_acks.remove(id) {
             ctx.metrics.frames_expired += 1;
             protocol.on_send_expired(ctx, p.from, p.to, p.payload, p.attempt + 1);
         }
         return;
     }
-    if let Some(p) = ctx.pending_acks.get_mut(&id) {
+    if let Some(p) = ctx.pending_acks.get_mut(id) {
         p.attempt += 1;
     }
     ctx.metrics.frames_retransmitted += 1;
@@ -238,20 +238,20 @@ pub(crate) fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
     let grid = crate::grid::SpatialGrid::new(cfg.area, side, nodes.iter().map(|n| n.position));
 
     let end = SimTime::ZERO + cfg.total_time();
+    let queue = crate::wheel::EventQueue::new(cfg.scheduler);
     Ctx {
         cfg,
         now: SimTime::ZERO,
         nodes,
         actuators,
         sensors,
-        queue: std::collections::BinaryHeap::new(),
+        queue,
         seq: 0,
         rng,
         metrics: crate::metrics::Metrics::default(),
         data: HashMap::new(),
         next_data_id: 0,
-        pending_acks: HashMap::new(),
-        next_ack_id: 0,
+        pending_acks: crate::acks::AckTable::serial(),
         oracle_queries: std::cell::Cell::new(0),
         end,
         unbounded_queue: false,
@@ -259,6 +259,7 @@ pub(crate) fn build_ctx<Pl>(cfg: SimConfig) -> Ctx<Pl> {
         sinks: Vec::new(),
         grid,
         recv_buf: Vec::new(),
+        alive_buf: Vec::new(),
         shard: None,
     }
 }
@@ -320,13 +321,12 @@ fn sensor_position(
 }
 
 pub(crate) fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
-    // Alive sensors are the candidate sources under every pattern.
-    let alive: Vec<NodeId> = ctx
-        .sensors
-        .iter()
-        .copied()
-        .filter(|id| !ctx.nodes[id.index()].faulty)
-        .collect();
+    // Alive sensors are the candidate sources under every pattern; the
+    // roster filters into the context's reusable buffer (taken for the
+    // duration because `ctx.push` below needs `&mut ctx`).
+    let mut alive = std::mem::take(&mut ctx.alive_buf);
+    alive.clear();
+    alive.extend(ctx.sensors.iter().copied().filter(|id| !ctx.nodes[id.index()].faulty));
     let now = ctx.now;
     if ctx.cfg.traffic.pattern.is_matrix() {
         // Traffic matrix: every alive sensor sources. The per-source packet
@@ -345,7 +345,7 @@ pub(crate) fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
             (ctx.cfg.packets_per_round(), ctx.cfg.packet_gap().as_micros())
         };
         if packets > 0 {
-            for src in alive {
+            for &src in &alive {
                 ctx.push(
                     now,
                     EventKind::EmitPacket { node: src, remaining: packets - 1, gap_micros },
@@ -376,6 +376,7 @@ pub(crate) fn traffic_round<Pl>(ctx: &mut Ctx<Pl>) {
     if next <= ctx.end {
         ctx.push(next, EventKind::TrafficRound);
     }
+    ctx.alive_buf = alive;
 }
 
 pub(crate) fn emit_packet<P: Protocol>(
@@ -468,8 +469,10 @@ pub(crate) fn rotate_faults_core<Pl>(
         node.fault_since_micros = None;
     }
     let count = ctx.cfg.faults.count.min(ctx.sensors.len());
-    let sensors = ctx.sensors.clone();
-    let failed: Vec<NodeId> = sensors
+    // Disjoint field borrows: the roster is read while only the RNG is
+    // mutated, so no clone of the sensor list is needed.
+    let failed: Vec<NodeId> = ctx
+        .sensors
         .choose_multiple(&mut ctx.rng, count)
         .copied()
         .collect();
@@ -516,8 +519,10 @@ fn random_waypoint_tick<Pl>(ctx: &mut Ctx<Pl>) {
     let dt = ctx.cfg.mobility.tick.as_secs_f64();
     let area = ctx.cfg.area;
     let (min_s, max_s) = (ctx.cfg.mobility.min_speed, ctx.cfg.mobility.max_speed);
-    let sensors = ctx.sensors.clone();
-    for id in sensors {
+    // Index loop instead of cloning the roster: `move_node` needs
+    // `&mut ctx`, which an iterator borrow of `ctx.sensors` would block.
+    for i in 0..ctx.sensors.len() {
+        let id = ctx.sensors[i];
         // Random waypoint: walk toward the waypoint; on arrival pick a new
         // destination and speed.
         let need_new = {
@@ -550,8 +555,9 @@ fn gauss_markov_tick<Pl>(ctx: &mut Ctx<Pl>, alpha: f64) {
     let alpha = alpha.clamp(0.0, 1.0);
     let mean_speed = (ctx.cfg.mobility.min_speed + ctx.cfg.mobility.max_speed) / 2.0;
     let noise = (1.0 - alpha * alpha).sqrt() * mean_speed;
-    let sensors = ctx.sensors.clone();
-    for id in sensors {
+    // Index loop for the same borrow reason as `random_waypoint_tick`.
+    for i in 0..ctx.sensors.len() {
+        let id = ctx.sensors[i];
         let (nx, ny): (f64, f64) = (
             ctx.rng.gen_range(-1.0..=1.0),
             ctx.rng.gen_range(-1.0..=1.0),

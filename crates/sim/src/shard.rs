@@ -79,7 +79,6 @@ use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -142,8 +141,6 @@ pub(crate) struct ShardCtl<Pl> {
     /// Per-node event sequence counters: the canonical tie-break key is
     /// `(home_node << 32) | counter`.
     pub(crate) next_seq: Vec<u32>,
-    /// Per-node ACK-id counters (`ack_id = from << 32 | counter`).
-    pub(crate) next_ack: Vec<u32>,
     /// Per-node data-id counters (`DataId = origin << 32 | counter`).
     pub(crate) next_data: Vec<u32>,
     /// Events bound for other shards, indexed by destination; swapped
@@ -332,7 +329,6 @@ where
                 node_rng: (0..n).map(|i| node_stream(seed, i)).collect(),
                 proto_rng: proto_stream(seed, sh),
                 next_seq: vec![0; n],
-                next_ack: vec![0; n],
                 next_data: vec![0; n],
                 outbox: (0..shards).map(|_| Vec::new()).collect(),
                 trace_buf: Vec::new(),
@@ -344,14 +340,13 @@ where
                 nodes: master.nodes.clone(),
                 actuators: master.actuators.clone(),
                 sensors: master.sensors.clone(),
-                queue: std::collections::BinaryHeap::new(),
+                queue: crate::wheel::EventQueue::new(master.cfg.scheduler),
                 seq: 0,
                 rng: StdRng::seed_from_u64(seed),
                 metrics: crate::metrics::Metrics::default(),
                 data: std::collections::HashMap::new(),
                 next_data_id: 0,
-                pending_acks: std::collections::HashMap::new(),
-                next_ack_id: 0,
+                pending_acks: crate::acks::AckTable::sharded(),
                 oracle_queries: std::cell::Cell::new(0),
                 end: master.end,
                 unbounded_queue: false,
@@ -359,6 +354,7 @@ where
                 sinks: Vec::new(),
                 grid: master.grid.clone(),
                 recv_buf: Vec::new(),
+                alive_buf: Vec::new(),
                 shard: Some(Box::new(ctl)),
             };
             Mutex::new(ShardState { ctx, protocol: protocol.clone() })
@@ -437,7 +433,7 @@ where
         let mut t0: u64 = 0;
         loop {
             let central_next =
-                master.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX);
+                master.queue.next_at().map(SimTime::as_micros).unwrap_or(u64::MAX);
             let shard_next = (0..shards)
                 .map(|i| {
                     heap_next[i]
@@ -459,7 +455,7 @@ where
                 deposit(&inboxes, CENTRAL_SRC, per_dest);
             }
             let central_next =
-                master.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX);
+                master.queue.next_at().map(SimTime::as_micros).unwrap_or(u64::MAX);
             let t1 = (t0 + window).min(central_next).min(end_micros + 1);
             window_end.store(t1, Ordering::Release);
             barrier.wait(); // release the window
@@ -605,14 +601,14 @@ fn drain_node_events<Pl>(
     let mut per_dest: Vec<Vec<(SimTime, EventKind<Pl>)>> =
         (0..shards).map(|_| Vec::new()).collect();
     let mut central = Vec::new();
-    while let Some(Reverse(ev)) = master.queue.pop() {
+    while let Some(ev) = master.queue.pop() {
         match ev.kind.home() {
             Some(node) => per_dest[owner[node.index()] as usize].push((ev.at, ev.kind)),
             None => central.push(ev),
         }
     }
     for ev in central {
-        master.queue.push(Reverse(ev));
+        master.queue.push(ev);
     }
     per_dest
 }
@@ -654,14 +650,14 @@ where
     let mut per_dest: Vec<Vec<(SimTime, EventKind<P::Payload>)>> =
         (0..shards).map(|_| Vec::new()).collect();
     loop {
-        let due = match master.queue.peek() {
-            Some(rev) => rev.0.at.as_micros() <= t0 && rev.0.at <= master.end,
+        let due = match master.queue.next_at() {
+            Some(at) => at.as_micros() <= t0 && at <= master.end,
             None => false,
         };
         if !due {
             break;
         }
-        let Some(Reverse(ev)) = master.queue.pop() else { break };
+        let Some(ev) = master.queue.pop() else { break };
         if let Some(node) = ev.kind.home() {
             // A node event spawned by an earlier driver this round
             // (EmitPacket from the traffic draw): route it out.
@@ -737,24 +733,24 @@ fn run_shard_window<P>(
         for (at, kind) in events {
             let home = kind.home().expect("only node events cross shards");
             let seq = ctx.shard.as_mut().expect("shard context").alloc_seq(home);
-            ctx.queue.push(Reverse(Scheduled { at, seq, kind }));
+            ctx.queue.push(Scheduled { at, seq, kind });
         }
     }
 
     loop {
-        let due = match ctx.queue.peek() {
-            Some(rev) => rev.0.at.as_micros() < w_end,
+        let due = match ctx.queue.next_at() {
+            Some(at) => at.as_micros() < w_end,
             None => false,
         };
         if !due {
             break;
         }
-        let Some(Reverse(ev)) = ctx.queue.pop() else { break };
+        let Some(ev) = ctx.queue.pop() else { break };
         dispatch(ctx, protocol, ev);
     }
 
     heap_next[me].store(
-        ctx.queue.peek().map(|rev| rev.0.at.as_micros()).unwrap_or(u64::MAX),
+        ctx.queue.next_at().map(SimTime::as_micros).unwrap_or(u64::MAX),
         Ordering::Release,
     );
 }
@@ -844,7 +840,7 @@ where
                     protocol.on_message(ctx, to, msg);
                 }
                 EventKind::AckArrive { id } => {
-                    if let Some(p) = ctx.pending_acks.remove(&id) {
+                    if let Some(p) = ctx.pending_acks.remove(id) {
                         if !ctx.nodes[p.from.index()].faulty {
                             protocol.on_ack(ctx, p.from, p.to);
                         }

@@ -1,0 +1,431 @@
+//! The event queue behind the engines: a hierarchical timing wheel with a
+//! binary-heap reference implementation.
+//!
+//! # Why a wheel
+//!
+//! Every event in a run — frame deliveries, ACK expiries, timers, traffic
+//! emissions — passes through one priority queue per engine context. A
+//! binary heap costs `O(log n)` comparisons *and* `O(log n)` moves of the
+//! full [`Scheduled`] element (which carries the message payload inline)
+//! per operation; at heavy-traffic scale the queue holds hundreds of
+//! thousands of in-flight events and the sift traffic dominates the run.
+//! The timing wheel replaces that with `O(1)` bucketed inserts and an
+//! amortized-`O(1)` pop driven by occupancy bitmaps.
+//!
+//! # Layout
+//!
+//! Time is the simulator's integer microsecond clock ([`SimTime`]). The
+//! wheel has [`LEVELS`] = 8 levels of [`SLOTS`] = 256 buckets; level `L`
+//! buckets time by bits `[8L, 8L+8)`, so together the levels span the full
+//! `u64` time domain and no event is ever out of range. An event lands in
+//! the *lowest* level whose bucketing distinguishes it from the current
+//! cursor (`level = highest_set_bit(at ^ cursor) / 8`): near-future events
+//! go straight into level 0, far-future ones into coarse levels, and each
+//! coarse bucket is redistributed ("cascaded") into finer levels when the
+//! cursor reaches its span. A level-0 bucket therefore holds events of
+//! exactly **one** timestamp, which is what makes ordering exact (below).
+//! Per-level occupancy bitmaps (256 bits each) find the next non-empty
+//! bucket with a handful of `trailing_zeros` scans instead of a 256-slot
+//! walk.
+//!
+//! # Exact heap equivalence
+//!
+//! The engines' canonical event order is `(at, seq)` — time, then the
+//! sequence key assigned at push ([`Ctx::push`](crate::Ctx::push)). The
+//! wheel reproduces the heap's pop order *exactly*, not approximately:
+//!
+//! * buckets partition events by `at`, and the cursor visits bucket times
+//!   in ascending order;
+//! * the staged current bucket (all events at `at == cursor`) is kept
+//!   sorted by `seq` — one sort when the bucket is staged, and a
+//!   binary-search insert for events pushed *at* the cursor time while it
+//!   drains (zero-delay self-pushes), which is precisely where a FIFO
+//!   bucket would diverge from the heap under the sharded engine's
+//!   non-monotone `(home_node << 32 | counter)` sequence keys;
+//! * events pushed *behind* the cursor — the sharded engine's
+//!   delivery/drop claims, which are allowed to arrive with past
+//!   timestamps — fall into a small overflow heap that always pops before
+//!   the wheel (its times precede every staged or bucketed time by
+//!   construction).
+//!
+//! `trace verify` and the scheduler proptests hold the two implementations
+//! to byte-identical output; see DESIGN.md §14.
+
+use crate::config::Scheduler;
+use crate::ctx::Scheduled;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the bucket count per level.
+const SLOT_BITS: u32 = 8;
+/// Buckets per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels; together they cover all 64 bits of the microsecond clock.
+const LEVELS: usize = (u64::BITS / SLOT_BITS) as usize;
+/// 64-bit words per level bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Bucket-index mask within a level.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+
+/// The event queue of one engine context, switchable between the verified
+/// binary-heap reference and the timing wheel ([`Scheduler`] knob). Both
+/// pop in exactly the same `(at, seq)` order.
+// One queue lives per context (not per event), so the wheel's inline
+// cursor/bitmap state is cheaper than boxing it onto the hot path.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum EventQueue<P> {
+    /// `BinaryHeap` reference implementation.
+    Heap(BinaryHeap<Reverse<Scheduled<P>>>),
+    /// Hierarchical timing wheel.
+    Wheel(TimingWheel<P>),
+}
+
+impl<P> EventQueue<P> {
+    pub(crate) fn new(scheduler: Scheduler) -> Self {
+        match scheduler {
+            Scheduler::Heap => EventQueue::Heap(BinaryHeap::new()),
+            Scheduler::Wheel => EventQueue::Wheel(TimingWheel::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: Scheduled<P>) {
+        match self {
+            EventQueue::Heap(heap) => heap.push(Reverse(ev)),
+            EventQueue::Wheel(wheel) => wheel.push(ev),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<P>> {
+        match self {
+            EventQueue::Heap(heap) => heap.pop().map(|rev| rev.0),
+            EventQueue::Wheel(wheel) => wheel.pop(),
+        }
+    }
+
+    /// The timestamp of the next event to pop, without popping it. Takes
+    /// `&mut self` because the wheel may advance its cursor to the next
+    /// occupied bucket to answer (a pure relabeling: no event order or
+    /// content changes).
+    #[inline]
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(heap) => heap.peek().map(|rev| rev.0.at),
+            EventQueue::Wheel(wheel) => wheel.next_at(),
+        }
+    }
+}
+
+/// Hierarchical timing wheel keyed on microsecond [`SimTime`]; see the
+/// module docs for the layout and the exact-equivalence argument.
+pub(crate) struct TimingWheel<P> {
+    /// `LEVELS * SLOTS` buckets, row-major by level. Bucket vectors keep
+    /// their capacity across stagings, so the steady state allocates
+    /// nothing.
+    slots: Vec<Vec<Scheduled<P>>>,
+    /// Per-level occupancy bitmaps.
+    occupied: [[u64; WORDS]; LEVELS],
+    /// The staged timestamp: every event with `at < cursor` has been
+    /// popped (or sits in `overdue`), and `current` holds exactly the
+    /// events with `at == cursor`.
+    cursor: u64,
+    /// The staged bucket, ascending by `seq`; pops come off the front,
+    /// same-timestamp pushes binary-search into the remainder.
+    current: VecDeque<Scheduled<P>>,
+    /// Events pushed with `at < cursor` — only the sharded engine's claim
+    /// injections do this. Always pops before the wheel.
+    overdue: BinaryHeap<Reverse<Scheduled<P>>>,
+}
+
+impl<P> TimingWheel<P> {
+    pub(crate) fn new() -> Self {
+        TimingWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [[0; WORDS]; LEVELS],
+            cursor: 0,
+            current: VecDeque::new(),
+            overdue: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: Scheduled<P>) {
+        let at = ev.at.as_micros();
+        if at > self.cursor {
+            self.place(ev, at);
+        } else if at == self.cursor {
+            self.insert_current(ev);
+        } else {
+            self.overdue.push(Reverse(ev));
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<P>> {
+        // Overdue events precede everything the wheel still holds: their
+        // times are strictly below the cursor, staged events sit at it,
+        // bucketed events beyond it.
+        if self.overdue.peek().is_some() {
+            return self.overdue.pop().map(|rev| rev.0);
+        }
+        if !self.stage() {
+            return None;
+        }
+        self.current.pop_front()
+    }
+
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        if let Some(Reverse(ev)) = self.overdue.peek() {
+            return Some(ev.at);
+        }
+        if !self.stage() {
+            return None;
+        }
+        Some(SimTime::from_micros(self.cursor))
+    }
+
+    /// Binary-search insert into the staged bucket, keeping it ascending
+    /// by `seq`. Serial pushes carry the largest `seq` so far and append
+    /// in O(1); the general position only occurs under the sharded
+    /// engine's per-node sequence keys.
+    fn insert_current(&mut self, ev: Scheduled<P>) {
+        let i = self
+            .current
+            .binary_search_by(|e| e.seq.cmp(&ev.seq))
+            .unwrap_err();
+        self.current.insert(i, ev);
+    }
+
+    /// Files a future event into the lowest level whose bucketing
+    /// distinguishes `at` from the cursor.
+    fn place(&mut self, ev: Scheduled<P>, at: u64) {
+        debug_assert!(at > self.cursor);
+        let level = ((63 - (at ^ self.cursor).leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slots[level * SLOTS + slot].push(ev);
+        self.occupied[level][slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Ensures `current` holds the next timestamp's events, advancing the
+    /// cursor and cascading coarse buckets as needed. Returns `false` only
+    /// when the wheel (minus `overdue`) is empty.
+    fn stage(&mut self) -> bool {
+        loop {
+            if !self.current.is_empty() {
+                return true;
+            }
+            // The lowest level with an occupied bucket *after* the
+            // cursor's own index holds the next timestamp (buckets at or
+            // before the index are empty by the cursor invariant).
+            let mut found = None;
+            for level in 0..LEVELS {
+                let idx = ((self.cursor >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                if let Some(slot) = self.next_occupied(level, idx + 1) {
+                    found = Some((level, slot));
+                    break;
+                }
+            }
+            let Some((level, slot)) = found else { return false };
+            let shift = SLOT_BITS * level as u32;
+            // Jump to the start of the found bucket's span (lower time
+            // bits zeroed); for level 0 that *is* the bucket's timestamp.
+            let span = shift + SLOT_BITS;
+            let high = if span >= u64::BITS { 0 } else { (self.cursor >> span) << span };
+            self.cursor = high | ((slot as u64) << shift);
+            let mut batch = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+            if level == 0 {
+                // A level-0 bucket holds exactly one timestamp: sort once
+                // by seq and it is the staged bucket.
+                batch.sort_unstable_by_key(|e| e.seq);
+                self.current.extend(batch.drain(..));
+            } else {
+                // Cascade: every event re-files at least one level lower
+                // (its high bits now match the cursor through this
+                // level's span), so the loop strictly descends.
+                for ev in batch.drain(..) {
+                    let at = ev.at.as_micros();
+                    debug_assert!(at >= self.cursor);
+                    if at == self.cursor {
+                        self.insert_current(ev);
+                    } else {
+                        self.place(ev, at);
+                    }
+                }
+            }
+            // Hand the drained vector back so the bucket keeps its
+            // capacity for the next rotation.
+            self.slots[level * SLOTS + slot] = batch;
+        }
+    }
+
+    /// First occupied bucket of `level` with index ≥ `from`.
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let bitmap = &self.occupied[level];
+        let mut word = from / 64;
+        let mut bits = bitmap[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= WORDS {
+                return None;
+            }
+            bits = bitmap[word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::EventKind;
+    use crate::node::NodeId;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ev(at: u64, seq: u64) -> Scheduled<()> {
+        Scheduled { at: SimTime::from_micros(at), seq, kind: EventKind::Timer { node: NodeId(0), tag: seq } }
+    }
+
+    /// Drives both implementations through the same push/pop script and
+    /// asserts identical pop streams. `pushes` yields batches; between
+    /// batches `drains` events are popped (simulating dispatch that pushes
+    /// more work), and at the end both queues are popped dry.
+    fn assert_identical(script: Vec<(Vec<(u64, u64)>, usize)>) {
+        let mut heap = EventQueue::<()>::new(Scheduler::Heap);
+        let mut wheel = EventQueue::<()>::new(Scheduler::Wheel);
+        let mut popped = 0usize;
+        for (batch, drain) in script {
+            for &(at, seq) in &batch {
+                heap.push(ev(at, seq));
+                wheel.push(ev(at, seq));
+            }
+            for _ in 0..drain {
+                let h = heap.pop();
+                let w = wheel.pop();
+                match (&h, &w) {
+                    (Some(h), Some(w)) => {
+                        assert_eq!((h.at, h.seq), (w.at, w.seq), "pop #{popped} diverged");
+                    }
+                    (None, None) => {}
+                    _ => panic!("pop #{popped}: heap={:?} wheel={:?}", h.is_some(), w.is_some()),
+                }
+                popped += 1;
+            }
+        }
+        loop {
+            assert_eq!(heap.next_at(), wheel.next_at(), "next_at diverged after {popped} pops");
+            let (h, w) = (heap.pop(), wheel.pop());
+            match (h, w) {
+                (Some(h), Some(w)) => {
+                    assert_eq!((h.at, h.seq), (w.at, w.seq), "pop #{popped} diverged")
+                }
+                (None, None) => break,
+                (h, w) => panic!("pop #{popped}: heap={:?} wheel={:?}", h.is_some(), w.is_some()),
+            }
+            popped += 1;
+        }
+    }
+
+    #[test]
+    fn empty_wheel_pops_nothing() {
+        let mut q = EventQueue::<()>::new(Scheduler::Wheel);
+        assert!(q.pop().is_none());
+        assert!(q.next_at().is_none());
+    }
+
+    #[test]
+    fn dense_same_instant_ties_pop_in_seq_order() {
+        // 500 events at one timestamp with shuffled, non-monotone seqs —
+        // the sharded engine's (node << 32 | counter) keys look like this.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| (1_000, (i % 7) << 32 | (i / 7)))
+            .collect();
+        for i in (1..batch.len()).rev() {
+            batch.swap(i, rng.gen_range(0..=i));
+        }
+        assert_identical(vec![(batch, 0)]);
+    }
+
+    #[test]
+    fn far_future_events_cascade_through_every_level() {
+        // One event per power-of-two distance, up to the top wheel level,
+        // plus u64::MAX itself.
+        let batch: Vec<(u64, u64)> =
+            (0..63).map(|b| (1u64 << b, b)).chain([(u64::MAX, 63)]).collect();
+        assert_identical(vec![(batch, 0)]);
+    }
+
+    #[test]
+    fn zero_delay_self_pushes_interleave_exactly() {
+        // Pop one event, then push more at the *same* timestamp (what a
+        // dispatched event scheduling zero-delay work does), including
+        // seqs below already-popped ones.
+        assert_identical(vec![
+            (vec![(10, 5), (10, 9)], 1),
+            (vec![(10, 7), (10, 1), (10, 20)], 2),
+            (vec![(10, 2)], 0),
+        ]);
+    }
+
+    #[test]
+    fn overdue_pushes_pop_before_the_wheel() {
+        // Drain to t=100, then inject claims "in the past" like the
+        // sharded engine's window-edge deliveries.
+        assert_identical(vec![
+            (vec![(100, 0), (5_000, 1)], 1),
+            (vec![(40, 2), (60, 3), (40, 4)], 0),
+        ]);
+    }
+
+    #[test]
+    fn staged_bucket_survives_interleaved_draining() {
+        // Alternate pops with same-cursor inserts so the staged bucket is
+        // repeatedly half-drained and re-extended.
+        let mut script = vec![(vec![(7, 0), (7, 2), (7, 4)], 1)];
+        for i in 0..20u64 {
+            script.push((vec![(7, 100 + i)], 1));
+        }
+        assert_identical(script);
+    }
+
+    // Random interleavings of pushes (dense ties, far-future tails,
+    // zero-delay repushes, occasional overdue claims) and pops match
+    // the heap exactly.
+    proptest! {
+        #[test]
+        fn wheel_matches_heap_on_random_schedules(seed in 0u64..512) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut script = Vec::new();
+            let mut seq = 0u64;
+            let mut horizon = 0u64; // rough lower bound of the cursor
+            for _ in 0..rng.gen_range(1..24) {
+                let mut batch = Vec::new();
+                for _ in 0..rng.gen_range(0..40) {
+                    let at = match rng.gen_range(0..10) {
+                        0..=3 => horizon + rng.gen_range(0..4u64),         // ties / zero-delay
+                        4..=6 => horizon + rng.gen_range(0..5_000u64),     // near future
+                        7 => horizon + rng.gen_range(0..u64::MAX / 2),     // cascade territory
+                        8 => horizon.saturating_sub(rng.gen_range(0..500)),// overdue claim
+                        _ => rng.gen_range(0..u64::MAX),                   // anywhere
+                    };
+                    // Sharded-style non-monotone keys half the time.
+                    let key = if rng.gen_bool(0.5) { seq } else { (seq % 5) << 32 | seq };
+                    batch.push((at, key));
+                    seq += 1;
+                }
+                let drain = rng.gen_range(0..30);
+                horizon = horizon.saturating_add(rng.gen_range(0..2_000));
+                script.push((batch, drain));
+            }
+            assert_identical(script);
+        }
+    }
+}

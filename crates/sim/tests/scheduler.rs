@@ -1,0 +1,196 @@
+//! The scheduler contract: `Scheduler::Heap` and `Scheduler::Wheel` are
+//! the *same* simulation. Both order events by `(at, seq)`, so every
+//! workload — flood, lossy acknowledged traffic, Byzantine adversaries,
+//! all-to-all matrices — must produce a bit-identical summary and a
+//! byte-identical trace stream under either implementation, on the serial
+//! and the sharded engine alike.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use wsan_sim::flood::FloodProtocol;
+use wsan_sim::runner::run_with_sinks;
+use wsan_sim::shard::run_sharded_with_sinks;
+use wsan_sim::trace::{TraceEvent, TraceSink};
+use wsan_sim::{
+    Ctx, DataId, EnergyAccount, Engine, FaultModel, LinkModel, Message, MobilityModel, NodeId,
+    Protocol, RunSummary, Scheduler, ShardableProtocol, ShardedConfig, SimConfig, SimDuration,
+    TrafficPattern,
+};
+
+/// Collects the trace stream for byte-level comparison.
+#[derive(Clone, Default)]
+struct Collect(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl TraceSink for Collect {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.0.lock().unwrap().push(event.clone());
+    }
+}
+
+/// A busy scenario: GaussMarkov mobility, rotating faults, enough traffic
+/// that the queue holds many concurrent timers, deliveries and expiries.
+fn base_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::smoke();
+    cfg.sensors = 60;
+    cfg.traffic.rate_bps = 40_000.0;
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg.mobility.model = MobilityModel::GaussMarkov { alpha: 0.75 };
+    cfg.mobility.tick = SimDuration::from_millis(250);
+    cfg.faults.count = 6;
+    cfg.faults.rotation = SimDuration::from_secs(5);
+    cfg.seed = seed;
+    cfg
+}
+
+fn serial_traced<P: Protocol>(
+    mut cfg: SimConfig,
+    scheduler: Scheduler,
+    protocol: &mut P,
+) -> (RunSummary, Vec<TraceEvent>) {
+    cfg.scheduler = scheduler;
+    let events = Collect::default();
+    let (summary, _) = run_with_sinks(cfg, protocol, vec![Box::new(events.clone())]);
+    let trace = events.0.lock().unwrap().clone();
+    (summary, trace)
+}
+
+fn sharded_traced<P>(
+    mut cfg: SimConfig,
+    scheduler: Scheduler,
+    protocol: &mut P,
+) -> (RunSummary, Vec<TraceEvent>)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+{
+    cfg.scheduler = scheduler;
+    cfg.engine = Engine::Sharded(ShardedConfig { shards: 8, threads: 2, window_micros: 0 });
+    let events = Collect::default();
+    let (summary, _) = run_sharded_with_sinks(cfg, protocol, vec![Box::new(events.clone())]);
+    let trace = events.0.lock().unwrap().clone();
+    (summary, trace)
+}
+
+/// Asserts heap ≡ wheel for one serial + one sharded run of `make_proto`
+/// under `cfg`, comparing the full summary and every trace event.
+fn assert_engines_agree<P, F>(cfg: SimConfig, label: &str, mut make_proto: F)
+where
+    P: ShardableProtocol,
+    P::Payload: Clone + Send,
+    F: FnMut() -> P,
+{
+    let heap = serial_traced(cfg.clone(), Scheduler::Heap, &mut make_proto());
+    let wheel = serial_traced(cfg.clone(), Scheduler::Wheel, &mut make_proto());
+    assert_eq!(heap.0, wheel.0, "{label}: serial summary diverged between heap and wheel");
+    assert_eq!(heap.1, wheel.1, "{label}: serial trace diverged between heap and wheel");
+    assert!(!heap.1.is_empty(), "{label}: serial run produced no trace events");
+
+    let heap = sharded_traced(cfg.clone(), Scheduler::Heap, &mut make_proto());
+    let wheel = sharded_traced(cfg, Scheduler::Wheel, &mut make_proto());
+    assert_eq!(heap.0, wheel.0, "{label}: sharded summary diverged between heap and wheel");
+    assert_eq!(heap.1, wheel.1, "{label}: sharded trace diverged between heap and wheel");
+    assert!(!heap.1.is_empty(), "{label}: sharded run produced no trace events");
+}
+
+#[test]
+fn flood_is_scheduler_invariant() {
+    assert_engines_agree(base_cfg(41), "flood", || FloodProtocol::new(6));
+}
+
+#[test]
+fn all2all_matrix_is_scheduler_invariant() {
+    let mut cfg = base_cfg(43);
+    cfg.traffic.pattern = TrafficPattern::All2All;
+    cfg.traffic.offered_pps = 150.0;
+    assert_engines_agree(cfg, "all2all", || FloodProtocol::new(6));
+}
+
+#[test]
+fn lossy_acked_traffic_is_scheduler_invariant() {
+    // Shadowed links + residual per-link loss: retransmissions, ACK
+    // expiries and stale ACKs exercise the slab table under both
+    // schedulers.
+    let mut cfg = base_cfg(47);
+    cfg.radio.link = LinkModel::Shadowed { fade_width: 60.0 };
+    cfg.radio.link_pdr = 0.05;
+    cfg.radio.ack_timeout = SimDuration::from_millis(4);
+    assert_engines_agree(cfg, "lossy-ack", || AckedDirect { expired: 0 });
+}
+
+#[test]
+fn byzantine_traffic_is_scheduler_invariant() {
+    let mut cfg = base_cfg(53);
+    cfg.faults.model = FaultModel::Byzantine;
+    cfg.faults.byzantine.attacker_fraction = 0.25;
+    assert_engines_agree(cfg, "byzantine", || AckedDirect { expired: 0 });
+}
+
+// Random seeds: serial heap and wheel summaries stay bitwise equal
+// (RunSummary's PartialEq is bitwise, NaN-stable).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn serial_summaries_match_across_seeds(seed in 0u64..1000) {
+        let mut cfg = base_cfg(seed);
+        cfg.duration = SimDuration::from_secs(8);
+        let heap = serial_traced(cfg.clone(), Scheduler::Heap, &mut FloodProtocol::new(6));
+        let wheel = serial_traced(cfg, Scheduler::Wheel, &mut FloodProtocol::new(6));
+        prop_assert_eq!(heap.0, wheel.0);
+        prop_assert_eq!(heap.1.len(), wheel.1.len());
+    }
+}
+
+/// Unicasts every packet straight to the nearest actuator over the
+/// acknowledged MAC path (same shape as the sharded suite's protocol).
+#[derive(Clone)]
+struct AckedDirect {
+    expired: u64,
+}
+
+impl Protocol for AckedDirect {
+    type Payload = DataId;
+
+    fn name(&self) -> &'static str {
+        "AckedDirect"
+    }
+
+    fn on_init(&mut self, _ctx: &mut Ctx<DataId>) {}
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<DataId>, src: NodeId, data: DataId) {
+        let nearest = ctx
+            .actuator_ids()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                ctx.distance(src, a).partial_cmp(&ctx.distance(src, b)).expect("finite")
+            })
+            .expect("actuators exist");
+        let size = ctx.config().traffic.packet_bits;
+        ctx.send_acked(src, nearest, size, EnergyAccount::Communication, data);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<DataId>, at: NodeId, msg: Message<DataId>) {
+        if ctx.actuator_ids().contains(&at) {
+            ctx.deliver_data(msg.payload, at);
+        } else {
+            ctx.drop_data(msg.payload);
+        }
+    }
+
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<DataId>,
+        _at: NodeId,
+        _to: NodeId,
+        payload: DataId,
+        _attempts: u32,
+    ) {
+        self.expired += 1;
+        ctx.drop_data(payload);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<DataId>, _at: NodeId, _tag: u64) {}
+}
+
+impl ShardableProtocol for AckedDirect {}
