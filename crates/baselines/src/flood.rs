@@ -18,8 +18,9 @@
 //! protocol state once the frames are charged, the same simulation style
 //! used for REFER's construction.
 
-use wsan_sim::{Ctx, EnergyAccount, NodeId, SimDuration};
+use refer_proto::ProtoCtx;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wsan_sim::{EnergyAccount, NodeId, SimDuration};
 
 /// Payloads that can represent an inert control frame (delivered, charged,
 /// but carrying no protocol action).
@@ -48,7 +49,7 @@ pub struct Discovery {
 /// transmission range (directional links). `ctrl_bits` sizes the control
 /// frames.
 pub fn discover<P: ControlPayload>(
-    ctx: &mut Ctx<P>,
+    ctx: &mut impl ProtoCtx<P>,
     from: NodeId,
     to: NodeId,
     scope: usize,
@@ -126,21 +127,28 @@ pub fn discover<P: ControlPayload>(
 /// serialization time for small control frames.
 const DISCOVERY_BACKOFF: SimDuration = SimDuration::from_millis(25);
 
-fn per_hop_latency<P>(ctx: &Ctx<P>, ctrl_bits: u32) -> SimDuration {
+fn per_hop_latency<P: Clone + std::fmt::Debug>(
+    ctx: &impl ProtoCtx<P>,
+    ctrl_bits: u32,
+) -> SimDuration {
     ctx.service_time(ctrl_bits) + DISCOVERY_BACKOFF
 }
 
 /// The request wave contends for the shared medium across the flooded
 /// region; with a spatial-reuse factor of ~4, its completion time scales
 /// with the number of broadcasts it took.
-fn contention_latency<P>(ctx: &Ctx<P>, ctrl_bits: u32, broadcasts: usize) -> SimDuration {
+fn contention_latency<P: Clone + std::fmt::Debug>(
+    ctx: &impl ProtoCtx<P>,
+    ctrl_bits: u32,
+    broadcasts: usize,
+) -> SimDuration {
     ctx.service_time(ctrl_bits).mul(broadcasts as u64 / 4)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsan_sim::{runner, DataId, Message, Protocol, SimConfig, SimDuration};
+    use wsan_sim::{runner, Ctx, DataId, Message, Protocol, SimConfig, SimDuration};
 
     #[derive(Debug, Clone)]
     struct Inert;

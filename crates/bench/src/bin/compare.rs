@@ -27,10 +27,7 @@
 //! scenario where Faber–Streib regular routing beats greedy shortest
 //! routing on the queue-delay tail under all-to-all load.
 
-use refer_bench::{
-    base_config, parse_fault_model, parse_offered_load, parse_routing, parse_unit_interval,
-    parse_workload, run_system, LOAD_ROUTINGS, SYSTEMS,
-};
+use refer_bench::{base_config, run_system, ScenarioFlags, LOAD_ROUTINGS, SYSTEMS};
 use refer_baselines::{fabric_config, KautzFabricProtocol};
 use wsan_sim::{
     run_engine, Engine, FaultModel, RoutingStrategy, ShardedConfig, SimDuration, TrafficPattern,
@@ -103,8 +100,13 @@ fn parse_args() -> Args {
         fabric: None,
         threads: 2,
     };
+    let mut scenario = ScenarioFlags::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        // The scenario knobs shared by every CLI live in one parser.
+        if scenario.accept(&a, &mut it).unwrap_or_else(|e| bail(e)) {
+            continue;
+        }
         let mut next = || it.next().expect("flag needs a value");
         match a.as_str() {
             "--scale" => args.scale = next().parse().expect("float"),
@@ -113,26 +115,6 @@ fn parse_args() -> Args {
             "--faults" => args.faults = next().parse().expect("integer"),
             "--sensors" => args.sensors = next().parse().expect("integer"),
             "--threads" => args.threads = next().parse().expect("integer"),
-            "--fault-model" => {
-                args.fault_model = parse_fault_model(&next()).unwrap_or_else(|e| bail(e));
-            }
-            "--attacker-fraction" => {
-                args.attacker_fraction = parse_unit_interval("--attacker-fraction", &next())
-                    .unwrap_or_else(|e| bail(e));
-            }
-            "--link-pdr" => {
-                args.link_pdr =
-                    parse_unit_interval("--link-pdr", &next()).unwrap_or_else(|e| bail(e));
-            }
-            "--workload" => {
-                args.workload = parse_workload(&next()).unwrap_or_else(|e| bail(e));
-            }
-            "--routing" => {
-                args.routing = parse_routing(&next()).unwrap_or_else(|e| bail(e));
-            }
-            "--offered-load" => {
-                args.offered_pps = parse_offered_load(&next()).unwrap_or_else(|e| bail(e));
-            }
             "--fabric" => {
                 let v = next();
                 let parsed = v.split_once(',').and_then(|(d, k)| {
@@ -145,6 +127,12 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other:?}"),
         }
     }
+    args.fault_model = scenario.fault_model;
+    args.attacker_fraction = scenario.attacker_fraction;
+    args.link_pdr = scenario.link_pdr;
+    args.workload = scenario.workload;
+    args.routing = scenario.routing.unwrap_or(RoutingStrategy::Shortest);
+    args.offered_pps = scenario.offered_pps;
     args
 }
 

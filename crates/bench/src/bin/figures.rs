@@ -24,8 +24,7 @@
 //! apply to the paper figures for heavy-traffic variants.
 
 use refer_bench::{
-    figure, parse_fault_model, parse_offered_load, parse_routing, parse_unit_interval,
-    parse_workload, render_degradation, render_figure, render_load, run_sweep_opts, Figure,
+    figure, render_degradation, render_figure, render_load, run_sweep_opts, Figure, ScenarioFlags,
     Sweep, SweepOpts, SweepResult, FIGURES,
 };
 use std::collections::BTreeSet;
@@ -59,8 +58,13 @@ fn parse_args() -> Args {
         degradation: false,
         load: false,
     };
+    let mut scenario = ScenarioFlags::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        // The scenario knobs shared by every CLI live in one parser.
+        if scenario.accept(&a, &mut it).unwrap_or_else(|e| bail(e)) {
+            continue;
+        }
         match a.as_str() {
             "--fig" => {
                 let v = it.next().expect("--fig needs a value");
@@ -92,35 +96,16 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--degradation" => args.degradation = true,
             "--load" => args.load = true,
-            "--workload" => {
-                let v = it.next().expect("--workload needs a value");
-                args.opts.workload = parse_workload(&v).unwrap_or_else(|e| bail(e));
-            }
-            "--routing" => {
-                let v = it.next().expect("--routing needs a value");
-                args.opts.routing = parse_routing(&v).unwrap_or_else(|e| bail(e));
-            }
-            "--offered-load" => {
-                let v = it.next().expect("--offered-load needs a value");
-                args.opts.offered_pps = parse_offered_load(&v).unwrap_or_else(|e| bail(e));
-            }
-            "--fault-model" => {
-                let v = it.next().expect("--fault-model needs a value");
-                args.opts.fault_model =
-                    parse_fault_model(&v).unwrap_or_else(|e| bail(e));
-            }
-            "--attacker-fraction" => {
-                let v = it.next().expect("--attacker-fraction needs a value");
-                args.opts.attacker_fraction =
-                    parse_unit_interval("--attacker-fraction", &v).unwrap_or_else(|e| bail(e));
-            }
-            "--link-pdr" => {
-                let v = it.next().expect("--link-pdr needs a value");
-                args.opts.link_pdr =
-                    parse_unit_interval("--link-pdr", &v).unwrap_or_else(|e| bail(e));
-            }
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    args.opts.fault_model = scenario.fault_model;
+    args.opts.attacker_fraction = scenario.attacker_fraction;
+    args.opts.link_pdr = scenario.link_pdr;
+    args.opts.workload = scenario.workload;
+    args.opts.offered_pps = scenario.offered_pps;
+    if let Some(routing) = scenario.routing {
+        args.opts.routing = routing;
     }
     args
 }

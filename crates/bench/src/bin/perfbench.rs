@@ -62,10 +62,7 @@
 //! full run.
 
 use refer_baselines::{fabric_config, KautzFabricProtocol};
-use refer_bench::{
-    base_config, git_commit, parse_fault_model, parse_offered_load, parse_routing,
-    parse_unit_interval, parse_workload, run_system, System,
-};
+use refer_bench::{base_config, git_commit, run_system, ScenarioFlags, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -130,59 +127,21 @@ fn main() -> ExitCode {
         scheduler: Scheduler::default(),
     };
     let mut traffic = TrafficOpts::default();
+    let mut shared = ScenarioFlags::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        // The scenario knobs shared by every CLI live in one parser.
+        match shared.accept(arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
         match arg.as_str() {
             "--quick" => quick = true,
             "--force" => force = true,
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage("--out needs a value"),
-            },
-            "--workload" => match it.next() {
-                Some(v) => match parse_workload(v) {
-                    Ok(TrafficPattern::Paper) => {
-                        return usage("the traffic section needs a matrix workload")
-                    }
-                    Ok(pattern) => traffic.workload = pattern,
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--workload needs a value"),
-            },
-            "--routing" => match it.next() {
-                Some(v) => match parse_routing(v) {
-                    Ok(routing) => traffic.routing = Some(routing),
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--routing needs a value"),
-            },
-            "--offered-load" => match it.next() {
-                Some(v) => match parse_offered_load(v) {
-                    Ok(pps) => traffic.offered_pps = pps,
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--offered-load needs a value"),
-            },
-            "--fault-model" => match it.next() {
-                Some(v) => match parse_fault_model(v) {
-                    Ok(model) => scenario.fault_model = model,
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--fault-model needs a value"),
-            },
-            "--attacker-fraction" => match it.next() {
-                Some(v) => match parse_unit_interval("--attacker-fraction", v) {
-                    Ok(x) => scenario.attacker_fraction = x,
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--attacker-fraction needs a value"),
-            },
-            "--link-pdr" => match it.next() {
-                Some(v) => match parse_unit_interval("--link-pdr", v) {
-                    Ok(x) => scenario.link_pdr = x,
-                    Err(e) => return usage(&e),
-                },
-                None => return usage("--link-pdr needs a value"),
             },
             "--scheduler" => match it.next().map(String::as_str) {
                 Some("wheel") => scenario.scheduler = Scheduler::Wheel,
@@ -194,6 +153,19 @@ fn main() -> ExitCode {
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+    scenario.fault_model = shared.fault_model;
+    scenario.attacker_fraction = shared.attacker_fraction;
+    scenario.link_pdr = shared.link_pdr;
+    if shared.given("workload") {
+        if !shared.workload.is_matrix() {
+            return usage("the traffic section needs a matrix workload");
+        }
+        traffic.workload = shared.workload;
+    }
+    traffic.routing = shared.routing;
+    if shared.given("offered-load") {
+        traffic.offered_pps = shared.offered_pps;
     }
     if !force && std::path::Path::new(&out).exists() {
         eprintln!("{out} already exists; pass --force to overwrite it");

@@ -10,8 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
 pub mod svgplot;
+
+pub use cli::{ScenarioFlags, SCENARIO_FLAGS};
 
 use refer::{ReferConfig, ReferProtocol};
 use refer_baselines::{DaTreeProtocol, DdearProtocol, KautzOverlayProtocol};
@@ -286,6 +289,30 @@ pub struct SweepResult {
     /// `git rev-parse HEAD` of the tree that produced the dump, or
     /// `"unknown"` outside a git checkout.
     pub git_commit: String,
+    /// Live-cluster measurements from a `refer-node` run on the same
+    /// topology, when one was collected (schema version 5); `None` for
+    /// pure-simulation dumps.
+    pub daemon_latency: Option<DaemonLatency>,
+}
+
+/// Latency and delivery measured from a real `refer-node` localhost
+/// cluster, stored next to the sim numbers it is compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonLatency {
+    /// Number of daemon processes in the cell.
+    pub nodes: usize,
+    /// Delivery ratio measured from the merged live traces.
+    pub measured_delivery: f64,
+    /// Delivery ratio the simulator predicts for the same topology/seed.
+    pub sim_delivery: f64,
+    /// Measured end-to-end delay percentiles, seconds.
+    pub delay_p50_s: f64,
+    /// 95th percentile, seconds.
+    pub delay_p95_s: f64,
+    /// 99th percentile, seconds.
+    pub delay_p99_s: f64,
+    /// Wall-clock duration of the live run, seconds.
+    pub wall_s: f64,
 }
 
 /// The commit hash of the working tree, for provenance stamps in dumps;
@@ -498,6 +525,7 @@ pub fn run_sweep_opts(
         scale,
         fault_model,
         git_commit: git_commit(),
+        daemon_latency: None,
     }
 }
 

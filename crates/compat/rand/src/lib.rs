@@ -59,7 +59,9 @@ fn below_inclusive<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
         return rng.next_u64();
     }
     let span = bound + 1;
-    let mask = span.next_power_of_two() - 1;
+    // `span` above 2^63 has no power-of-two ceiling in u64; every draw is
+    // already within one doubling of the span, so the mask is all-ones.
+    let mask = span.checked_next_power_of_two().map_or(u64::MAX, |p| p - 1);
     loop {
         let draw = rng.next_u64() & mask;
         if draw < span {

@@ -30,9 +30,10 @@ use kautz::{KautzId, RouteTable};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use refer_proto::{AccuseOutcome, FailureView, ProtoCtx, SansIo};
 use wsan_sim::{
-    AccuseOutcome, Ctx, DataId, DropReason, EnergyAccount, FailureView, FaultModel, HopReason,
-    Message, NodeId, NodeKind, Protocol, RoutingStrategy, SimDuration,
+    Ctx, DataId, DropReason, EnergyAccount, FaultModel, HopReason, Message, NodeId, NodeKind,
+    Protocol, RoutingStrategy, SimDuration,
 };
 
 // Timer tag layout: high 16 bits = kind, low 48 bits = argument.
@@ -317,7 +318,7 @@ impl ReferProtocol {
         self.member_cells.contains_key(&node)
     }
 
-    fn is_assigned_sensor(&self, ctx: &Ctx<ReferMsg>, node: NodeId) -> bool {
+    fn is_assigned_sensor(&self, ctx: &impl ProtoCtx<ReferMsg>, node: NodeId) -> bool {
         matches!(ctx.kind(node), NodeKind::Sensor) && self.is_member(node)
     }
 
@@ -335,7 +336,7 @@ impl ReferProtocol {
     /// global link oracle; under `Discovered`, local knowledge only —
     /// geometry (positions learned from beacons), own health, and the
     /// suspicion view. The two agree whenever the view is accurate.
-    fn usable(&self, ctx: &Ctx<ReferMsg>, a: NodeId, b: NodeId) -> bool {
+    fn usable(&self, ctx: &impl ProtoCtx<ReferMsg>, a: NodeId, b: NodeId) -> bool {
         if self.discovered {
             a != b
                 && !ctx.self_faulty(a)
@@ -348,7 +349,7 @@ impl ReferProtocol {
 
     /// Whether `node` is presumed alive: the fault oracle under `Oracle`,
     /// the suspicion view under `Discovered`.
-    fn presumed_alive(&self, ctx: &Ctx<ReferMsg>, node: NodeId) -> bool {
+    fn presumed_alive(&self, ctx: &impl ProtoCtx<ReferMsg>, node: NodeId) -> bool {
         if self.discovered {
             !self.view.is_suspected(node, ctx.now())
         } else {
@@ -363,7 +364,7 @@ impl ReferProtocol {
     /// plain [`Ctx::send`] whose boolean is the MAC-oracle outcome.
     fn send_data(
         &mut self,
-        ctx: &mut Ctx<ReferMsg>,
+        ctx: &mut impl ProtoCtx<ReferMsg>,
         from: NodeId,
         to: NodeId,
         size: u32,
@@ -381,7 +382,7 @@ impl ReferProtocol {
 
     /// Raises a suspicion against `peer`, recording the detection metric
     /// only for fresh incidents.
-    fn suspect(&mut self, ctx: &mut Ctx<ReferMsg>, peer: NodeId) {
+    fn suspect(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, peer: NodeId) {
         if self.view.suspect(peer, ctx.now()) {
             ctx.record_suspicion(peer);
         }
@@ -389,7 +390,7 @@ impl ReferProtocol {
 
     // ----- construction --------------------------------------------------
 
-    fn start_construction(&mut self, ctx: &mut Ctx<ReferMsg>) {
+    fn start_construction(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>) {
         let actuator_nodes: Vec<NodeId> = ctx.actuator_ids().to_vec();
         let positions: Vec<wsan_sim::Point> =
             actuator_nodes.iter().map(|&a| ctx.position(a)).collect();
@@ -490,7 +491,7 @@ impl ReferProtocol {
 
     fn launch_query(
         &mut self,
-        ctx: &mut Ctx<ReferMsg>,
+        ctx: &mut impl ProtoCtx<ReferMsg>,
         origin: NodeId,
         target: NodeId,
         cell: usize,
@@ -510,7 +511,7 @@ impl ReferProtocol {
         );
     }
 
-    fn on_stage1_timer(&mut self, ctx: &mut Ctx<ReferMsg>, arg: u64) {
+    fn on_stage1_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, arg: u64) {
         let cell = (arg >> 2) as usize;
         let corner = (arg & 3) as usize;
         let from_kid = self.plan.actuator_kids[corner].clone();
@@ -532,7 +533,7 @@ impl ReferProtocol {
         self.launch_query(ctx, origin, target, cell, stage.interior);
     }
 
-    fn on_stage2_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+    fn on_stage2_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, cell: usize) {
         // Ensure stage 1 completed; fill any hole logically first.
         let stage1_kids: Vec<KautzId> = self
             .plan
@@ -561,7 +562,7 @@ impl ReferProtocol {
         }
     }
 
-    fn on_stage3_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+    fn on_stage3_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, cell: usize) {
         // Fill stage-2 holes, then assign every stage-3 KID to the best
         // common physical neighbor of its placed Kautz neighbors.
         let stage2_kids = self.plan.stage2.interior.clone();
@@ -576,7 +577,7 @@ impl ReferProtocol {
     /// Assigns any of `kids` not yet in the roster using the logical
     /// embedding rule (highest-battery sensor in range of the placed Kautz
     /// neighbors), charging one assignment frame per pick.
-    fn fallback_assign(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize, kids: &[KautzId]) {
+    fn fallback_assign(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, cell: usize, kids: &[KautzId]) {
         let coordinator = self.cells[cell].corners[0];
         for kid in kids {
             if self.cells[cell].roster.contains_key(kid) {
@@ -630,7 +631,7 @@ impl ReferProtocol {
         }
     }
 
-    fn on_ready_timer(&mut self, ctx: &mut Ctx<ReferMsg>, cell: usize) {
+    fn on_ready_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, cell: usize) {
         let coordinator = self.cells[cell].corners[0];
         ctx.broadcast(coordinator, self.rcfg.ctrl_bits, EnergyAccount::Construction, ReferMsg::CellReady);
         self.cells[cell].ready = true;
@@ -672,7 +673,7 @@ impl ReferProtocol {
         }
     }
 
-    fn on_query_pick(&mut self, ctx: &mut Ctx<ReferMsg>, qid: u64, collector: NodeId) {
+    fn on_query_pick(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, qid: u64, collector: NodeId) {
         let Some(query) = self.queries.remove(&qid) else {
             return;
         };
@@ -718,7 +719,7 @@ impl ReferProtocol {
 
     // ----- steady state ---------------------------------------------------
 
-    fn on_beacon_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+    fn on_beacon_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId) {
         if !ctx.self_faulty(node) && self.is_member(node) {
             ctx.broadcast(node, self.rcfg.ctrl_bits, EnergyAccount::Communication, ReferMsg::Beacon);
             if self.byzantine {
@@ -777,7 +778,7 @@ impl ReferProtocol {
     /// replacement for `kid` must satisfy.
     fn neighbor_positions(
         &self,
-        ctx: &Ctx<ReferMsg>,
+        ctx: &impl ProtoCtx<ReferMsg>,
         cell: usize,
         kid: &KautzId,
         except: NodeId,
@@ -794,7 +795,7 @@ impl ReferProtocol {
     /// Heartbeat detection (`Discovered` only): a Kautz-graph neighbor that
     /// has beaconed before but has now been silent past the heartbeat
     /// timeout becomes suspected.
-    fn heartbeat_check(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+    fn heartbeat_check(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId) {
         let timeout = self.rcfg.heartbeat_timeout;
         let now = ctx.now();
         for (_, _, owner) in self.kautz_neighbor_owners(node) {
@@ -810,7 +811,7 @@ impl ReferProtocol {
     /// candidate, restoring the cell after fault rotations and battery
     /// death. "Believes" is mode-appropriate: the fault oracle under
     /// `Oracle`, the suspicion view under `Discovered`.
-    fn heal_neighbors(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+    fn heal_neighbors(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId) {
         let range = ctx.config().sensor_range;
         for (cell, nk, owner) in self.kautz_neighbor_owners(node) {
             if !matches!(ctx.kind(owner), NodeKind::Sensor) {
@@ -874,7 +875,7 @@ impl ReferProtocol {
         }
     }
 
-    fn on_maintenance_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+    fn on_maintenance_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId) {
         if !self.is_member(node) {
             self.timers_started.remove(&node);
             return;
@@ -968,7 +969,7 @@ impl ReferProtocol {
     /// A sleeping sensor's wake-up: probe the best-known member to (re-)
     /// register as a replacement candidate, then go back to sleep until the
     /// next probe interval (Section III-B4's sleep/wait duty cycle).
-    fn on_probe_timer(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId) {
+    fn on_probe_timer(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId) {
         if !self.rcfg.maintenance_enabled {
             return;
         }
@@ -1006,7 +1007,7 @@ impl ReferProtocol {
     /// `src` entering the backbone at `access`.
     fn choose_destination(
         &mut self,
-        ctx: &mut Ctx<ReferMsg>,
+        ctx: &mut impl ProtoCtx<ReferMsg>,
         src: NodeId,
         access: NodeId,
         data: DataId,
@@ -1089,7 +1090,7 @@ impl ReferProtocol {
 
     /// Forwards a data frame from member `node`. Delivers, intra-cell
     /// routes, or crosses cells via the CAN tier.
-    fn forward(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, mut frame: DataFrame) {
+    fn forward(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId, mut frame: DataFrame) {
         if frame.hops >= MAX_HOPS {
             ctx.drop_data_reason(frame.data, DropReason::HopLimit);
             self.stats.drop_hops += 1;
@@ -1115,7 +1116,7 @@ impl ReferProtocol {
     /// Intra-cell Kautz routing (Theorem 3.8 with fault tolerance).
     fn forward_intra(
         &mut self,
-        ctx: &mut Ctx<ReferMsg>,
+        ctx: &mut impl ProtoCtx<ReferMsg>,
         node: NodeId,
         kid: KautzId,
         frame: DataFrame,
@@ -1230,7 +1231,7 @@ impl ReferProtocol {
 
     /// Routing toward a different cell: first to this cell's tier owner,
     /// then actuator-to-actuator along the CAN path.
-    fn forward_toward_cell(&mut self, ctx: &mut Ctx<ReferMsg>, node: NodeId, frame: DataFrame) {
+    fn forward_toward_cell(&mut self, ctx: &mut impl ProtoCtx<ReferMsg>, node: NodeId, frame: DataFrame) {
         let Some(tier) = self.tier.as_ref() else {
             ctx.drop_data_reason(frame.data, DropReason::NoRoute);
             self.stats.drop_no_successor += 1;
@@ -1339,14 +1340,14 @@ impl ReferProtocol {
     }
 }
 
-impl Protocol for ReferProtocol {
+impl SansIo for ReferProtocol {
     type Payload = ReferMsg;
 
     fn name(&self) -> &'static str {
         "REFER"
     }
 
-    fn on_init(&mut self, ctx: &mut Ctx<ReferMsg>) {
+    fn on_init<C: ProtoCtx<ReferMsg>>(&mut self, ctx: &mut C) {
         self.discovered = matches!(
             ctx.config().faults.model,
             FaultModel::Discovered | FaultModel::Byzantine
@@ -1356,15 +1357,15 @@ impl Protocol for ReferProtocol {
         self.start_construction(ctx);
     }
 
-    fn on_ack(&mut self, ctx: &mut Ctx<ReferMsg>, _at: NodeId, peer: NodeId) {
+    fn on_ack<C: ProtoCtx<ReferMsg>>(&mut self, ctx: &mut C, _at: NodeId, peer: NodeId) {
         if self.discovered {
             self.view.contact(peer, ctx.now());
         }
     }
 
-    fn on_send_expired(
+    fn on_send_expired<C: ProtoCtx<ReferMsg>>(
         &mut self,
-        ctx: &mut Ctx<ReferMsg>,
+        ctx: &mut C,
         at: NodeId,
         peer: NodeId,
         payload: ReferMsg,
@@ -1412,7 +1413,7 @@ impl Protocol for ReferProtocol {
         }
     }
 
-    fn on_app_data(&mut self, ctx: &mut Ctx<ReferMsg>, src: NodeId, data: DataId) {
+    fn on_app_data<C: ProtoCtx<ReferMsg>>(&mut self, ctx: &mut C, src: NodeId, data: DataId) {
         if self.layout.is_none() {
             ctx.drop_data_reason(data, DropReason::NoAccess);
             self.stats.drop_no_access += 1;
@@ -1531,7 +1532,7 @@ impl Protocol for ReferProtocol {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, msg: Message<ReferMsg>) {
+    fn on_message<C: ProtoCtx<ReferMsg>>(&mut self, ctx: &mut C, at: NodeId, msg: Message<ReferMsg>) {
         if self.discovered {
             // Any received frame is proof of life: refresh the sender's
             // heartbeat and clear a standing suspicion.
@@ -1665,7 +1666,7 @@ impl Protocol for ReferProtocol {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, t: u64) {
+    fn on_timer<C: ProtoCtx<ReferMsg>>(&mut self, ctx: &mut C, at: NodeId, t: u64) {
         let (kind, arg) = untag(t);
         match kind {
             KIND_STAGE1 => self.on_stage1_timer(ctx, arg),
@@ -1678,6 +1679,59 @@ impl Protocol for ReferProtocol {
             KIND_PROBE => self.on_probe_timer(ctx, at),
             _ => {}
         }
+    }
+}
+
+// The simulator shim: one forwarding line per hook. The orphan rule
+// forbids a blanket `impl<T: SansIo> Protocol for T` (both traits are
+// foreign to any crate that would want it), so each protocol carries this
+// thin adapter; `Ctx` implements `ProtoCtx`, so every hook monomorphizes
+// to exactly the pre-split code.
+impl Protocol for ReferProtocol {
+    type Payload = ReferMsg;
+
+    fn name(&self) -> &'static str {
+        SansIo::name(self)
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<ReferMsg>) {
+        SansIo::on_init(self, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, msg: Message<ReferMsg>) {
+        SansIo::on_message(self, ctx, at, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, tag: u64) {
+        SansIo::on_timer(self, ctx, at, tag);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut Ctx<ReferMsg>, src: NodeId, data: DataId) {
+        SansIo::on_app_data(self, ctx, src, data);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<ReferMsg>, at: NodeId, peer: NodeId) {
+        SansIo::on_ack(self, ctx, at, peer);
+    }
+
+    fn on_send_expired(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        at: NodeId,
+        peer: NodeId,
+        payload: ReferMsg,
+        attempts: u32,
+    ) {
+        SansIo::on_send_expired(self, ctx, at, peer, payload, attempts);
+    }
+
+    fn on_fault_rotation(
+        &mut self,
+        ctx: &mut Ctx<ReferMsg>,
+        failed: &[NodeId],
+        recovered: &[NodeId],
+    ) {
+        SansIo::on_fault_rotation(self, ctx, failed, recovered);
     }
 }
 

@@ -1,0 +1,756 @@
+//! `refer-node` — a deployable REFER node plus a localhost cluster
+//! launcher.
+//!
+//! The binary has two faces:
+//!
+//! * `refer-node run` is one real network node: a poll-style UDP shell
+//!   (plain `std::net`, no async runtime) around the `refer-proto`
+//!   sans-io core. It replays the simulator's deterministic construction
+//!   phase locally (every process arrives at the identical topology and
+//!   rosters — nothing about construction crosses the wire), then
+//!   switches to live I/O: datagrams and monotonic-clock timers feed
+//!   [`refer_proto::Input`]s into [`refer_proto::EngineCore`], and every
+//!   [`refer_proto::Output`] becomes a datagram, an armed timer or a
+//!   JSONL trace line the existing `trace` tooling ingests unchanged.
+//! * `refer-node cluster` spawns one `run` process per node of a small
+//!   REFER cell on localhost, injects the workload, collects the
+//!   per-node traces, and prints a sim-predicted vs. measured
+//!   delivery/latency comparison for the same topology and seed —
+//!   exiting nonzero when measured delivery diverges from the
+//!   prediction.
+
+mod wire;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufWriter, Write as _};
+use std::net::UdpSocket;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use refer::{ReferConfig, ReferMsg, ReferProtocol};
+use refer_obs::{from_jsonl_line, to_jsonl_line, PacketLedger, VecSink};
+use refer_proto::{EngineCore, Input, Output, PacketMeta, WorldView};
+use wsan_sim::trace::TraceEvent;
+use wsan_sim::{runner, Area, DataId, Message, NodeId, SimConfig, SimDuration, SimTime};
+
+const USAGE: &str = "\
+refer-node: run REFER as real processes on localhost
+
+USAGE:
+    refer-node run --node ID [scenario flags] [--trace FILE]
+                   [--base-port P] [--epoch-micros T]
+    refer-node cluster [scenario flags] [--out DIR] [--json FILE]
+                       [--base-port P] [--tolerance F]
+
+Scenario flags (must match across every process of one cluster):
+    --seed S            scenario seed            [default: 1]
+    --sensors N         sensor count             [default: 16]
+    --rate PPS          packets/s per sensor     [default: 4]
+    --duration SECS     measured window, seconds [default: 8]
+
+`cluster` spawns sensors + 3 actuator processes, waits for them, merges
+their traces, prints the sim-predicted vs. measured comparison, and
+exits 1 when |measured - predicted| delivery exceeds the tolerance
+(default 0.10).
+";
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Scenario knobs shared by `run` and `cluster`; every process of one
+/// cluster must agree on them, so both subcommands parse the same set
+/// and derive the same [`SimConfig`].
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    sensors: usize,
+    rate_pps: u64,
+    duration_s: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario { seed: 1, sensors: 16, rate_pps: 4, duration_s: 8 }
+    }
+}
+
+impl Scenario {
+    /// Consumes one shared flag if `arg` is one; mirrors the
+    /// `ScenarioFlags::accept` shape used by the bench CLIs.
+    fn accept<I>(&mut self, arg: &str, rest: &mut I) -> Result<bool, String>
+    where
+        I: Iterator<Item = String>,
+    {
+        let parse = |name: &str, rest: &mut I| -> Result<u64, String> {
+            let raw = rest.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            raw.parse::<u64>().map_err(|_| format!("--{name} needs an unsigned integer, got {raw}"))
+        };
+        match arg {
+            "--seed" => self.seed = parse("seed", rest)?,
+            "--sensors" => {
+                self.sensors = parse("sensors", rest)? as usize;
+                if self.sensors < 9 {
+                    return Err("--sensors must be at least 9 (one K(2,3) cell)".to_string());
+                }
+            }
+            "--rate" => {
+                self.rate_pps = parse("rate", rest)?;
+                if self.rate_pps == 0 {
+                    return Err("--rate must be positive".to_string());
+                }
+            }
+            "--duration" => {
+                self.duration_s = parse("duration", rest)?;
+                if self.duration_s == 0 {
+                    return Err("--duration must be positive".to_string());
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The cluster scenario: one K(2,3) cell — 3 actuators in a triangle
+    /// well inside radio range, sensors around them — with every sensor
+    /// sourcing `rate_pps` packets/s. The same config drives the serial
+    /// simulator (the prediction) and every daemon's construction replay,
+    /// which is what makes the comparison apples-to-apples.
+    fn config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        cfg.area = Area::new(400.0, 400.0);
+        cfg.sensors = self.sensors;
+        cfg.actuators = 3;
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.duration = SimDuration::from_secs(self.duration_s);
+        // Every alive sensor sources `rate_pps` packets/s, evenly spaced:
+        // rounds of 1 s, per-source rate = rate_pps packets of packet_bits.
+        cfg.traffic.round_interval = SimDuration::from_secs(1);
+        cfg.traffic.sources_per_round = self.sensors;
+        cfg.traffic.rate_bps = self.rate_pps as f64 * f64::from(cfg.traffic.packet_bits);
+        // A deployed cell neither moves nor breaks: the WorldView frozen
+        // out of construction stays the truth for the whole run.
+        cfg.mobility.min_speed = 0.0;
+        cfg.mobility.max_speed = 0.0;
+        cfg.faults.count = 0;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    fn node_count(&self) -> usize {
+        self.sensors + 3
+    }
+}
+
+fn now_unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => cmd_run(args),
+        Some("cluster") => cmd_cluster(args),
+        Some(other) => usage(&format!("unknown subcommand {other:?}")),
+        None => usage("missing subcommand"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// `run`: one daemon process.
+// ---------------------------------------------------------------------
+
+struct Daemon {
+    engine: EngineCore<ReferProtocol>,
+    socket: UdpSocket,
+    base_port: u16,
+    me: NodeId,
+    trace: BufWriter<Box<dyn std::io::Write + Send>>,
+    /// Cluster-clock creation time of every packet this process has seen
+    /// (own emissions and wire arrivals), for end-to-end delay accounting.
+    created_us: HashMap<DataId, u64>,
+    /// Armed timers for the owned node: `(fire_at_us, tag)`.
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    packet_bits: u32,
+    sent: u64,
+    delivered: u64,
+}
+
+impl Daemon {
+    fn trace_event(&mut self, ev: &TraceEvent) {
+        // A dead trace pipe should not take the data plane down with it.
+        let _ = writeln!(self.trace, "{}", to_jsonl_line(ev));
+    }
+
+    /// Executes everything the protocol asked for in response to one
+    /// input, at cluster time `now_us`.
+    fn run_outputs(&mut self, now_us: u64, outputs: Vec<Output<ReferMsg>>) {
+        let at = SimTime::from_micros(now_us);
+        for out in outputs {
+            match out {
+                Output::Send { from, to, size_bits, account, broadcast, payload } => {
+                    let created = match &payload {
+                        ReferMsg::Data(f) => self.created_us.get(&f.data).copied().unwrap_or(0),
+                        _ => 0,
+                    };
+                    let msg = Message { from, size_bits, account, broadcast, payload };
+                    let wire = wire::encode_datagram(to, created, &msg);
+                    let addr = ("127.0.0.1", self.base_port + to.0 as u16);
+                    match self.socket.send_to(&wire, addr) {
+                        Ok(_) => {
+                            self.sent += 1;
+                            self.trace_event(&TraceEvent::Send {
+                                at,
+                                from,
+                                to,
+                                size_bits,
+                                account,
+                            });
+                        }
+                        Err(_) => self.trace_event(&TraceEvent::SendFailed { at, from, to }),
+                    }
+                }
+                Output::ArmTimer { node, delay, tag } => {
+                    // Each process arms only its own node's timers; peers
+                    // arm theirs when they process the same causal event.
+                    if node == self.me {
+                        self.timers.push(Reverse((now_us + delay.as_micros(), tag)));
+                    }
+                }
+                Output::Deliver { packet, node, hops } => {
+                    let created = self.created_us.get(&packet).copied().unwrap_or(now_us);
+                    let delay_s = now_us.saturating_sub(created) as f64 / 1e6;
+                    self.delivered += 1;
+                    self.trace_event(&TraceEvent::Delivered { at, packet, node, delay_s, hops });
+                }
+                Output::Trace(ev) => self.trace_event(&ev),
+            }
+        }
+    }
+
+    /// Feeds one decoded datagram into the core.
+    fn on_datagram(&mut self, now_us: u64, bytes: &[u8]) {
+        let (to, created_us, msg) = match wire::decode_datagram(bytes) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("refer-node[{}]: dropping undecodable datagram: {e}", self.me.0);
+                return;
+            }
+        };
+        if to != self.me {
+            return; // misaddressed datagram; not ours to process
+        }
+        if let ReferMsg::Data(frame) = &msg.payload {
+            // First sight of a wire packet: register what its origin knew
+            // so the protocol's data_* queries resolve here too.
+            let data = frame.data;
+            self.created_us.entry(data).or_insert(created_us);
+            self.engine.register_packet(
+                data,
+                PacketMeta {
+                    origin: NodeId((data.0 >> 32) as u32),
+                    size_bits: self.packet_bits,
+                    dest: None,
+                    created: SimTime::from_micros(created_us),
+                },
+            );
+        }
+        let at = SimTime::from_micros(now_us);
+        let outputs: Vec<_> = self.engine.handle(Input::Frame { at, to: self.me, msg }).collect();
+        self.run_outputs(now_us, outputs);
+    }
+
+    /// Emits one application packet from the owned sensor.
+    fn emit(&mut self, now_us: u64, packet: DataId) {
+        let at = SimTime::from_micros(now_us);
+        self.created_us.insert(packet, now_us);
+        self.trace_event(&TraceEvent::PacketOrigin { at, packet, origin: self.me, measured: true });
+        let input = Input::AppData {
+            at,
+            node: self.me,
+            packet,
+            size_bits: self.packet_bits,
+            dest: None,
+        };
+        let outputs: Vec<_> = self.engine.handle(input).collect();
+        self.run_outputs(now_us, outputs);
+    }
+
+    fn fire_due_timers(&mut self, now_us: u64) {
+        while let Some(&Reverse((fire_at, tag))) = self.timers.peek() {
+            if fire_at > now_us {
+                break;
+            }
+            self.timers.pop();
+            let input =
+                Input::TimerFired { at: SimTime::from_micros(fire_at.max(now_us)), node: self.me, tag };
+            let outputs: Vec<_> = self.engine.handle(input).collect();
+            self.run_outputs(now_us, outputs);
+        }
+    }
+}
+
+fn cmd_run(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut scenario = Scenario::default();
+    let mut node: Option<u32> = None;
+    let mut base_port: u16 = 45700;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut epoch_micros: Option<u64> = None;
+
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match scenario.accept(&a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("--{name} needs a value"));
+        let r = match a.as_str() {
+            "--node" => value("node").and_then(|v| {
+                v.parse().map(|n| node = Some(n)).map_err(|_| format!("bad --node {v:?}"))
+            }),
+            "--base-port" => value("base-port").and_then(|v| {
+                v.parse().map(|p| base_port = p).map_err(|_| format!("bad --base-port {v:?}"))
+            }),
+            "--trace" => value("trace").map(|v| trace_path = Some(PathBuf::from(v))),
+            "--epoch-micros" => value("epoch-micros").and_then(|v| {
+                v.parse()
+                    .map(|e| epoch_micros = Some(e))
+                    .map_err(|_| format!("bad --epoch-micros {v:?}"))
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = r {
+            return usage(&e);
+        }
+    }
+    let Some(node) = node else {
+        return usage("run needs --node ID");
+    };
+    if node as usize >= scenario.node_count() {
+        return usage(&format!(
+            "--node {node} out of range: scenario has {} nodes",
+            scenario.node_count()
+        ));
+    }
+
+    let cfg = scenario.config();
+    let warmup = cfg.warmup;
+    let packet_bits = cfg.traffic.packet_bits;
+
+    // Deterministic construction replay: every process of the cluster
+    // runs this identically and arrives at the identical world.
+    let mut proto = ReferProtocol::new(ReferConfig::default());
+    let ctx = runner::construct(cfg.clone(), &mut proto, warmup);
+    let world = WorldView::from_sim(&ctx);
+    drop(ctx);
+    let me = NodeId(node);
+    let is_sensor = world.sensor_ids().contains(&me);
+    let engine = EngineCore::new(proto, world);
+
+    let socket = match UdpSocket::bind(("127.0.0.1", base_port + node as u16)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("refer-node[{node}]: cannot bind port {}: {e}", base_port + node as u16);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let trace: Box<dyn std::io::Write + Send> = match &trace_path {
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("refer-node[{node}]: cannot create trace file {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::sink()),
+    };
+
+    let mut daemon = Daemon {
+        engine,
+        socket,
+        base_port,
+        me,
+        trace: BufWriter::new(trace),
+        created_us: HashMap::new(),
+        timers: BinaryHeap::new(),
+        packet_bits,
+        sent: 0,
+        delivered: 0,
+    };
+
+    // Synchronize the cluster clock: all processes begin the live phase
+    // at the shared epoch, so their trace timestamps are comparable.
+    if let Some(epoch) = epoch_micros {
+        let now = now_unix_micros();
+        if epoch > now {
+            std::thread::sleep(Duration::from_micros(epoch - now));
+        }
+    }
+    let t0 = Instant::now();
+    let warmup_us = warmup.as_micros();
+    let sim_now_us = |t0: &Instant| warmup_us + t0.elapsed().as_micros() as u64;
+
+    // Traffic: this sensor emits `rate_pps` evenly spaced packets/s for
+    // the measured window, then keeps forwarding during the drain so
+    // packets in flight elsewhere can still complete.
+    let gap_us = 1_000_000 / scenario.rate_pps;
+    let stop_emit_us = warmup_us + scenario.duration_s * 1_000_000;
+    let drain_until_us = stop_emit_us + 1_500_000;
+    let mut next_emit_us = if is_sensor { Some(warmup_us) } else { None };
+    let mut seq: u64 = 0;
+
+    let mut buf = vec![0u8; 64 * 1024];
+
+    loop {
+        let now_us = sim_now_us(&t0);
+        if now_us >= drain_until_us {
+            break;
+        }
+        daemon.fire_due_timers(now_us);
+        while let Some(at) = next_emit_us {
+            if at > now_us || at >= stop_emit_us {
+                break;
+            }
+            let packet = DataId((u64::from(me.0) << 32) | seq);
+            seq += 1;
+            daemon.emit(now_us, packet);
+            next_emit_us = Some(at + gap_us);
+        }
+        // Sleep in the socket until the next deadline (timer, emission or
+        // the 5 ms poll cap), whichever is soonest.
+        let mut wake_us = now_us + 5_000;
+        if let Some(&Reverse((t, _))) = daemon.timers.peek() {
+            wake_us = wake_us.min(t);
+        }
+        if let Some(t) = next_emit_us {
+            if t < stop_emit_us {
+                wake_us = wake_us.min(t);
+            }
+        }
+        let timeout = Duration::from_micros(wake_us.saturating_sub(now_us).max(200));
+        let _ = daemon.socket.set_read_timeout(Some(timeout));
+        match daemon.socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                let now_us = sim_now_us(&t0);
+                let datagram = buf[..n].to_vec();
+                daemon.on_datagram(now_us, &datagram);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => {
+                eprintln!("refer-node[{node}]: socket error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if daemon.trace.flush().is_err() {
+        eprintln!("refer-node[{node}]: trace flush failed");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "refer-node[{node}]: done (emitted {seq}, sent {} frames, delivered {})",
+        daemon.sent, daemon.delivered
+    );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// `cluster`: launcher + sim-vs-measured comparison.
+// ---------------------------------------------------------------------
+
+/// Delivery/latency aggregates computed identically for the simulated
+/// and the measured trace (both via [`PacketLedger`], measured packets
+/// only).
+#[derive(Debug, Clone, Copy)]
+struct TraceMetrics {
+    offered: usize,
+    delivered: usize,
+    delivery: f64,
+    p50_s: f64,
+    p95_s: f64,
+    p99_s: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ledger_metrics(ledger: &PacketLedger) -> TraceMetrics {
+    let mut offered = 0usize;
+    let mut delays: Vec<f64> = Vec::new();
+    for rec in ledger.packets() {
+        if !rec.measured {
+            continue;
+        }
+        offered += 1;
+        if let refer_obs::Outcome::Delivered { delay_s, .. } = rec.outcome {
+            delays.push(delay_s);
+        }
+    }
+    delays.sort_by(|a, b| a.total_cmp(b));
+    TraceMetrics {
+        offered,
+        delivered: delays.len(),
+        delivery: if offered == 0 { 0.0 } else { delays.len() as f64 / offered as f64 },
+        p50_s: percentile(&delays, 0.50),
+        p95_s: percentile(&delays, 0.95),
+        p99_s: percentile(&delays, 0.99),
+    }
+}
+
+/// Runs the serial simulator on the cluster scenario and folds its trace
+/// into a ledger: the prediction side of the comparison.
+fn predict(cfg: SimConfig) -> TraceMetrics {
+    let (sink, events) = VecSink::new();
+    let mut proto = ReferProtocol::new(ReferConfig::default());
+    let _ = runner::run_with_sinks(cfg, &mut proto, vec![Box::new(sink)]);
+    ledger_metrics(&PacketLedger::from_events(events.take()))
+}
+
+fn cmd_cluster(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut scenario = Scenario::default();
+    let mut base_port: u16 = 45700;
+    let mut out_dir = PathBuf::from("cluster-traces");
+    let mut json_path: Option<PathBuf> = None;
+    let mut tolerance = 0.10;
+
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match scenario.accept(&a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("--{name} needs a value"));
+        let r = match a.as_str() {
+            "--base-port" => value("base-port").and_then(|v| {
+                v.parse().map(|p| base_port = p).map_err(|_| format!("bad --base-port {v:?}"))
+            }),
+            "--out" => value("out").map(|v| out_dir = PathBuf::from(v)),
+            "--json" => value("json").map(|v| json_path = Some(PathBuf::from(v))),
+            "--tolerance" => value("tolerance").and_then(|v| match v.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => {
+                    tolerance = t;
+                    Ok(())
+                }
+                _ => Err(format!("--tolerance needs a non-negative number, got {v}")),
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = r {
+            return usage(&e);
+        }
+    }
+
+    let nodes = scenario.node_count();
+    let cfg = scenario.config();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cluster: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "cluster: predicting with the serial simulator (seed {}, {} nodes)...",
+        scenario.seed, nodes
+    );
+    let sim = predict(cfg);
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cluster: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The live phase starts 3 s from now: enough for every process to
+    // replay construction and bind its socket.
+    let epoch = now_unix_micros() + 3_000_000;
+    println!("cluster: spawning {nodes} refer-node processes on 127.0.0.1:{base_port}+id...");
+    let wall_start = Instant::now();
+    let mut children = Vec::with_capacity(nodes);
+    for id in 0..nodes {
+        let trace = out_dir.join(format!("node-{id}.jsonl"));
+        let child = std::process::Command::new(&exe)
+            .args([
+                "run",
+                "--node",
+                &id.to_string(),
+                "--seed",
+                &scenario.seed.to_string(),
+                "--sensors",
+                &scenario.sensors.to_string(),
+                "--rate",
+                &scenario.rate_pps.to_string(),
+                "--duration",
+                &scenario.duration_s.to_string(),
+                "--base-port",
+                &base_port.to_string(),
+                "--epoch-micros",
+                &epoch.to_string(),
+                "--trace",
+            ])
+            .arg(&trace)
+            .stdout(std::process::Stdio::null())
+            .spawn();
+        match child {
+            Ok(c) => children.push((id, c)),
+            Err(e) => {
+                eprintln!("cluster: cannot spawn node {id}: {e}");
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = 0usize;
+    for (id, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("cluster: node {id} exited with {status}");
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("cluster: wait for node {id} failed: {e}");
+                failed += 1;
+            }
+        }
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    if failed > 0 {
+        eprintln!("cluster: {failed} node processes failed");
+        return ExitCode::FAILURE;
+    }
+
+    // Merge the per-node traces into one ledger: each packet's origin,
+    // hops and delivery come from different processes' files.
+    let mut ledger = PacketLedger::default();
+    let mut bad_lines = 0usize;
+    for id in 0..nodes {
+        let path = out_dir.join(format!("node-{id}.jsonl"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cluster: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match from_jsonl_line(line) {
+                Ok(ev) => ledger.fold(ev),
+                Err(_) => bad_lines += 1,
+            }
+        }
+    }
+    if bad_lines > 0 {
+        eprintln!("cluster: {bad_lines} undecodable trace lines");
+    }
+    let measured = ledger_metrics(&ledger);
+
+    println!();
+    println!("sim-predicted vs. measured (seed {}, {nodes} nodes)", scenario.seed);
+    println!("{:<22} {:>12} {:>12}", "", "sim", "measured");
+    println!("{:<22} {:>12} {:>12}", "packets offered", sim.offered, measured.offered);
+    println!("{:<22} {:>12} {:>12}", "packets delivered", sim.delivered, measured.delivered);
+    println!("{:<22} {:>12.4} {:>12.4}", "delivery ratio", sim.delivery, measured.delivery);
+    println!("{:<22} {:>12.2} {:>12.2}", "delay p50 (ms)", sim.p50_s * 1e3, measured.p50_s * 1e3);
+    println!("{:<22} {:>12.2} {:>12.2}", "delay p95 (ms)", sim.p95_s * 1e3, measured.p95_s * 1e3);
+    println!("{:<22} {:>12.2} {:>12.2}", "delay p99 (ms)", sim.p99_s * 1e3, measured.p99_s * 1e3);
+    println!("wall time: {wall_s:.1} s");
+
+    if let Some(path) = &json_path {
+        // Field names mirror the bench schema's `daemon_latency` section
+        // so downstream tooling reads both the same way.
+        let json = format!(
+            concat!(
+                "{{\"nodes\":{},\"measured_delivery\":{},\"sim_delivery\":{},",
+                "\"delay_p50_s\":{},\"delay_p95_s\":{},\"delay_p99_s\":{},\"wall_s\":{}}}\n"
+            ),
+            nodes,
+            measured.delivery,
+            sim.delivery,
+            measured.p50_s,
+            measured.p95_s,
+            measured.p99_s,
+            wall_s
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cluster: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("comparison artifact: {}", path.display());
+    }
+
+    if measured.offered == 0 {
+        eprintln!("cluster: FAILED — no measured packets were offered");
+        return ExitCode::FAILURE;
+    }
+    let divergence = (measured.delivery - sim.delivery).abs();
+    if divergence > tolerance {
+        eprintln!(
+            "cluster: FAILED — measured delivery {:.4} diverges from predicted {:.4} \
+             by {divergence:.4} (> {tolerance})",
+            measured.delivery, sim.delivery
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("cluster: PASSED — delivery divergence {divergence:.4} within tolerance {tolerance}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cluster scenario must be one the simulator predicts well for:
+    /// the comparison (and the CI gate on it) is only meaningful if the
+    /// sim side delivers reliably under zero faults.
+    #[test]
+    fn sim_prediction_on_cluster_scenario_is_healthy() {
+        let scenario = Scenario::default();
+        let metrics = predict(scenario.config());
+        assert!(metrics.offered > 0, "scenario offers no measured traffic: {metrics:?}");
+        assert!(
+            metrics.delivery > 0.8,
+            "cluster scenario must deliver reliably in the simulator: {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_flags_validate() {
+        let mut s = Scenario::default();
+        let mut empty = std::iter::empty::<String>();
+        assert!(s.accept("--rate", &mut empty).is_err());
+        let mut bad = vec!["0".to_string()].into_iter();
+        assert!(s.accept("--rate", &mut bad).is_err());
+        let mut small = vec!["3".to_string()].into_iter();
+        assert!(s.accept("--sensors", &mut small).is_err());
+        let mut ok = vec!["12".to_string()].into_iter();
+        assert!(matches!(s.accept("--sensors", &mut ok), Ok(true)));
+        assert_eq!(s.sensors, 12);
+        assert!(matches!(s.accept("--unknown", &mut empty), Ok(false)));
+    }
+
+    /// The launcher must satisfy the cluster's floor: at least 12 real
+    /// processes end to end.
+    #[test]
+    fn default_scenario_spawns_at_least_12_processes() {
+        assert!(Scenario::default().node_count() >= 12);
+    }
+}

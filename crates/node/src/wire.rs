@@ -1,0 +1,386 @@
+//! Datagram codec for inter-daemon frames: the canonical JSON codec
+//! (the same `serde`-shim `Value` tree the trace JSONL uses) wrapped in
+//! the `refer-obs` length-prefixed binary framing.
+//!
+//! A datagram carries one envelope: the destination node plus the exact
+//! [`Message`] the receiving protocol hook sees. Every [`ReferMsg`]
+//! variant is encodable — a cluster normally only puts `Data` frames on
+//! the wire (construction is replayed locally, maintenance is quiescent
+//! under the Oracle model with zero faults), but the codec refuses to be
+//! the reason a control frame can't travel.
+
+use kautz::KautzId;
+use refer::{DataFrame, ReferMsg};
+use refer_obs::{encode_frame, FrameDecoder, FrameError};
+use serde::{json, Error, Value};
+use wsan_sim::{DataId, EnergyAccount, Message, NodeId};
+
+fn map(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn tagged(tag: &str, body: Value) -> Value {
+    map(vec![(tag, body)])
+}
+
+fn node(n: NodeId) -> Value {
+    Value::U64(u64::from(n.0))
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    v.get(key).ok_or_else(|| Error::msg(format!("missing field {key:?}")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
+    get(v, key)?
+        .as_u64()
+        .ok_or_else(|| Error::msg(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn get_node(v: &Value, key: &str) -> Result<NodeId, Error> {
+    let raw = get_u64(v, key)?;
+    u32::try_from(raw)
+        .map(NodeId)
+        .map_err(|_| Error::msg(format!("field {key:?} out of NodeId range: {raw}")))
+}
+
+fn get_u8(v: &Value, key: &str) -> Result<u8, Error> {
+    let raw = get_u64(v, key)?;
+    u8::try_from(raw).map_err(|_| Error::msg(format!("field {key:?} out of u8 range: {raw}")))
+}
+
+fn kid_value(kid: &KautzId) -> Value {
+    map(vec![
+        ("digits", Value::Seq(kid.digits().iter().map(|&d| Value::U64(u64::from(d))).collect())),
+        ("degree", Value::U64(u64::from(kid.degree()))),
+    ])
+}
+
+fn parse_kid(v: &Value) -> Result<KautzId, Error> {
+    let digits = get(v, "digits")?
+        .as_seq()
+        .ok_or_else(|| Error::msg("field \"digits\" is not a sequence"))?
+        .iter()
+        .map(|d| {
+            d.as_u64()
+                .and_then(|d| u8::try_from(d).ok())
+                .ok_or_else(|| Error::msg("KID digit out of range"))
+        })
+        .collect::<Result<Vec<u8>, Error>>()?;
+    let degree = get_u8(v, "degree")?;
+    KautzId::new(digits, degree).map_err(|e| Error::msg(format!("invalid KID on the wire: {e}")))
+}
+
+fn frame_value(frame: &DataFrame) -> Value {
+    let mut fields = vec![
+        ("data", Value::U64(frame.data.0)),
+        ("dest_cell", Value::U64(frame.dest_cell as u64)),
+        ("dest_kid", kid_value(&frame.dest_kid)),
+    ];
+    if let Some(forced) = frame.forced {
+        fields.push(("forced", Value::U64(u64::from(forced))));
+    }
+    fields.push(("appended", Value::U64(u64::from(frame.appended))));
+    fields.push(("hops", Value::U64(u64::from(frame.hops))));
+    map(fields)
+}
+
+fn parse_frame(v: &Value) -> Result<DataFrame, Error> {
+    Ok(DataFrame {
+        data: DataId(get_u64(v, "data")?),
+        dest_cell: get_u64(v, "dest_cell")? as usize,
+        dest_kid: parse_kid(get(v, "dest_kid")?)?,
+        forced: match v.get("forced") {
+            Some(f) => Some(
+                f.as_u64()
+                    .and_then(|f| u8::try_from(f).ok())
+                    .ok_or_else(|| Error::msg("field \"forced\" out of u8 range"))?,
+            ),
+            None => None,
+        },
+        appended: get_u8(v, "appended")?,
+        hops: get_u8(v, "hops")?,
+    })
+}
+
+fn payload_value(msg: &ReferMsg) -> Value {
+    match msg {
+        ReferMsg::Ctrl => tagged("Ctrl", Value::Null),
+        ReferMsg::Assignment => tagged("Assignment", Value::Null),
+        ReferMsg::PathQuery { qid, ttl, target, path } => tagged(
+            "PathQuery",
+            map(vec![
+                ("qid", Value::U64(*qid)),
+                ("ttl", Value::U64(u64::from(*ttl))),
+                ("target", node(*target)),
+                (
+                    "path",
+                    Value::Seq(
+                        path.iter()
+                            .map(|&(n, battery)| {
+                                Value::Seq(vec![node(n), Value::F64(battery)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ReferMsg::PathAssign { assignments, hop } => tagged(
+            "PathAssign",
+            map(vec![
+                (
+                    "assignments",
+                    Value::Seq(
+                        assignments
+                            .iter()
+                            .map(|(n, kid)| Value::Seq(vec![node(*n), kid_value(kid)]))
+                            .collect(),
+                    ),
+                ),
+                ("hop", Value::U64(*hop as u64)),
+            ]),
+        ),
+        ReferMsg::StartStage2 { qid, target } => tagged(
+            "StartStage2",
+            map(vec![("qid", Value::U64(*qid)), ("target", node(*target))]),
+        ),
+        ReferMsg::CellReady => tagged("CellReady", Value::Null),
+        ReferMsg::Beacon => tagged("Beacon", Value::Null),
+        ReferMsg::Gossip { accused } => tagged(
+            "Gossip",
+            map(vec![("accused", Value::Seq(accused.iter().map(|&n| node(n)).collect()))]),
+        ),
+        ReferMsg::Probe => tagged("Probe", Value::Null),
+        ReferMsg::Replace => tagged("Replace", Value::Null),
+        ReferMsg::ReplaceNotice => tagged("ReplaceNotice", Value::Null),
+        ReferMsg::Data(frame) => tagged("Data", frame_value(frame)),
+    }
+}
+
+fn parse_pair<'v>(v: &'v Value, what: &str) -> Result<(&'v Value, &'v Value), Error> {
+    match v.as_seq() {
+        Some([a, b]) => Ok((a, b)),
+        _ => Err(Error::msg(format!("{what} is not a 2-element sequence"))),
+    }
+}
+
+fn parse_payload(v: &Value) -> Result<ReferMsg, Error> {
+    let entries = v.as_map().ok_or_else(|| Error::msg("payload is not a map"))?;
+    let [(tag, body)] = entries else {
+        return Err(Error::msg("payload must have exactly one variant tag"));
+    };
+    match tag.as_str() {
+        "Ctrl" => Ok(ReferMsg::Ctrl),
+        "Assignment" => Ok(ReferMsg::Assignment),
+        "PathQuery" => Ok(ReferMsg::PathQuery {
+            qid: get_u64(body, "qid")?,
+            ttl: get_u8(body, "ttl")?,
+            target: get_node(body, "target")?,
+            path: get(body, "path")?
+                .as_seq()
+                .ok_or_else(|| Error::msg("field \"path\" is not a sequence"))?
+                .iter()
+                .map(|entry| {
+                    let (n, battery) = parse_pair(entry, "path entry")?;
+                    let n = n
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| Error::msg("path node out of range"))?;
+                    let battery =
+                        battery.as_f64().ok_or_else(|| Error::msg("path battery not a number"))?;
+                    Ok((NodeId(n), battery))
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+        }),
+        "PathAssign" => Ok(ReferMsg::PathAssign {
+            assignments: get(body, "assignments")?
+                .as_seq()
+                .ok_or_else(|| Error::msg("field \"assignments\" is not a sequence"))?
+                .iter()
+                .map(|entry| {
+                    let (n, kid) = parse_pair(entry, "assignment entry")?;
+                    let n = n
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| Error::msg("assignment node out of range"))?;
+                    Ok((NodeId(n), parse_kid(kid)?))
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+            hop: get_u64(body, "hop")? as usize,
+        }),
+        "StartStage2" => Ok(ReferMsg::StartStage2 {
+            qid: get_u64(body, "qid")?,
+            target: get_node(body, "target")?,
+        }),
+        "CellReady" => Ok(ReferMsg::CellReady),
+        "Beacon" => Ok(ReferMsg::Beacon),
+        "Gossip" => Ok(ReferMsg::Gossip {
+            accused: get(body, "accused")?
+                .as_seq()
+                .ok_or_else(|| Error::msg("field \"accused\" is not a sequence"))?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .map(NodeId)
+                        .ok_or_else(|| Error::msg("accused node out of range"))
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+        }),
+        "Probe" => Ok(ReferMsg::Probe),
+        "Replace" => Ok(ReferMsg::Replace),
+        "ReplaceNotice" => Ok(ReferMsg::ReplaceNotice),
+        "Data" => Ok(ReferMsg::Data(parse_frame(body)?)),
+        other => Err(Error::msg(format!("unknown payload variant {other:?}"))),
+    }
+}
+
+/// Encodes one datagram: a length-prefixed frame holding the canonical
+/// JSON encoding of `(to, created_us, msg)`. `created_us` is the cluster
+/// clock (microseconds on the shared epoch) at which the application
+/// packet inside a `Data` payload was created — it rides the envelope so
+/// the delivering daemon can account end-to-end delay without a
+/// rendezvous; zero for control payloads.
+pub fn encode_datagram(to: NodeId, created_us: u64, msg: &Message<ReferMsg>) -> Vec<u8> {
+    let envelope = map(vec![
+        ("to", node(to)),
+        ("created_us", Value::U64(created_us)),
+        ("from", node(msg.from)),
+        ("size_bits", Value::U64(u64::from(msg.size_bits))),
+        ("account", Value::Str(refer_obs::account_str(msg.account).to_string())),
+        ("broadcast", Value::Bool(msg.broadcast)),
+        ("payload", payload_value(&msg.payload)),
+    ]);
+    encode_frame(json::to_string(&envelope).as_bytes())
+}
+
+/// Decodes one datagram produced by [`encode_datagram`].
+pub fn decode_datagram(bytes: &[u8]) -> Result<(NodeId, u64, Message<ReferMsg>), Error> {
+    let mut decoder = FrameDecoder::default();
+    decoder.feed(bytes);
+    let payload = match decoder.next_frame() {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err(Error::msg("truncated datagram: incomplete frame")),
+        Err(FrameError::Oversize { declared }) => {
+            return Err(Error::msg(format!("oversize frame on the wire: {declared} bytes")))
+        }
+    };
+    if !decoder.is_empty() {
+        return Err(Error::msg("trailing bytes after frame in datagram"));
+    }
+    let text = std::str::from_utf8(&payload).map_err(|_| Error::msg("frame is not UTF-8"))?;
+    let v = json::from_str(text)?;
+    let to = get_node(&v, "to")?;
+    let created_us = get_u64(&v, "created_us")?;
+    let account = match get(&v, "account")?.as_str() {
+        Some("construction") => EnergyAccount::Construction,
+        Some("communication") => EnergyAccount::Communication,
+        other => return Err(Error::msg(format!("unknown energy account {other:?}"))),
+    };
+    let msg = Message {
+        from: get_node(&v, "from")?,
+        size_bits: u32::try_from(get_u64(&v, "size_bits")?)
+            .map_err(|_| Error::msg("size_bits out of u32 range"))?,
+        account,
+        broadcast: get(&v, "broadcast")?
+            .as_bool()
+            .ok_or_else(|| Error::msg("field \"broadcast\" is not a bool"))?,
+        payload: parse_payload(get(&v, "payload")?)?,
+    };
+    Ok((to, created_us, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(payload: ReferMsg) -> Message<ReferMsg> {
+        Message {
+            from: NodeId(7),
+            size_bits: 1024,
+            account: EnergyAccount::Communication,
+            broadcast: false,
+            payload,
+        }
+    }
+
+    fn round_trip(payload: ReferMsg) -> (NodeId, u64, Message<ReferMsg>) {
+        let wire = encode_datagram(NodeId(3), 12_345, &msg(payload));
+        decode_datagram(&wire).expect("decode")
+    }
+
+    #[test]
+    fn data_frame_round_trips() {
+        let frame = DataFrame {
+            data: DataId(0x0000_0005_0000_002a),
+            dest_cell: 2,
+            dest_kid: KautzId::new(vec![0, 1, 2], 2).unwrap(),
+            forced: Some(1),
+            appended: 3,
+            hops: 9,
+        };
+        let (to, created_us, got) = round_trip(ReferMsg::Data(frame.clone()));
+        assert_eq!(to, NodeId(3));
+        assert_eq!(created_us, 12_345);
+        assert_eq!(got.from, NodeId(7));
+        assert_eq!(got.size_bits, 1024);
+        assert_eq!(got.account, EnergyAccount::Communication);
+        assert!(!got.broadcast);
+        match got.payload {
+            ReferMsg::Data(d) => {
+                assert_eq!(d.data, frame.data);
+                assert_eq!(d.dest_cell, frame.dest_cell);
+                assert_eq!(d.dest_kid, frame.dest_kid);
+                assert_eq!(d.forced, frame.forced);
+                assert_eq!(d.appended, frame.appended);
+                assert_eq!(d.hops, frame.hops);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_control_variant_round_trips() {
+        let kid = |digits: Vec<u8>| KautzId::new(digits, 2).unwrap();
+        let variants = vec![
+            ReferMsg::Ctrl,
+            ReferMsg::Assignment,
+            ReferMsg::PathQuery {
+                qid: 42,
+                ttl: 3,
+                target: NodeId(9),
+                path: vec![(NodeId(1), 95.5), (NodeId(2), 80.25)],
+            },
+            ReferMsg::PathAssign {
+                assignments: vec![(NodeId(4), kid(vec![0, 1])), (NodeId(5), kid(vec![1, 2]))],
+                hop: 1,
+            },
+            ReferMsg::StartStage2 { qid: 7, target: NodeId(11) },
+            ReferMsg::CellReady,
+            ReferMsg::Beacon,
+            ReferMsg::Gossip { accused: vec![NodeId(3), NodeId(8)] },
+            ReferMsg::Probe,
+            ReferMsg::Replace,
+            ReferMsg::ReplaceNotice,
+        ];
+        for payload in variants {
+            let tag = format!("{payload:?}");
+            let (_, _, got) = round_trip(payload);
+            // ReferMsg has no PartialEq; the Debug form is a faithful
+            // structural fingerprint for these variants.
+            assert_eq!(format!("{:?}", got.payload), tag);
+        }
+    }
+
+    #[test]
+    fn corrupt_datagrams_are_rejected_not_panicked() {
+        assert!(decode_datagram(&[]).is_err());
+        assert!(decode_datagram(&[1, 2, 3]).is_err());
+        let mut wire = encode_datagram(NodeId(0), 0, &msg(ReferMsg::Beacon));
+        wire.truncate(wire.len() - 1);
+        assert!(decode_datagram(&wire).is_err());
+        let mut trailing = encode_datagram(NodeId(0), 0, &msg(ReferMsg::Beacon));
+        trailing.push(0);
+        assert!(decode_datagram(&trailing).is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //!               [--attacker-fraction F] [--link-pdr P]
 //! trace verify  --sharded [--scale 0.05] [--seeds 3] [--sensors N]
 //!               [--threads N] [--workload W] [--offered-load PPS]
+//! trace verify  --live node-*.jsonl [--expect-delivery F] [--tolerance F]
 //! ```
 //!
 //! `verify` proves determinism four times over: the multiset digest of
@@ -27,6 +28,12 @@
 //! bytes as runs on the reference binary heap; and recording the same
 //! seed twice must give byte-identical JSONL. A mismatch exits nonzero.
 //!
+//! `verify --live` ingests traces collected from real `refer-node`
+//! daemons: per-node JSONL files are merged into one [`PacketLedger`],
+//! structural integrity is checked (origins, connected hop chains) and
+//! the measured delivery ratio is optionally gated against the sim's
+//! prediction for the same topology.
+//!
 //! `verify --sharded` proves the sharded engine's thread-invariance: its
 //! verified reference is its own 1-thread execution (the sharded schedule
 //! is canonical but deliberately distinct from the serial engine's — the
@@ -36,9 +43,7 @@
 //! paper trickle for a traffic matrix, so the invariance check also covers
 //! the open-loop injector and its `PacketDest` events.
 
-use refer_bench::{
-    base_config, parse_offered_load, parse_routing, parse_workload, run_system_with_sinks, System,
-};
+use refer_bench::{base_config, run_system_with_sinks, ScenarioFlags, System};
 use refer_obs::{
     from_jsonl_line, fnv1a64, EventHash, HashingSink, JsonlSink, PacketLedger, SharedBuf,
 };
@@ -47,7 +52,7 @@ use std::process::ExitCode;
 use wsan_sim::flood::FloodProtocol;
 use wsan_sim::trace::TraceEvent;
 use wsan_sim::{
-    DataId, Engine, FaultModel, NeighborIndex, NodeId, Scheduler, ShardedConfig, SimConfig,
+    DataId, Engine, NeighborIndex, NodeId, Scheduler, ShardedConfig, SimConfig,
 };
 
 fn main() -> ExitCode {
@@ -87,7 +92,8 @@ fn usage(error: &str) -> ExitCode {
          [--link-pdr P] [--workload W] [--offered-load PPS] [--routing R]\n                \
          [--scheduler wheel|heap]\n  \
          trace verify  --sharded [--scale F] [--seeds N] [--sensors N] [--threads N]\n                \
-         [--workload W] [--offered-load PPS]\n\
+         [--workload W] [--offered-load PPS]\n  \
+         trace verify  --live FILE... [--expect-delivery F] [--tolerance F]\n\
          systems: refer (default), datree, ddear, kautz\n\
          workloads: paper (default), all2all, hotspot, incast, scan"
     );
@@ -128,17 +134,6 @@ fn parse_scheduler(name: &str) -> Result<Scheduler, String> {
     }
 }
 
-fn parse_fault_model(name: &str) -> Result<FaultModel, String> {
-    match name {
-        "oracle" => Ok(FaultModel::Oracle),
-        "discovered" => Ok(FaultModel::Discovered),
-        "byzantine" => Ok(FaultModel::Byzantine),
-        other => {
-            Err(format!("unknown fault model `{other}` (oracle, discovered, byzantine)"))
-        }
-    }
-}
-
 /// Parses a probability/fraction flag, rejecting values outside `[0, 1]`.
 fn unit_interval_flag(
     flags: &BTreeMap<String, String>,
@@ -173,30 +168,26 @@ fn scenario(flags: &BTreeMap<String, String>) -> Result<(SimConfig, System), Str
     cfg.sensors = flag(flags, "sensors", cfg.sensors)?;
     cfg.faults.count = flag(flags, "faults", cfg.faults.count)?;
     cfg.mobility.max_speed = flag(flags, "mobility", cfg.mobility.max_speed)?;
-    if let Some(raw) = flags.get("fault-model") {
-        cfg.faults.model = parse_fault_model(raw)?;
-    }
-    cfg.faults.byzantine.attacker_fraction =
-        unit_interval_flag(flags, "attacker-fraction", cfg.faults.byzantine.attacker_fraction)?;
-    cfg.radio.link_pdr = unit_interval_flag(flags, "link-pdr", cfg.radio.link_pdr)?;
     if let Some(raw) = flags.get("scheduler") {
         cfg.scheduler = parse_scheduler(raw)?;
     }
-    traffic_flags(&mut cfg, flags)?;
-    if let Some(raw) = flags.get("routing") {
-        cfg.routing = parse_routing(raw)?;
-    }
+    // The scenario knobs shared by every CLI live in one parser.
+    let mut shared = ScenarioFlags::default();
+    shared.apply_map(|name| flags.get(name).map(String::as_str))?;
+    shared.apply(&mut cfg);
     Ok((cfg, system))
 }
 
-/// Applies the shared `--workload`/`--offered-load` traffic flags to `cfg`.
+/// Applies the shared `--workload`/`--offered-load` traffic flags to `cfg`
+/// (the sharded verify scenario takes no routing or fault flags).
 fn traffic_flags(cfg: &mut SimConfig, flags: &BTreeMap<String, String>) -> Result<(), String> {
-    if let Some(raw) = flags.get("workload") {
-        cfg.traffic.pattern = parse_workload(raw)?;
-    }
-    if let Some(raw) = flags.get("offered-load") {
-        cfg.traffic.offered_pps = parse_offered_load(raw)?;
-    }
+    let mut shared = ScenarioFlags::default();
+    shared.apply_map(|name| {
+        matches!(name, "workload" | "offered-load")
+            .then(|| flags.get(name).map(String::as_str))
+            .flatten()
+    })?;
+    shared.apply(cfg);
     Ok(())
 }
 
@@ -401,16 +392,25 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
-    // `--sharded` is a bare mode switch, not a `--flag value` pair.
+    // `--sharded` and `--live` are bare mode switches, not `--flag value`
+    // pairs.
     let mut args: Vec<String> = args.to_vec();
-    let sharded = match args.iter().position(|a| a == "--sharded") {
+    let mut mode_switch = |name: &str| match args.iter().position(|a| a == name) {
         Some(i) => {
             args.remove(i);
             true
         }
         None => false,
     };
+    let sharded = mode_switch("--sharded");
+    let live = mode_switch("--live");
+    if sharded && live {
+        return Err("--sharded and --live are mutually exclusive".to_string());
+    }
     let (positional, flags) = parse_args(&args)?;
+    if live {
+        return cmd_verify_live(&positional, &flags);
+    }
     if !positional.is_empty() {
         return Err(format!("unexpected argument `{}`", positional[0]));
     }
@@ -548,6 +548,125 @@ fn record_bytes(cfg: &SimConfig, system: System) -> Vec<u8> {
     let sink = JsonlSink::new(buf.clone());
     run_system_with_sinks(cfg, system, vec![Box::new(sink)]);
     buf.bytes()
+}
+
+/// `verify --live`: integrity-checks traces collected from running
+/// `refer-node` daemons instead of from a simulation run.
+///
+/// The per-node JSONL files are merged into one event stream (each daemon
+/// traces only what it observed locally; the union is the cluster's
+/// story) and folded through the same [`PacketLedger`] the forensics
+/// commands use. The checks are structural — every packet that moved has
+/// an origin, every hop chain is connected, nothing was delivered twice —
+/// plus an optional delivery gate against the simulator's prediction for
+/// the same topology and seed (`--expect-delivery`, `--tolerance`).
+fn cmd_verify_live(
+    paths: &[String],
+    flags: &BTreeMap<String, String>,
+) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("verify --live needs at least one trace file".to_string());
+    }
+    let expect_delivery: Option<f64> = match flags.get("expect-delivery") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .ok()
+                .filter(|x| (0.0..=1.0).contains(x))
+                .ok_or_else(|| format!("--expect-delivery must be in [0, 1], got `{raw}`"))?,
+        ),
+    };
+    let tolerance = unit_interval_flag(flags, "tolerance", 0.10)?;
+
+    let mut events = Vec::new();
+    for path in paths {
+        let (_, mut parsed) = load(path)?;
+        events.append(&mut parsed);
+    }
+    let total_events = events.len();
+    let ledger = PacketLedger::from_events(events);
+    let stats = ledger.stats();
+
+    // Structural integrity of the merged story.
+    let mut problems = Vec::new();
+    for rec in ledger.packets() {
+        let id = rec.packet.0;
+        if rec.origin.is_none() {
+            problems.push(format!("packet {id}: traced without a PacketOrigin event"));
+        }
+        // Each packet's hops come from different processes' files, so
+        // their fold order is file order, and cross-process clock skew
+        // makes timestamps unreliable for sequencing. The chain is
+        // therefore verified structurally: walking from the origin, every
+        // hop must be consumable by matching its `from` to the walk's
+        // current node — order-independent, and exact for loop-free paths.
+        if let Some(origin) = rec.origin {
+            let mut remaining: Vec<(u32, u32)> =
+                rec.hops.iter().map(|h| (h.from.0, h.to.0)).collect();
+            let mut cur = origin.0;
+            while let Some(pos) = remaining.iter().position(|&(from, _)| from == cur) {
+                cur = remaining.remove(pos).1;
+            }
+            if let Some(&(from, to)) = remaining.first() {
+                problems.push(format!(
+                    "packet {id}: {} hop(s) disconnected from the origin walk \
+                     (e.g. node {from} -> node {to})",
+                    remaining.len()
+                ));
+            }
+        }
+    }
+    println!(
+        "live traces: {} file(s), {} events, {} packets ({} delivered, {} dropped, {} in flight)",
+        paths.len(),
+        total_events,
+        stats.packets,
+        stats.delivered,
+        stats.dropped,
+        stats.in_flight
+    );
+    let integrity_ok = problems.is_empty();
+    if integrity_ok {
+        println!("ledger integrity: OK");
+    } else {
+        println!("ledger integrity: {} problem(s)", problems.len());
+        for p in problems.iter().take(20) {
+            println!("  {p}");
+        }
+    }
+
+    // Delivery gate against the sim prediction, measured packets only
+    // (warmup-phase packets are traced but excluded, as in the summary).
+    let mut delivery_ok = true;
+    if let Some(expected) = expect_delivery {
+        let measured_total =
+            ledger.packets().filter(|r| r.measured).count();
+        let measured_delivered = ledger
+            .packets()
+            .filter(|r| r.measured && matches!(r.outcome, refer_obs::Outcome::Delivered { .. }))
+            .count();
+        let ratio = if measured_total == 0 {
+            0.0
+        } else {
+            measured_delivered as f64 / measured_total as f64
+        };
+        delivery_ok = (ratio - expected).abs() <= tolerance;
+        println!(
+            "delivery: measured {:.1}% vs sim-predicted {:.1}% (tolerance ±{:.0}pp): {}",
+            ratio * 100.0,
+            expected * 100.0,
+            tolerance * 100.0,
+            if delivery_ok { "WITHIN" } else { "DIVERGED" }
+        );
+    }
+
+    if integrity_ok && delivery_ok {
+        println!("verify --live PASSED");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("verify --live FAILED");
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// `verify --sharded`: the sharded engine at `--threads` worker threads

@@ -7,6 +7,9 @@
 //!
 //! * [`codec`] — a JSONL codec for trace events (one externally-tagged
 //!   JSON object per line), so traces survive on disk and across tools;
+//! * [`frame`] — u32-LE length-prefixed binary framing with an
+//!   incremental [`FrameDecoder`](frame::FrameDecoder), the wire layout
+//!   `refer-node` uses for datagram payloads;
 //! * [`sink`] — streaming sinks: [`JsonlSink`](sink::JsonlSink) to any
 //!   writer, [`CountingSink`](sink::CountingSink) for per-kind tallies,
 //!   [`HashingSink`](sink::HashingSink) for order-independent stream
@@ -26,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod hash;
 pub mod ledger;
 pub mod sink;
 
-pub use codec::{event_from_value, event_to_value, from_jsonl_line, to_jsonl_line};
+pub use codec::{account_str, event_from_value, event_to_value, from_jsonl_line, to_jsonl_line};
+pub use frame::{encode_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use hash::{fnv1a64, EventHash};
 pub use ledger::{HopRecord, LedgerStats, Outcome, PacketLedger, PacketRecord};
 pub use sink::{

@@ -1,5 +1,5 @@
 //! Local failure suspicion: the per-protocol view that replaces the global
-//! fault oracle under [`FaultModel::Discovered`](crate::config::FaultModel).
+//! fault oracle under [`FaultModel::Discovered`](wsan_sim::FaultModel).
 //!
 //! A [`FailureView`] is a plain data structure protocols embed: it records
 //! when each peer was last *heard* (an ACK, a beacon, any received frame)
@@ -8,7 +8,7 @@
 //! simulator's rotating faulty set — does not blacklist a recovered node
 //! forever, and any later contact clears the suspicion immediately.
 //!
-//! Under [`FaultModel::Byzantine`](crate::config::FaultModel) the view also
+//! Under [`FaultModel::Byzantine`](wsan_sim::FaultModel) the view also
 //! accepts *remote accusations* (suspicion gossip) through [`accuse`]
 //! (FailureView::accuse). Remote evidence is reputation-weighted per
 //! accuser and audited against direct contact: an accusation against a
@@ -20,9 +20,8 @@
 //! back. Everything here is deterministic and derives only from
 //! information a deployed node could really have.
 
-use crate::node::NodeId;
-use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use wsan_sim::{NodeId, SimDuration, SimTime};
 
 /// Weighted accusation mass at which rumor alone creates a suspicion: a
 /// single full-weight accuser can never evict on their own.

@@ -123,8 +123,8 @@ pub enum FaultModel {
     /// while still acknowledging it, forging ACKs, and slandering healthy
     /// neighbors in suspicion gossip. Compromised nodes are physically
     /// alive (the fault oracle does not flag them); defenses must come
-    /// from the reputation-weighted
-    /// [`FailureView`](crate::failure::FailureView). All adversary
+    /// from the reputation-weighted `FailureView` (hosted by the
+    /// `refer-proto` crate since the sans-io split). All adversary
     /// decisions are drawn from the per-node simulator RNG streams, so
     /// runs stay deterministic per seed and thread-invariant under
     /// [`Engine::Sharded`].
@@ -610,22 +610,31 @@ impl SimConfig {
             assert!((0.0..=1.0).contains(&p), "{name} must be within [0, 1], got {p}");
         }
         if let Engine::Sharded(sharded) = self.engine {
+            // Incompatible-knob rejections name the offending field and the
+            // supported fallback so a failed run is actionable from the
+            // panic message alone (wording pinned by tests below).
             let lookahead = self.radio.mac_overhead.as_micros();
             assert!(
                 lookahead > 0,
-                "sharded engine needs mac_overhead > 0: it is the conservative lookahead"
+                "`engine = Engine::Sharded` requires `radio.mac_overhead` > 0 us (it is \
+                 the conservative cross-shard lookahead); raise `radio.mac_overhead` or \
+                 fall back to `engine = Engine::Serial`"
             );
             assert!(
                 sharded.window_micros <= lookahead,
-                "sync window ({} us) must not exceed the minimum cross-node \
-                 event latency mac_overhead ({} us)",
+                "`engine.window_micros` ({} us) exceeds the minimum cross-node event \
+                 latency `radio.mac_overhead` ({} us); lower `engine.window_micros` to \
+                 at most {} or fall back to `engine = Engine::Serial`",
                 sharded.window_micros,
+                lookahead,
                 lookahead
             );
             assert!(
                 !self.faults.battery_death,
-                "sharded engine does not support battery death yet: fault rotation \
-                 runs centrally and cannot observe per-shard battery depletion"
+                "`faults.battery_death = true` is not supported by `engine = \
+                 Engine::Sharded`: fault rotation runs centrally and cannot observe \
+                 per-shard battery depletion; set `faults.battery_death = false` or \
+                 fall back to `engine = Engine::Serial`"
             );
         }
     }
@@ -690,5 +699,41 @@ mod tests {
         let smoke = SimConfig::smoke();
         assert!(smoke.packets_per_round() < SimConfig::paper().packets_per_round());
         assert!(smoke.total_time() < SimConfig::paper().total_time());
+    }
+
+    /// Incompatible-knob rejections must be actionable: each message names
+    /// the offending field AND the supported fallback (`Engine::Serial`).
+    #[test]
+    fn sharded_rejections_name_field_and_fallback() {
+        let message = |cfg: SimConfig| -> String {
+            let err = std::panic::catch_unwind(move || cfg.validate())
+                .expect_err("config must be rejected");
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .expect("panic payload must be a string")
+        };
+
+        let mut cfg = SimConfig::smoke();
+        cfg.engine = Engine::Sharded(ShardedConfig::default());
+        cfg.faults.battery_death = true;
+        let msg = message(cfg);
+        assert!(msg.contains("`faults.battery_death = true`"), "field missing: {msg}");
+        assert!(msg.contains("fall back to `engine = Engine::Serial`"), "fallback missing: {msg}");
+
+        let mut cfg = SimConfig::smoke();
+        cfg.engine = Engine::Sharded(ShardedConfig::default());
+        cfg.radio.mac_overhead = SimDuration::ZERO;
+        let msg = message(cfg);
+        assert!(msg.contains("`radio.mac_overhead`"), "field missing: {msg}");
+        assert!(msg.contains("fall back to `engine = Engine::Serial`"), "fallback missing: {msg}");
+
+        let mut cfg = SimConfig::smoke();
+        let too_wide = cfg.radio.mac_overhead.as_micros() + 1;
+        cfg.engine =
+            Engine::Sharded(ShardedConfig { shards: 0, threads: 1, window_micros: too_wide });
+        let msg = message(cfg);
+        assert!(msg.contains("`engine.window_micros`"), "field missing: {msg}");
+        assert!(msg.contains("fall back to `engine = Engine::Serial`"), "fallback missing: {msg}");
     }
 }

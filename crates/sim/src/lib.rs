@@ -40,7 +40,6 @@ mod acks;
 pub mod config;
 mod ctx;
 mod energy;
-pub mod failure;
 pub mod flood;
 mod geometry;
 pub mod grid;
@@ -65,7 +64,6 @@ pub use config::{
 };
 pub use ctx::Ctx;
 pub use energy::{EnergyAccount, EnergyLedger, EnergyModel};
-pub use failure::{AccuseOutcome, FailureView};
 pub use geometry::{centroid, Area, Point};
 pub use grid::SpatialGrid;
 pub use hist::LogHistogram;

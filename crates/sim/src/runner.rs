@@ -65,58 +65,7 @@ pub fn run_with_sinks<P: Protocol>(
         }
         debug_assert!(ev.at >= ctx.now, "event queue went backwards");
         ctx.now = ev.at;
-        match ev.kind {
-            EventKind::Deliver { to, msg, ack_id } => {
-                if ctx.nodes[to.index()].faulty {
-                    continue; // receiver died in flight; frame lost, no ACK
-                }
-                ctx.charge_rx(to, msg.account);
-                if ctx.byz_swallow(to, msg.from, ack_id, msg.broadcast) {
-                    continue; // attacker swallowed it (ACK forged inside)
-                }
-                // The receiver's MAC acks before the stack processes.
-                if let Some(id) = ack_id {
-                    ctx.schedule_ack(id, to, msg.from);
-                }
-                protocol.on_message(&mut ctx, to, msg);
-            }
-            EventKind::AckArrive { id } => {
-                if let Some(p) = ctx.pending_acks.remove(id) {
-                    if !ctx.nodes[p.from.index()].faulty {
-                        protocol.on_ack(&mut ctx, p.from, p.to);
-                    }
-                } else {
-                    // A duplicate or late ACK — the frame already expired
-                    // (timeout fired first) or was acknowledged. Counted
-                    // and dropped.
-                    ctx.metrics.stale_acks += 1;
-                }
-            }
-            EventKind::AckExpire { id } => {
-                ack_expire(&mut ctx, protocol, id);
-            }
-            EventKind::Timer { node, tag } => {
-                // Timers fire even on faulty nodes so periodic chains are
-                // not permanently severed by a transient fault; protocols
-                // check `ctx.is_faulty` before acting.
-                protocol.on_timer(&mut ctx, node, tag);
-            }
-            EventKind::EmitPacket { node, remaining, gap_micros } => {
-                emit_packet(&mut ctx, protocol, node, remaining, gap_micros);
-            }
-            EventKind::TrafficRound => {
-                traffic_round(&mut ctx);
-            }
-            EventKind::FaultRotation => {
-                rotate_faults(&mut ctx, protocol, &mut faulty_set);
-            }
-            EventKind::MobilityTick => {
-                mobility_tick(&mut ctx);
-            }
-            EventKind::DeliverClaim { .. } | EventKind::DropClaim { .. } => {
-                unreachable!("delivery claims exist only under the sharded engine")
-            }
-        }
+        dispatch_one(&mut ctx, protocol, &mut faulty_set, ev.kind);
     }
     let mut summary = ctx.metrics.summarize(ctx.cfg.duration);
     let consumed: Vec<f64> = ctx
@@ -133,6 +82,112 @@ pub fn run_with_sinks<P: Protocol>(
         sink.flush();
     }
     (summary, sinks)
+}
+
+/// Handles one popped event: the serial engine's entire dispatch table.
+/// `ctx.now` must already be the event's timestamp. Shared between the
+/// full run loop and [`construct`] so the construction-only replay and a
+/// real run execute byte-identical logic per event.
+pub(crate) fn dispatch_one<P: Protocol>(
+    ctx: &mut Ctx<P::Payload>,
+    protocol: &mut P,
+    faulty_set: &mut Vec<NodeId>,
+    kind: EventKind<P::Payload>,
+) {
+    match kind {
+        EventKind::Deliver { to, msg, ack_id } => {
+            if ctx.nodes[to.index()].faulty {
+                return; // receiver died in flight; frame lost, no ACK
+            }
+            ctx.charge_rx(to, msg.account);
+            if ctx.byz_swallow(to, msg.from, ack_id, msg.broadcast) {
+                return; // attacker swallowed it (ACK forged inside)
+            }
+            // The receiver's MAC acks before the stack processes.
+            if let Some(id) = ack_id {
+                ctx.schedule_ack(id, to, msg.from);
+            }
+            protocol.on_message(ctx, to, msg);
+        }
+        EventKind::AckArrive { id } => {
+            if let Some(p) = ctx.pending_acks.remove(id) {
+                if !ctx.nodes[p.from.index()].faulty {
+                    protocol.on_ack(ctx, p.from, p.to);
+                }
+            } else {
+                // A duplicate or late ACK — the frame already expired
+                // (timeout fired first) or was acknowledged. Counted
+                // and dropped.
+                ctx.metrics.stale_acks += 1;
+            }
+        }
+        EventKind::AckExpire { id } => {
+            ack_expire(ctx, protocol, id);
+        }
+        EventKind::Timer { node, tag } => {
+            // Timers fire even on faulty nodes so periodic chains are
+            // not permanently severed by a transient fault; protocols
+            // check `ctx.is_faulty` before acting.
+            protocol.on_timer(ctx, node, tag);
+        }
+        EventKind::EmitPacket { node, remaining, gap_micros } => {
+            emit_packet(ctx, protocol, node, remaining, gap_micros);
+        }
+        EventKind::TrafficRound => {
+            traffic_round(ctx);
+        }
+        EventKind::FaultRotation => {
+            rotate_faults(ctx, protocol, faulty_set);
+        }
+        EventKind::MobilityTick => {
+            mobility_tick(ctx);
+        }
+        EventKind::DeliverClaim { .. } | EventKind::DropClaim { .. } => {
+            unreachable!("delivery claims exist only under the sharded engine")
+        }
+    }
+}
+
+/// Runs only the deterministic construction phase of `protocol` under
+/// `cfg` — `on_init` plus the event cascade it triggers, drained up to
+/// `horizon` past t=0 — and returns the resulting world.
+///
+/// No traffic, mobility or fault-rotation drivers are pushed, so the
+/// returned context is exactly the constructed network: topology,
+/// rosters, overlay state inside `protocol`, and the RNG as the
+/// construction left it. Given the same `cfg` this is bit-for-bit
+/// reproducible, which is how every `refer-node` process independently
+/// arrives at the identical world before switching to its own I/O
+/// driver.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+pub fn construct<P: Protocol>(
+    cfg: SimConfig,
+    protocol: &mut P,
+    horizon: crate::time::SimDuration,
+) -> Ctx<P::Payload> {
+    cfg.validate();
+    let mut ctx = build_ctx::<P::Payload>(cfg);
+    ctx.unbounded_queue = true;
+    protocol.on_init(&mut ctx);
+    ctx.unbounded_queue = false;
+    // Construction bursts through at t=0; radios start steady state clear.
+    for node in &mut ctx.nodes {
+        node.busy_until_micros = 0;
+    }
+    let end = SimTime::ZERO + horizon;
+    let mut faulty_set: Vec<NodeId> = Vec::new();
+    while let Some(ev) = ctx.queue.pop() {
+        if ev.at > end {
+            break;
+        }
+        debug_assert!(ev.at >= ctx.now, "event queue went backwards");
+        ctx.now = ev.at;
+        dispatch_one(&mut ctx, protocol, &mut faulty_set, ev.kind);
+    }
+    ctx
 }
 
 /// The busiest node's share of the measured window spent transmitting —
